@@ -1,0 +1,301 @@
+package sunder
+
+// The benchmark harness: one testing.B per table and figure of the paper's
+// evaluation (regenerating its rows each iteration), the ablation studies
+// from DESIGN.md, and microbenchmarks of the pipeline stages. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Reduced-scale options keep iterations tractable; `cmd/sunder-bench -full`
+// regenerates everything at paper scale.
+
+import (
+	"io"
+	"testing"
+
+	"sunder/internal/core"
+	"sunder/internal/exp"
+	"sunder/internal/funcsim"
+	"sunder/internal/mapping"
+	"sunder/internal/transform"
+	"sunder/internal/workload"
+)
+
+var benchOpts = exp.Options{Scale: 0.01, InputLen: 10000}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintTable1(io.Discard, rows, benchOpts)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.FprintTable2(io.Discard)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table3(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintTable3(io.Discard, rows, benchOpts)
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table4(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintTable4(io.Discard, rows, benchOpts)
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.FprintTable5(io.Discard, exp.Table5())
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	rows, err := exp.Table4(benchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.FprintFigure8(io.Discard, exp.Figure8(rows))
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.FprintFigure9(io.Discard, exp.Figure9())
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.Figure10(80000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintFigure10(io.Discard, pts, 80000)
+	}
+}
+
+// Ablation benches (DESIGN.md §4.6).
+
+func BenchmarkAblationFIFO(b *testing.B) {
+	w := workload.MustGet("SPM", benchOpts.Scale, benchOpts.InputLen)
+	units := funcsim.BytesToUnits(w.Input, 4)
+	for _, fifo := range []bool{false, true} {
+		name := "flush"
+		if fifo {
+			name = "fifo"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig(4)
+			cfg.FIFO = fifo
+			m := mustMachine(b, w, cfg)
+			b.SetBytes(int64(len(w.Input)))
+			b.ResetTimer()
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				res := m.Run(units, core.RunOptions{})
+				overhead = res.Overhead()
+			}
+			b.ReportMetric(overhead, "overhead-x")
+		})
+	}
+}
+
+func BenchmarkAblationSummarize(b *testing.B) {
+	w := workload.MustGet("SPM", benchOpts.Scale, benchOpts.InputLen)
+	units := funcsim.BytesToUnits(w.Input, 4)
+	for _, sum := range []bool{false, true} {
+		name := "flush"
+		if sum {
+			name = "summarize"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig(4)
+			cfg.SummarizeOnFull = sum
+			m := mustMachine(b, w, cfg)
+			b.SetBytes(int64(len(w.Input)))
+			b.ResetTimer()
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				res := m.Run(units, core.RunOptions{})
+				overhead = res.Overhead()
+			}
+			b.ReportMetric(overhead, "overhead-x")
+		})
+	}
+}
+
+func BenchmarkAblationRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationRate(benchOpts, []string{"Snort", "SPM"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintAblationRate(io.Discard, rows)
+	}
+}
+
+func BenchmarkAblationReportWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationReportWidth(benchOpts, []int{8, 12, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintAblationReportWidth(io.Discard, rows)
+	}
+}
+
+func BenchmarkAblationCover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationCover(benchOpts, []string{"Protomata", "Snort"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintAblationCover(io.Discard, rows)
+	}
+}
+
+// Extension-study benches.
+
+func BenchmarkExtensionPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.PowerStudy(benchOpts, []string{"Snort", "SPM", "ClamAV"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintPowerStudy(io.Discard, rows)
+	}
+}
+
+func BenchmarkExtensionHotCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.HotColdStudy(benchOpts, []string{"Snort"}, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintHotColdStudy(io.Discard, rows)
+	}
+}
+
+func BenchmarkExtensionWide(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := exp.WideStudy(20, 3, 4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.FprintWideStudy(io.Discard, row)
+	}
+}
+
+// Pipeline microbenchmarks.
+
+func BenchmarkCompile(b *testing.B) {
+	patterns := []Pattern{
+		{Expr: `GET /[a-z]+ HTTP`, Code: 1},
+		{Expr: `a(b|c)+d{2,4}`, Code: 2},
+		{Expr: `\x00\xff.*end`, Code: 3},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(patterns, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformRate4(b *testing.B) {
+	w := workload.MustGet("Snort", benchOpts.Scale, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transform.ToRate(w.Automaton, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFuncsimSnort(b *testing.B) {
+	w := workload.MustGet("Snort", benchOpts.Scale, benchOpts.InputLen)
+	sim := funcsim.NewByteSimulator(w.Automaton)
+	b.SetBytes(int64(len(w.Input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Reset()
+		sim.Run(w.Input, funcsim.Options{})
+	}
+}
+
+func BenchmarkMachineSnort(b *testing.B) {
+	w := workload.MustGet("Snort", benchOpts.Scale, benchOpts.InputLen)
+	m := mustMachine(b, w, core.DefaultConfig(4))
+	units := funcsim.BytesToUnits(w.Input, 4)
+	b.SetBytes(int64(len(w.Input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		m.Run(units, core.RunOptions{})
+	}
+}
+
+func BenchmarkEngineScan(b *testing.B) {
+	eng, err := Compile([]Pattern{
+		{Expr: `needle`, Code: 1},
+		{Expr: `ha+ystack`, Code: 2},
+	}, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := make([]byte, 64*1024)
+	for i := range input {
+		input[i] = byte('a' + i%17)
+	}
+	copy(input[1000:], "needle")
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Scan(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// mustMachine builds a machine for a workload, picking a feasible report
+// budget automatically.
+func mustMachine(b *testing.B, w *workload.Workload, cfg core.Config) *core.Machine {
+	b.Helper()
+	ua, err := transform.ToRate(w.Automaton, cfg.Rate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget, err := mapping.AutoReportColumns(ua, cfg.ReportColumns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.ReportColumns = budget
+	place, err := mapping.Place(ua, cfg.ReportColumns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.Configure(ua, place, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+package sunder
+
+// End-to-end smoke tests of the command-line tools: build each binary and
+// run a fast invocation, checking for the expected output markers.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+
+	compile := buildTool(t, dir, "sunder/cmd/sunder-compile")
+	out := run(t, compile, "-demo")
+	for _, want := range []string{"Figure 3", "1-bit automaton", "16-bit automaton"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sunder-compile -demo missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, compile, "-pattern", "a(b|c)d", "-rate", "2", "-dot", filepath.Join(dir, "dots"))
+	for _, want := range []string{"8-bit (input)", "8-bit (2 nibbles)", "placement", "byte.dot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sunder-compile missing %q:\n%s", want, out)
+		}
+	}
+
+	sim := buildTool(t, dir, "sunder/cmd/sunder-sim")
+	out = run(t, sim, "-list")
+	if !strings.Contains(out, "Snort") || !strings.Contains(out, "SPM") {
+		t.Errorf("sunder-sim -list:\n%s", out)
+	}
+	out = run(t, sim, "-benchmark", "Bro217", "-scale", "0.01", "-input", "4000")
+	for _, want := range []string{"functional simulation", "Sunder @", "AP+RAD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sunder-sim missing %q:\n%s", want, out)
+		}
+	}
+
+	bench := buildTool(t, dir, "sunder/cmd/sunder-bench")
+	out = run(t, bench, "-table", "5")
+	if !strings.Contains(out, "Table 5") || !strings.Contains(out, "AP (50nm)") {
+		t.Errorf("sunder-bench -table 5:\n%s", out)
+	}
+	out = run(t, bench, "-fig", "9")
+	if !strings.Contains(out, "Figure 9") {
+		t.Errorf("sunder-bench -fig 9:\n%s", out)
+	}
+
+	gen := buildTool(t, dir, "sunder/cmd/sunder-gen")
+	suiteDir := filepath.Join(dir, "suite")
+	out = run(t, gen, "-out", suiteDir, "-benchmark", "Bro217", "-scale", "0.01", "-input", "2000")
+	if !strings.Contains(out, "Bro217.anml") {
+		t.Errorf("sunder-gen:\n%s", out)
+	}
+	// The generated ANML must load back through the compiler CLI.
+	out = run(t, compile, "-anml", filepath.Join(suiteDir, "Bro217.anml"), "-rate", "1")
+	if !strings.Contains(out, "8-bit (input)") {
+		t.Errorf("sunder-compile -anml:\n%s", out)
+	}
+}

@@ -1,0 +1,169 @@
+// sunder-bench regenerates every table and figure of the paper's evaluation
+// (Section 7) from simulation, plus the repository's ablation studies.
+//
+// Usage:
+//
+//	sunder-bench                 # everything at reduced scale
+//	sunder-bench -full           # paper scale (1MB inputs, full automata)
+//	sunder-bench -table 4        # one table (1,2,3,4,5)
+//	sunder-bench -fig 10         # one figure (8,9,10)
+//	sunder-bench -ablations      # ablation studies only
+//	sunder-bench -scale 0.05 -input 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sunder/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sunder-bench: ")
+	var (
+		table      = flag.Int("table", 0, "regenerate one table (1-5); 0 = per -all")
+		fig        = flag.Int("fig", 0, "regenerate one figure (8-10); 0 = per -all")
+		ablations  = flag.Bool("ablations", false, "run the ablation studies")
+		extensions = flag.Bool("extensions", false, "run the extension studies (power, hot/cold splitting)")
+		full       = flag.Bool("full", false, "paper scale: full-size automata, 1MB input (slow)")
+		scale      = flag.Float64("scale", 0, "override benchmark scale (0,1]")
+		inputLen   = flag.Int("input", 0, "override input length in bytes")
+		jsonOut    = flag.Bool("json", false, "emit every table and figure as JSON instead of text")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *full {
+		opts = exp.FullOptions()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *inputLen > 0 {
+		opts.InputLen = *inputLen
+	}
+
+	out := os.Stdout
+	if *jsonOut {
+		n := 160000
+		if *full {
+			n = 1 << 20
+		}
+		res, err := exp.CollectAll(opts, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions
+
+	var t4 []exp.Table4Row
+	needT4 := runAll || *table == 4 || *fig == 8
+	if needT4 {
+		var err error
+		t4, err = exp.Table4(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if runAll || *table == 1 {
+		rows, err := exp.Table1(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintTable1(out, rows, opts)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == 2 {
+		exp.FprintTable2(out)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == 3 {
+		rows, err := exp.Table3(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintTable3(out, rows, opts)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == 4 {
+		exp.FprintTable4(out, t4, opts)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == 5 {
+		exp.FprintTable5(out, exp.Table5())
+		fmt.Fprintln(out)
+	}
+	if runAll || *fig == 8 {
+		exp.FprintFigure8(out, exp.Figure8(t4))
+		fmt.Fprintln(out)
+	}
+	if runAll || *fig == 9 {
+		exp.FprintFigure9(out, exp.Figure9())
+		fmt.Fprintln(out)
+	}
+	if runAll || *fig == 10 {
+		n := 160000
+		if *full {
+			n = 1 << 20
+		}
+		pts, err := exp.Figure10(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintFigure10(out, pts, n)
+		fmt.Fprintln(out)
+	}
+	if runAll || *ablations {
+		names := []string{"Snort", "ExactMatch", "SPM", "Protomata"}
+		rate, err := exp.AblationRate(opts, names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintAblationRate(out, rate)
+		fmt.Fprintln(out)
+
+		widths, err := exp.AblationReportWidth(opts, []int{8, 12, 16, 24})
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintAblationReportWidth(out, widths)
+		fmt.Fprintln(out)
+
+		cover, err := exp.AblationCover(opts, names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintAblationCover(out, cover)
+		fmt.Fprintln(out)
+	}
+	if runAll || *extensions {
+		names := []string{"Brill", "Snort", "TCP", "SPM", "ClamAV"}
+		power, err := exp.PowerStudy(opts, names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintPowerStudy(out, power)
+		fmt.Fprintln(out)
+
+		hc, err := exp.HotColdStudy(opts, []string{"Brill", "Snort", "Protomata"}, 0.25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintHotColdStudy(out, hc)
+		fmt.Fprintln(out)
+
+		wide, err := exp.WideStudy(40, 3, 20000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintWideStudy(out, wide)
+	}
+}

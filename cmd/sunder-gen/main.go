@@ -1,0 +1,48 @@
+// sunder-gen materializes the 19 benchmark stand-ins as files in the
+// ANMLZoo layout — <name>.anml plus <name>.input — so they can be fed to
+// external automata tools (VASim reads this ANML subset) or reloaded
+// without regeneration.
+//
+// Usage:
+//
+//	sunder-gen -out ./suite                    # all benchmarks, default scale
+//	sunder-gen -out ./suite -benchmark Snort -scale 0.1 -input 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sunder/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sunder-gen: ")
+	var (
+		out      = flag.String("out", "suite", "output directory")
+		name     = flag.String("benchmark", "", "generate one benchmark (default: all)")
+		scale    = flag.Float64("scale", workload.DefaultScale, "benchmark scale (0,1]")
+		inputLen = flag.Int("input", workload.DefaultInputLen, "input length in bytes")
+	)
+	flag.Parse()
+
+	if *name != "" {
+		w, err := workload.Get(*name, *scale, *inputLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Save(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s/%s.anml (%d states) and %s/%s.input (%d bytes)\n",
+			*out, *name, w.Automaton.NumStates(), *out, *name, len(w.Input))
+		return
+	}
+	if err := workload.SaveAll(*out, *scale, *inputLen); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s (scale %g, %d-byte inputs)\n",
+		len(workload.Names()), *out, *scale, *inputLen)
+}

@@ -1,0 +1,113 @@
+// sunder-sim runs one benchmark workload end to end: functional simulation
+// for the reporting statistics, the Sunder architectural simulator at the
+// chosen rate, and the AP / AP+RAD baselines for comparison.
+//
+// Usage:
+//
+//	sunder-sim -benchmark Snort
+//	sunder-sim -benchmark SPM -rate 2 -fifo=false -scale 0.05 -input 100000
+//	sunder-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sunder/internal/automata"
+	"sunder/internal/core"
+	"sunder/internal/funcsim"
+	"sunder/internal/hardware"
+	"sunder/internal/mapping"
+	"sunder/internal/report"
+	"sunder/internal/transform"
+	"sunder/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sunder-sim: ")
+	var (
+		name      = flag.String("benchmark", "Snort", "benchmark name (see -list)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		scale     = flag.Float64("scale", workload.DefaultScale, "benchmark scale (0,1]")
+		inputLen  = flag.Int("input", workload.DefaultInputLen, "input length in bytes")
+		rate      = flag.Int("rate", 4, "processing rate in nibbles/cycle (1,2,4)")
+		fifo      = flag.Bool("fifo", true, "enable the FIFO report drain")
+		summarize = flag.Bool("summarize", false, "summarize on full instead of flushing")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Printf("%-18s %-7s %6d states, %5d report states (paper, full scale)\n",
+				s.Name, s.Family, s.PaperStates, s.PaperReportStates)
+		}
+		return
+	}
+
+	w, err := workload.Get(*name, *scale, *inputLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := w.Automaton.ComputeStats()
+	fmt.Printf("%s (%s): %d states, %d edges, %d report states, %d-byte input\n",
+		w.Spec.Name, w.Spec.Family, st.States, st.Edges, st.ReportStates, len(w.Input))
+
+	// Functional simulation + reporting baselines.
+	p := report.DefaultParams()
+	ap := report.NewAP(w.Automaton, p)
+	rad := report.NewRAD(w.Automaton, p)
+	sim := funcsim.NewByteSimulator(w.Automaton)
+	res := sim.Run(w.Input, funcsim.Options{
+		TrackActive: true,
+		OnReportCycle: func(cycle int64, states []automata.StateID) {
+			ap.OnReportCycle(cycle, states)
+			rad.OnReportCycle(cycle, states)
+		},
+	})
+	fmt.Printf("\nfunctional simulation (8-bit, VASim-equivalent):\n")
+	fmt.Printf("  %d cycles, %d reports in %d report cycles (%.2f%% of cycles, burst %.2f)\n",
+		res.Cycles, res.Reports, res.ReportCycles,
+		100*res.ReportCycleFraction(), res.ReportsPerReportCycle())
+	fmt.Printf("  peak simultaneously-active states: %d\n", res.MaxActive)
+
+	// Sunder machine.
+	ua, err := transform.ToRate(w.Automaton, *rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig(*rate)
+	cfg.FIFO = *fifo
+	cfg.SummarizeOnFull = *summarize
+	budget, err := mapping.AutoReportColumns(ua, cfg.ReportColumns)
+	if err != nil {
+		log.Fatalf("placement: %v", err)
+	}
+	cfg.ReportColumns = budget
+	place, err := mapping.Place(ua, cfg.ReportColumns)
+	if err != nil {
+		log.Fatalf("placement: %v", err)
+	}
+	m, err := core.Configure(ua, place, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mres := m.Run(funcsim.BytesToUnits(w.Input, 4), core.RunOptions{})
+	fmt.Printf("\nSunder @ %d-bit/cycle (FIFO=%v, summarize=%v): %d states on %d PUs (m=%d)\n",
+		4**rate, *fifo, *summarize, ua.NumStates(), m.NumPUs(), cfg.ReportColumns)
+	fmt.Printf("  %d kernel cycles + %d stall cycles: overhead %.4fx, %d flushes, %d summaries\n",
+		mres.KernelCycles, mres.StallCycles, mres.Overhead(), mres.Flushes, mres.Summaries)
+	fmt.Printf("  modeled throughput %.1f Gbit/s; measured energy %.2f pJ/byte (%d report writes)\n",
+		hardware.ThroughputAtRate(4**rate, mres.Overhead()), m.EnergyPerByte(), m.Energy().ReportWrites)
+
+	apo := ap.Result()
+	rado := rad.Result()
+	fmt.Printf("\nreporting-architecture comparison (same workload):\n")
+	fmt.Printf("  %-12s overhead %8.2fx  (%d flushes, reports stored in place)\n",
+		"Sunder", mres.Overhead(), mres.Flushes)
+	fmt.Printf("  %-12s overhead %8.2fx  (%d flushes, %.1f KB offloaded)\n",
+		"AP", apo.Overhead(res.Cycles), apo.Flushes, float64(apo.OffloadedBits)/8192)
+	fmt.Printf("  %-12s overhead %8.2fx  (%d flushes, %.1f KB offloaded)\n",
+		"AP+RAD", rado.Overhead(res.Cycles), rado.Flushes, float64(rado.OffloadedBits)/8192)
+}

@@ -1,0 +1,76 @@
+// Network intrusion detection: a Snort-like rule set scanning a stream of
+// packets with the FIFO reporting strategy — the paper's motivating
+// real-time scenario, where reports must reach the host without stalling
+// the match pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sunder"
+)
+
+// rules is a small Snort-flavoured set: protocol tokens, an exploit
+// signature with a binary prefix, and a scanner fingerprint with classes.
+var rules = []sunder.Pattern{
+	{Expr: `GET /admin`, Code: 100},
+	{Expr: `POST /login`, Code: 101},
+	{Expr: `\x90\x90\x90\x90`, Code: 200}, // NOP sled
+	{Expr: `/etc/passwd`, Code: 201},
+	{Expr: `User-Agent: (sqlmap|nikto)`, Code: 202},
+	{Expr: `SELECT .* FROM`, Code: 203},
+	{Expr: `%3Cscript%3E`, Code: 204},
+	{Expr: `\\x[0-9a-f]{2}\\x[0-9a-f]{2}`, Code: 205},
+}
+
+func main() {
+	opts := sunder.DefaultOptions() // 16-bit processing, FIFO drain on
+	eng, err := sunder.Compile(rules, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := eng.Info()
+	fmt.Printf("NIDS engine: %d rules, %d device states, %d PU(s), report region %d entries/PU\n",
+		len(rules), info.DeviceStates, info.PUs, info.RegionCapacity)
+
+	// Stream synthetic traffic: benign requests with injected attacks.
+	alerts := 0
+	stream := eng.NewStream(func(m sunder.Match) {
+		alerts++
+		if alerts <= 10 {
+			fmt.Printf("ALERT rule %d at byte offset %d\n", m.Code, m.Position)
+		}
+	})
+	rng := rand.New(rand.NewSource(42))
+	for pkt := 0; pkt < 200; pkt++ {
+		stream.Write(packet(rng, pkt))
+	}
+	stats := stream.Close()
+
+	fmt.Printf("scanned %d bytes in %d packets: %d alerts\n", stream.BytesIn(), 200, alerts)
+	fmt.Printf("device: %d cycles, %d stalls (overhead %.4fx), %d report-buffer overflows\n",
+		stats.KernelCycles, stats.StallCycles, stats.Overhead(), stats.Flushes)
+	if stats.StallCycles == 0 {
+		fmt.Println("the FIFO drain kept reporting completely stall-free: line-rate matching")
+	}
+	fmt.Printf("modeled line rate at this overhead: %.1f Gbit/s (14nm, 16-bit processing)\n",
+		eng.ThroughputGbps(stats.Overhead()))
+}
+
+// packet synthesizes one request; every 13th packet carries an attack.
+func packet(rng *rand.Rand, id int) []byte {
+	paths := []string{"/", "/index.html", "/api/v1/items", "/static/app.js"}
+	p := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: example.com\r\nUser-Agent: curl/8.0\r\n\r\n",
+		paths[rng.Intn(len(paths))])
+	switch {
+	case id%13 == 5:
+		p = "GET /admin HTTP/1.1\r\nUser-Agent: nikto\r\n\r\n"
+	case id%13 == 9:
+		p = "POST /login HTTP/1.1\r\n\r\nuser=x&q=SELECT name FROM users"
+	case id%13 == 12:
+		p = "GET /download?f=/etc/passwd HTTP/1.1\r\n\r\n\x90\x90\x90\x90payload"
+	}
+	return []byte(p)
+}

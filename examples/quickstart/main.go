@@ -1,0 +1,53 @@
+// Quickstart: compile two rules, scan a buffer, print every match and the
+// device's view of the run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunder"
+)
+
+func main() {
+	// A pattern set: a literal rule and a class/quantifier rule. Each
+	// rule carries a report code that identifies it in matches.
+	eng, err := sunder.Compile([]sunder.Pattern{
+		{Expr: `needle`, Code: 1},
+		{Expr: `ha+ystack`, Code: 2},
+	}, sunder.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	info := eng.Info()
+	fmt.Printf("compiled: %d byte-NFA states -> %d device states at %d bits/cycle on %d PU(s)\n",
+		info.ByteStates, info.DeviceStates, 4*info.Rate, info.PUs)
+
+	input := []byte("hay hay needle haaaystack needleneedle")
+	res, err := eng.Scan(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range res.Matches {
+		fmt.Printf("rule %d matched ending at byte %d: ...%q\n",
+			m.Code, m.Position, tail(input, m.Position))
+	}
+	fmt.Printf("device: %d cycles, %d stall cycles, overhead %.3fx, %d report cycles\n",
+		res.Stats.KernelCycles, res.Stats.StallCycles, res.Stats.Overhead(), res.Stats.ReportCycles)
+
+	// The architectural simulator is validated against the functional
+	// simulator; Verify re-checks it for this exact input.
+	if err := eng.Verify(input); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("verified: device reports match the reference NFA exactly")
+}
+
+func tail(input []byte, end int64) string {
+	start := end - 9
+	if start < 0 {
+		start = 0
+	}
+	return string(input[start : end+1])
+}

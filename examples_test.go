@@ -1,0 +1,40 @@
+package sunder
+
+// Smoke tests for the runnable examples: each must build and execute
+// successfully, producing its expected output markers.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := []struct {
+		pkg     string
+		markers []string
+	}{
+		{"sunder/examples/quickstart", []string{"rule 1 matched", "verified"}},
+		{"sunder/examples/netids", []string{"ALERT rule", "stall-free", "Gbit/s"}},
+		{"sunder/examples/genomics", []string{"rate reconfiguration", "TATA box", "motif hits"}},
+		{"sunder/examples/datamining", []string{"exact mode", "summarized mode"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.pkg, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.pkg, err, out)
+			}
+			for _, m := range c.markers {
+				if !strings.Contains(string(out), m) {
+					t.Errorf("%s output missing %q:\n%s", c.pkg, m, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module sunder
+
+go 1.22

@@ -1,0 +1,144 @@
+package automata
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ANML (Automata Network Markup Language) is the XML interchange format of
+// the Micron Automata Processor, used by ANMLZoo and VASim. This file
+// implements the STE subset: state-transition-elements with symbol sets,
+// start kinds, activate-on-match edges and report-on-match flags. Counters
+// and boolean elements are not part of the paper's evaluation and are
+// rejected on import.
+
+type anmlNetwork struct {
+	XMLName xml.Name  `xml:"automata-network"`
+	ID      string    `xml:"id,attr"`
+	STEs    []anmlSTE `xml:"state-transition-element"`
+	Other   []anmlAny `xml:",any"`
+}
+
+type anmlAny struct {
+	XMLName xml.Name
+}
+
+type anmlSTE struct {
+	ID        string         `xml:"id,attr"`
+	SymbolSet string         `xml:"symbol-set,attr"`
+	Start     string         `xml:"start,attr,omitempty"`
+	Activate  []anmlActivate `xml:"activate-on-match"`
+	Report    *anmlReport    `xml:"report-on-match"`
+}
+
+type anmlActivate struct {
+	Element string `xml:"element,attr"`
+}
+
+type anmlReport struct {
+	ReportCode string `xml:"reportcode,attr,omitempty"`
+}
+
+// WriteANML serializes a to ANML XML.
+func WriteANML(w io.Writer, a *Automaton, networkID string) error {
+	net := anmlNetwork{ID: networkID}
+	for i := range a.States {
+		s := &a.States[i]
+		ste := anmlSTE{
+			ID:        stateName(StateID(i)),
+			SymbolSet: FormatClass(s.Match),
+		}
+		switch s.Start {
+		case StartOfData:
+			ste.Start = "start-of-data"
+		case StartAllInput:
+			ste.Start = "all-input"
+		}
+		for _, t := range s.Succ {
+			ste.Activate = append(ste.Activate, anmlActivate{Element: stateName(t)})
+		}
+		if s.Report {
+			ste.Report = &anmlReport{ReportCode: fmt.Sprintf("%d", s.ReportCode)}
+		}
+		net.STEs = append(net.STEs, ste)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(net); err != nil {
+		return fmt.Errorf("automata: encoding ANML: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func stateName(id StateID) string { return fmt.Sprintf("ste%d", id) }
+
+// ReadANML parses an ANML network containing only STEs.
+func ReadANML(r io.Reader) (*Automaton, error) {
+	var net anmlNetwork
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&net); err != nil {
+		return nil, fmt.Errorf("automata: decoding ANML: %w", err)
+	}
+	for _, o := range net.Other {
+		return nil, fmt.Errorf("automata: unsupported ANML element <%s>", o.XMLName.Local)
+	}
+	a := NewAutomaton()
+	ids := make(map[string]StateID, len(net.STEs))
+	for _, ste := range net.STEs {
+		if _, dup := ids[ste.ID]; dup {
+			return nil, fmt.Errorf("automata: duplicate STE id %q", ste.ID)
+		}
+		match, err := ParseClass(ste.SymbolSet)
+		if err != nil {
+			return nil, err
+		}
+		s := State{Match: match}
+		switch ste.Start {
+		case "":
+			s.Start = StartNone
+		case "start-of-data":
+			s.Start = StartOfData
+		case "all-input":
+			s.Start = StartAllInput
+		default:
+			return nil, fmt.Errorf("automata: unknown start kind %q", ste.Start)
+		}
+		if ste.Report != nil {
+			s.Report = true
+			if ste.Report.ReportCode != "" {
+				if _, err := fmt.Sscanf(ste.Report.ReportCode, "%d", &s.ReportCode); err != nil {
+					return nil, fmt.Errorf("automata: bad reportcode %q", ste.Report.ReportCode)
+				}
+			}
+		}
+		ids[ste.ID] = a.AddState(s)
+	}
+	for _, ste := range net.STEs {
+		from := ids[ste.ID]
+		for _, act := range ste.Activate {
+			to, ok := ids[act.Element]
+			if !ok {
+				// ANML allows "network:element" qualified references;
+				// accept the suffix form.
+				if i := strings.LastIndexByte(act.Element, ':'); i >= 0 {
+					to, ok = ids[act.Element[i+1:]]
+				}
+				if !ok {
+					return nil, fmt.Errorf("automata: activate-on-match references unknown element %q", act.Element)
+				}
+			}
+			a.AddEdge(from, to)
+		}
+	}
+	a.Normalize()
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

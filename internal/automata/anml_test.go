@@ -1,0 +1,132 @@
+package automata
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestANMLRoundTrip(t *testing.T) {
+	a := chain("ab")
+	a.States[0].Match = Range('a', 'f')
+	a.States[1].ReportCode = 42
+	a.AddEdge(1, 0)
+	a.Normalize()
+
+	var buf bytes.Buffer
+	if err := WriteANML(&buf, a, "test"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadANML(&buf)
+	if err != nil {
+		t.Fatalf("ReadANML: %v\n%s", err, buf.String())
+	}
+	if back.NumStates() != a.NumStates() || back.NumEdges() != a.NumEdges() {
+		t.Fatalf("round trip: %d/%d states, %d/%d edges",
+			back.NumStates(), a.NumStates(), back.NumEdges(), a.NumEdges())
+	}
+	for i := range a.States {
+		w, g := &a.States[i], &back.States[i]
+		if w.Match != g.Match || w.Start != g.Start || w.Report != g.Report || w.ReportCode != g.ReportCode {
+			t.Errorf("state %d mismatch: %+v vs %+v", i, w, g)
+		}
+	}
+}
+
+func TestReadANMLHandWritten(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<automata-network id="net">
+  <state-transition-element id="q0" symbol-set="[ab]" start="all-input">
+    <activate-on-match element="q1"/>
+  </state-transition-element>
+  <state-transition-element id="q1" symbol-set="[c]">
+    <report-on-match reportcode="7"/>
+  </state-transition-element>
+</automata-network>`
+	a, err := ReadANML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() != 2 || !a.States[1].Report || a.States[1].ReportCode != 7 {
+		t.Errorf("parsed wrong: %+v", a.States)
+	}
+	if a.States[0].Start != StartAllInput {
+		t.Errorf("start = %v", a.States[0].Start)
+	}
+}
+
+func TestReadANMLRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown element": `<automata-network id="n"><counter id="c"/></automata-network>`,
+		"dup id": `<automata-network id="n">
+			<state-transition-element id="q" symbol-set="[a]" start="all-input"/>
+			<state-transition-element id="q" symbol-set="[b]"/></automata-network>`,
+		"bad ref": `<automata-network id="n">
+			<state-transition-element id="q" symbol-set="[a]" start="all-input">
+			<activate-on-match element="nope"/></state-transition-element></automata-network>`,
+		"bad start": `<automata-network id="n">
+			<state-transition-element id="q" symbol-set="[a]" start="sometimes"/></automata-network>`,
+		"bad class": `<automata-network id="n">
+			<state-transition-element id="q" symbol-set="oops" start="all-input"/></automata-network>`,
+	}
+	for name, src := range cases {
+		if _, err := ReadANML(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadANMLQualifiedReference(t *testing.T) {
+	src := `<automata-network id="n">
+  <state-transition-element id="q0" symbol-set="[a]" start="all-input">
+    <activate-on-match element="n:q1"/>
+  </state-transition-element>
+  <state-transition-element id="q1" symbol-set="[b]">
+    <report-on-match/>
+  </state-transition-element>
+</automata-network>`
+	a, err := ReadANML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.States[0].Succ; len(got) != 1 || got[0] != 1 {
+		t.Errorf("qualified ref succ = %v", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	a := chain("ab")
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, a, "g"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "n0 -> n1", "doublecircle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteUnitDOT(t *testing.T) {
+	ua := NewUnitAutomaton(4, 2, 2)
+	s0 := ua.AddState(UnitState{
+		Match: [MaxRate]UnitSet{1 << 6, AllUnits(4)},
+		Start: StartAllInput,
+	})
+	s1 := ua.AddState(UnitState{
+		Match:   [MaxRate]UnitSet{1 << 1, 1 << 2},
+		Reports: []Report{{Offset: 1, Code: 1}},
+	})
+	ua.States[s0].Succ = []StateID{s1}
+	var buf bytes.Buffer
+	if err := WriteUnitDOT(&buf, ua, "u"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "n0 -> n1", "doublecircle", "{6}|*", "{1}|{2}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unit DOT missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package automata
+
+import (
+	"testing"
+)
+
+// chain builds a linear automaton matching the literal string s, reporting
+// at the last state.
+func chain(s string) *Automaton {
+	a := NewAutomaton()
+	var prev StateID = -1
+	for i := 0; i < len(s); i++ {
+		st := State{Match: Symbol(s[i])}
+		if i == 0 {
+			st.Start = StartAllInput
+		}
+		if i == len(s)-1 {
+			st.Report = true
+		}
+		id := a.AddState(st)
+		if prev >= 0 {
+			a.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	return a
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	a := chain("abc")
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if a.NumStates() != 3 || a.NumEdges() != 2 || a.NumReportStates() != 1 {
+		t.Errorf("counts = %d states, %d edges, %d reports",
+			a.NumStates(), a.NumEdges(), a.NumReportStates())
+	}
+}
+
+func TestValidateCatchesBadSuccessor(t *testing.T) {
+	a := chain("ab")
+	a.States[0].Succ = append(a.States[0].Succ, 99)
+	if err := a.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range successor")
+	}
+}
+
+func TestValidateRequiresStart(t *testing.T) {
+	a := chain("ab")
+	a.States[0].Start = StartNone
+	if err := a.Validate(); err == nil {
+		t.Error("Validate accepted automaton with no start state")
+	}
+}
+
+func TestNormalizeDedups(t *testing.T) {
+	a := chain("ab")
+	a.AddEdge(0, 1)
+	a.AddEdge(0, 1)
+	a.Normalize()
+	if len(a.States[0].Succ) != 1 {
+		t.Errorf("Succ after Normalize = %v", a.States[0].Succ)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestUnionRenumbers(t *testing.T) {
+	a := chain("ab")
+	b := chain("xy")
+	a.Union(b)
+	if a.NumStates() != 4 {
+		t.Fatalf("states = %d", a.NumStates())
+	}
+	if got := a.States[2].Succ; len(got) != 1 || got[0] != 3 {
+		t.Errorf("renumbered succ = %v", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPruneUnreachable(t *testing.T) {
+	a := chain("abc")
+	// Orphan state with an edge back into the live part.
+	orphan := a.AddState(State{Match: Symbol('z')})
+	a.AddEdge(orphan, 0)
+	a.Normalize()
+	removed := a.PruneUnreachable()
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1", removed)
+	}
+	if a.NumStates() != 3 {
+		t.Errorf("states = %d, want 3", a.NumStates())
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPruneKeepsCycles(t *testing.T) {
+	a := chain("ab")
+	a.AddEdge(1, 0) // loop back
+	a.Normalize()
+	if removed := a.PruneUnreachable(); removed != 0 {
+		t.Errorf("removed = %d, want 0", removed)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := chain("ab")
+	c := a.Clone()
+	c.States[0].Succ[0] = 0
+	if a.States[0].Succ[0] != 1 {
+		t.Error("clone shares successor storage")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	a := chain("ab")
+	a.States[0].Match = AllSymbols() // density 1.0 for state 0
+	st := a.ComputeStats()
+	if st.States != 2 || st.Edges != 1 || st.ReportStates != 1 || st.StartStates != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	want := (1.0 + 1.0/256.0) / 2
+	if diff := st.AvgSymbolDensity - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("AvgSymbolDensity = %v, want %v", st.AvgSymbolDensity, want)
+	}
+}
+
+func TestStartKindString(t *testing.T) {
+	if StartNone.String() != "none" || StartOfData.String() != "start-of-data" ||
+		StartAllInput.String() != "all-input" {
+		t.Error("StartKind.String mismatch")
+	}
+}

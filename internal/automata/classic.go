@@ -1,0 +1,99 @@
+package automata
+
+import (
+	"fmt"
+
+	"sunder/internal/bitvec"
+)
+
+// ClassicNFA is a textbook NFA: transitions carry the symbol sets, states
+// are plain, and a subset of states accept. It exists so the repository can
+// demonstrate the classic-to-homogeneous conversion from Figure 1 of the
+// paper and ingest automata written in the classic style.
+type ClassicNFA struct {
+	NumStates int
+	Initial   []StateID
+	Accept    map[StateID]bool
+	// Trans[i] lists outgoing transitions of state i.
+	Trans [][]ClassicEdge
+	// Anchored marks the machine as start-of-data only; otherwise the
+	// initial states re-activate on every input position.
+	Anchored bool
+}
+
+// ClassicEdge is one labeled transition of a ClassicNFA.
+type ClassicEdge struct {
+	On bitvec.V256
+	To StateID
+}
+
+// NewClassicNFA returns an empty classic NFA with n states.
+func NewClassicNFA(n int) *ClassicNFA {
+	return &ClassicNFA{
+		NumStates: n,
+		Accept:    make(map[StateID]bool),
+		Trans:     make([][]ClassicEdge, n),
+	}
+}
+
+// AddTransition adds a transition from -> to on the given symbol set.
+func (c *ClassicNFA) AddTransition(from, to StateID, on bitvec.V256) {
+	c.Trans[from] = append(c.Trans[from], ClassicEdge{On: on, To: to})
+}
+
+// ToHomogeneous converts a classic NFA into an equivalent homogeneous NFA.
+//
+// The construction creates one homogeneous state per distinct (target state,
+// incoming symbol set) pair: if state q is entered on symbol sets S1 and S2,
+// it splits into STEs (q,S1) and (q,S2), each inheriting q's outgoing
+// transitions and accept flag. Initial states become start STEs on the union
+// of labels that leave them... more precisely, in the classic model the
+// machine begins in its initial states *before* consuming input, so each
+// transition leaving an initial state seeds a start STE for its target.
+func (c *ClassicNFA) ToHomogeneous() (*Automaton, error) {
+	type key struct {
+		q  StateID
+		on bitvec.V256
+	}
+	a := NewAutomaton()
+	ids := make(map[key]StateID)
+	// Create one STE per (target, label) pair.
+	for q := 0; q < c.NumStates; q++ {
+		for _, e := range c.Trans[q] {
+			k := key{e.To, e.On}
+			if _, ok := ids[k]; ok {
+				continue
+			}
+			ids[k] = a.AddState(State{
+				Match:  e.On,
+				Report: c.Accept[e.To],
+			})
+		}
+	}
+	// Wire successors: STE (q,S) activates every STE (r,T) for each
+	// transition q -T-> r.
+	for k, id := range ids {
+		for _, e := range c.Trans[k.q] {
+			a.AddEdge(id, ids[key{e.To, e.On}])
+		}
+	}
+	// Mark start STEs: targets of transitions leaving initial states.
+	kind := StartAllInput
+	if c.Anchored {
+		kind = StartOfData
+	}
+	for _, q0 := range c.Initial {
+		if int(q0) >= c.NumStates {
+			return nil, fmt.Errorf("automata: initial state %d out of range", q0)
+		}
+		for _, e := range c.Trans[q0] {
+			id := ids[key{e.To, e.On}]
+			a.States[id].Start = kind
+		}
+		if c.Accept[q0] {
+			return nil, fmt.Errorf("automata: classic NFA accepts the empty string; homogeneous STEs cannot express that")
+		}
+	}
+	a.Normalize()
+	return a, nil
+}

@@ -1,0 +1,74 @@
+package automata
+
+import "testing"
+
+// buildFigure1 builds the classic NFA of Figure 1: language over {A,T,C,G}
+// where state 0 loops on A|C, moves to 1 on C, to 2 on A, and 1,2 reach the
+// reporting state 3 on G. We only need structural properties here; the
+// functional equivalence of classic vs homogeneous is covered in funcsim's
+// tests.
+func TestToHomogeneousFigure1Shape(t *testing.T) {
+	c := NewClassicNFA(4)
+	c.Initial = []StateID{0}
+	c.Accept[3] = true
+	A, T, C, G := Symbol('A'), Symbol('T'), Symbol('C'), Symbol('G')
+	_ = T
+	c.AddTransition(0, 0, A)
+	c.AddTransition(0, 1, C)
+	c.AddTransition(0, 2, A)
+	c.AddTransition(1, 3, G)
+	c.AddTransition(2, 3, G)
+	c.AddTransition(3, 3, G)
+
+	h, err := c.ToHomogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct (target,label) pairs: (0,A),(1,C),(2,A),(3,G) → 4 STEs,
+	// matching the homogeneous NFA on the right of Figure 1.
+	if h.NumStates() != 4 {
+		t.Errorf("states = %d, want 4", h.NumStates())
+	}
+	if h.NumReportStates() != 1 {
+		t.Errorf("report states = %d, want 1", h.NumReportStates())
+	}
+	starts := 0
+	for i := range h.States {
+		if h.States[i].Start != StartNone {
+			starts++
+		}
+	}
+	// Transitions out of initial state 0 target (0,A),(1,C),(2,A): all
+	// three become start STEs.
+	if starts != 3 {
+		t.Errorf("start states = %d, want 3", starts)
+	}
+}
+
+func TestToHomogeneousRejectsEmptyAccept(t *testing.T) {
+	c := NewClassicNFA(1)
+	c.Initial = []StateID{0}
+	c.Accept[0] = true
+	c.AddTransition(0, 0, Symbol('a'))
+	if _, err := c.ToHomogeneous(); err == nil {
+		t.Error("accepted NFA that accepts the empty string")
+	}
+}
+
+func TestToHomogeneousAnchored(t *testing.T) {
+	c := NewClassicNFA(2)
+	c.Initial = []StateID{0}
+	c.Anchored = true
+	c.Accept[1] = true
+	c.AddTransition(0, 1, Symbol('x'))
+	h, err := c.ToHomogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.States[0].Start != StartOfData {
+		t.Errorf("start kind = %v, want start-of-data", h.States[0].Start)
+	}
+}

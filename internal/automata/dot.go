@@ -1,0 +1,81 @@
+package automata
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders a byte-oriented automaton in Graphviz DOT form for
+// inspection and for the Figure 3 style transformation demos.
+func WriteDOT(w io.Writer, a *Automaton, name string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for i := range a.States {
+		s := &a.States[i]
+		attrs := []string{fmt.Sprintf("label=\"%d\\n%s\"", i, escapeDOT(FormatClass(s.Match)))}
+		if s.Report {
+			attrs = append(attrs, "shape=doublecircle")
+		} else {
+			attrs = append(attrs, "shape=circle")
+		}
+		if s.Start != StartNone {
+			attrs = append(attrs, "style=bold")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, strings.Join(attrs, ","))
+		for _, t := range s.Succ {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", i, t)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteUnitDOT renders a unit automaton in Graphviz DOT form. Each state's
+// label shows its per-position unit sets.
+func WriteUnitDOT(w io.Writer, a *UnitAutomaton, name string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for i := range a.States {
+		s := &a.States[i]
+		var parts []string
+		for p := 0; p < a.Rate; p++ {
+			parts = append(parts, formatUnitSet(s.Match[p], a.UnitBits))
+		}
+		attrs := []string{fmt.Sprintf("label=\"%d\\n%s\"", i, strings.Join(parts, "|"))}
+		if len(s.Reports) > 0 {
+			attrs = append(attrs, "shape=doublecircle")
+		} else {
+			attrs = append(attrs, "shape=circle")
+		}
+		if s.Start != StartNone {
+			attrs = append(attrs, "style=bold")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, strings.Join(attrs, ","))
+		for _, t := range s.Succ {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", i, t)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatUnitSet(u UnitSet, unitBits int) string {
+	all := AllUnits(unitBits)
+	if u == all {
+		return "*"
+	}
+	var vals []string
+	for v := 0; v < 1<<uint(unitBits); v++ {
+		if u.Has(v) {
+			vals = append(vals, fmt.Sprintf("%x", v))
+		}
+	}
+	return "{" + strings.Join(vals, "") + "}"
+}
+
+func escapeDOT(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, "\\", "\\\\"), "\"", "\\\"")
+}

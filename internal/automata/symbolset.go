@@ -1,0 +1,163 @@
+package automata
+
+import (
+	"fmt"
+	"strings"
+
+	"sunder/internal/bitvec"
+)
+
+// Symbol-set construction helpers. A symbol set is a bitvec.V256 with bit b
+// set iff byte value b is accepted.
+
+// Symbol returns a set containing exactly b.
+func Symbol(b byte) bitvec.V256 {
+	var v bitvec.V256
+	v.Set(int(b))
+	return v
+}
+
+// Symbols returns a set containing every byte in bs.
+func Symbols(bs ...byte) bitvec.V256 {
+	var v bitvec.V256
+	for _, b := range bs {
+		v.Set(int(b))
+	}
+	return v
+}
+
+// Range returns a set containing lo..hi inclusive.
+func Range(lo, hi byte) bitvec.V256 {
+	var v bitvec.V256
+	for b := int(lo); b <= int(hi); b++ {
+		v.Set(b)
+	}
+	return v
+}
+
+// AllSymbols returns the set of all 256 byte values (the "*" rule).
+func AllSymbols() bitvec.V256 {
+	return bitvec.V256{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
+// FormatClass renders a symbol set as a compact character-class string such
+// as "[a-c\x00\xff]", the notation used by ANML symbol-set attributes. The
+// full set renders as "*".
+func FormatClass(v bitvec.V256) string {
+	if v == AllSymbols() {
+		return "*"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for lo := 0; lo < 256; {
+		if !v.Get(lo) {
+			lo++
+			continue
+		}
+		hi := lo
+		for hi+1 < 256 && v.Get(hi+1) {
+			hi++
+		}
+		writeClassByte(&b, byte(lo))
+		if hi > lo {
+			if hi > lo+1 {
+				b.WriteByte('-')
+			}
+			writeClassByte(&b, byte(hi))
+		}
+		lo = hi + 1
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func writeClassByte(b *strings.Builder, c byte) {
+	switch {
+	case c == '\\' || c == ']' || c == '-' || c == '[' || c == '^':
+		b.WriteByte('\\')
+		b.WriteByte(c)
+	case c >= 0x20 && c < 0x7f:
+		b.WriteByte(c)
+	default:
+		fmt.Fprintf(b, "\\x%02x", c)
+	}
+}
+
+// ParseClass parses the output of FormatClass (a subset of regex character
+// class syntax: literals, escapes, \xHH, ranges, leading ^ negation, and the
+// special "*").
+func ParseClass(s string) (bitvec.V256, error) {
+	var v bitvec.V256
+	if s == "*" {
+		return AllSymbols(), nil
+	}
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return v, fmt.Errorf("automata: malformed class %q", s)
+	}
+	body := s[1 : len(s)-1]
+	neg := false
+	if strings.HasPrefix(body, "^") {
+		neg = true
+		body = body[1:]
+	}
+	i := 0
+	readByte := func() (byte, error) {
+		if i >= len(body) {
+			return 0, fmt.Errorf("automata: truncated class %q", s)
+		}
+		c := body[i]
+		i++
+		if c != '\\' {
+			return c, nil
+		}
+		if i >= len(body) {
+			return 0, fmt.Errorf("automata: dangling escape in %q", s)
+		}
+		e := body[i]
+		i++
+		switch e {
+		case 'x':
+			if i+2 > len(body) {
+				return 0, fmt.Errorf("automata: truncated \\x escape in %q", s)
+			}
+			var b byte
+			if _, err := fmt.Sscanf(body[i:i+2], "%02x", &b); err != nil {
+				return 0, fmt.Errorf("automata: bad \\x escape in %q: %v", s, err)
+			}
+			i += 2
+			return b, nil
+		case 'n':
+			return '\n', nil
+		case 't':
+			return '\t', nil
+		case 'r':
+			return '\r', nil
+		default:
+			return e, nil
+		}
+	}
+	for i < len(body) {
+		lo, err := readByte()
+		if err != nil {
+			return v, err
+		}
+		hi := lo
+		if i < len(body) && body[i] == '-' && i+1 < len(body) {
+			i++
+			hi, err = readByte()
+			if err != nil {
+				return v, err
+			}
+		}
+		if hi < lo {
+			return v, fmt.Errorf("automata: inverted range %c-%c in %q", lo, hi, s)
+		}
+		for b := int(lo); b <= int(hi); b++ {
+			v.Set(b)
+		}
+	}
+	if neg {
+		v = v.Not()
+	}
+	return v, nil
+}

@@ -1,0 +1,92 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sunder/internal/bitvec"
+)
+
+func TestSymbolConstructors(t *testing.T) {
+	if got := Symbol('a').Bits(); len(got) != 1 || got[0] != 'a' {
+		t.Errorf("Symbol = %v", got)
+	}
+	if got := Symbols('a', 'b', 'a').Count(); got != 2 {
+		t.Errorf("Symbols count = %d", got)
+	}
+	if got := Range('a', 'c').Count(); got != 3 {
+		t.Errorf("Range count = %d", got)
+	}
+	if got := AllSymbols().Count(); got != 256 {
+		t.Errorf("AllSymbols count = %d", got)
+	}
+}
+
+func TestFormatClassBasics(t *testing.T) {
+	cases := []struct {
+		set  bitvec.V256
+		want string
+	}{
+		{Symbol('a'), "[a]"},
+		{Range('a', 'c'), "[a-c]"},
+		{Symbols('a', 'b'), "[ab]"},
+		{AllSymbols(), "*"},
+		{Symbol(0), `[\x00]`},
+		{Symbol(']'), `[\]]`},
+	}
+	for _, c := range cases {
+		if got := FormatClass(c.set); got != c.want {
+			t.Errorf("FormatClass = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseClassBasics(t *testing.T) {
+	got, err := ParseClass("[a-c]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != Range('a', 'c') {
+		t.Errorf("ParseClass([a-c]) = %v", got.Bits())
+	}
+	neg, err := ParseClass("[^a]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Count() != 255 || neg.Get(int('a')) {
+		t.Errorf("ParseClass([^a]) wrong: count=%d", neg.Count())
+	}
+	star, err := ParseClass("*")
+	if err != nil || star != AllSymbols() {
+		t.Errorf("ParseClass(*) = %v, %v", star.Count(), err)
+	}
+}
+
+func TestParseClassErrors(t *testing.T) {
+	for _, bad := range []string{"", "abc", "[abc", "[c-a]", `[\x0]`, `[\`} {
+		if _, err := ParseClass(bad); err == nil {
+			t.Errorf("ParseClass(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: FormatClass/ParseClass round-trip on random symbol sets.
+func TestQuickClassRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var v bitvec.V256
+		n := rng.Intn(256)
+		for i := 0; i < n; i++ {
+			v.Set(rng.Intn(256))
+		}
+		if !v.Any() {
+			v.Set(rng.Intn(256))
+		}
+		back, err := ParseClass(FormatClass(v))
+		return err == nil && back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package automata
+
+import "testing"
+
+func nibbleChain(vals ...int) *UnitAutomaton {
+	a := NewUnitAutomaton(4, 1, 2)
+	var prev StateID = -1
+	for i, v := range vals {
+		s := UnitState{Match: [MaxRate]UnitSet{1 << uint(v)}}
+		if i == 0 {
+			s.Start = StartAllInput
+		}
+		if i == len(vals)-1 {
+			s.Reports = []Report{{Offset: 0, Code: 1}}
+		}
+		id := a.AddState(s)
+		if prev >= 0 {
+			a.States[prev].Succ = append(a.States[prev].Succ, id)
+		}
+		prev = id
+	}
+	return a
+}
+
+func TestAllUnits(t *testing.T) {
+	if AllUnits(4) != 0xffff {
+		t.Errorf("AllUnits(4) = %x", AllUnits(4))
+	}
+	if AllUnits(1) != 0b11 {
+		t.Errorf("AllUnits(1) = %x", AllUnits(1))
+	}
+	if !AllUnits(4).Has(15) || AllUnits(1).Has(2) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestUnitValidate(t *testing.T) {
+	a := nibbleChain(1, 2, 3)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() != 3 || a.NumEdges() != 2 || a.NumReportStates() != 1 {
+		t.Error("counts wrong")
+	}
+	if a.BitsPerCycle() != 4 {
+		t.Errorf("BitsPerCycle = %d", a.BitsPerCycle())
+	}
+}
+
+func TestUnitValidateErrors(t *testing.T) {
+	a := nibbleChain(1)
+	a.Rate = 9
+	if err := a.Validate(); err == nil {
+		t.Error("accepted bad rate")
+	}
+	a = nibbleChain(1)
+	a.UnitBits = 3
+	if err := a.Validate(); err == nil {
+		t.Error("accepted bad unit width")
+	}
+	a = nibbleChain(1)
+	a.States[0].Reports = []Report{{Offset: 2, Code: 1}}
+	if err := a.Validate(); err == nil {
+		t.Error("accepted report offset beyond rate")
+	}
+	b := NewUnitAutomaton(1, 1, 8)
+	b.AddState(UnitState{Match: [MaxRate]UnitSet{0xf0}, Start: StartAllInput})
+	if err := b.Validate(); err == nil {
+		t.Error("accepted unit set outside width")
+	}
+}
+
+func TestUnitNormalizeDedupsReports(t *testing.T) {
+	a := nibbleChain(1, 2)
+	a.States[1].Reports = []Report{{Offset: 0, Code: 5}, {Offset: 0, Code: 5}, {Offset: 0, Code: 2}}
+	a.Normalize()
+	rs := a.States[1].Reports
+	if len(rs) != 2 || rs[0].Code != 2 || rs[1].Code != 5 {
+		t.Errorf("Reports after Normalize = %v", rs)
+	}
+}
+
+func TestUnitPruneAndClone(t *testing.T) {
+	a := nibbleChain(1, 2)
+	orphan := a.AddState(UnitState{Match: [MaxRate]UnitSet{1}})
+	a.States[orphan].Succ = []StateID{0}
+	a.Normalize()
+	if removed := a.PruneUnreachable(); removed != 1 {
+		t.Errorf("removed = %d", removed)
+	}
+	c := a.Clone()
+	c.States[0].Succ[0] = 0
+	if a.States[0].Succ[0] != 1 {
+		t.Error("clone shares storage")
+	}
+}

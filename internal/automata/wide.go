@@ -1,0 +1,96 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WideAutomaton is a homogeneous NFA over 16-bit symbols — the alphabet
+// class the paper motivates with data mining, where items number in the
+// millions and byte-oriented encodings waste states (Section 2.3:
+// "data mining applications can have millions of unique symbols"). A
+// 16-bit symbol transforms to exactly four nibbles, so Sunder's 16-bit
+// processing rate consumes one full symbol per cycle.
+type WideAutomaton struct {
+	States []WideState
+}
+
+// WideState is one STE over 16-bit symbols. Match holds the accepted
+// symbol values, sorted and unique (symbol sets here are sparse: an item
+// or a small item class, not a 64K-dense set).
+type WideState struct {
+	Match      []uint16
+	Start      StartKind
+	Report     bool
+	ReportCode int32
+	Succ       []StateID
+}
+
+// NewWideAutomaton returns an empty wide automaton.
+func NewWideAutomaton() *WideAutomaton { return &WideAutomaton{} }
+
+// AddState appends a state (normalizing its match list) and returns its ID.
+func (a *WideAutomaton) AddState(s WideState) StateID {
+	sort.Slice(s.Match, func(i, j int) bool { return s.Match[i] < s.Match[j] })
+	out := s.Match[:0]
+	for i, v := range s.Match {
+		if i == 0 || v != s.Match[i-1] {
+			out = append(out, v)
+		}
+	}
+	s.Match = out
+	a.States = append(a.States, s)
+	return StateID(len(a.States) - 1)
+}
+
+// AddEdge adds a transition from -> to.
+func (a *WideAutomaton) AddEdge(from, to StateID) {
+	a.States[from].Succ = append(a.States[from].Succ, to)
+}
+
+// NumStates returns the number of states.
+func (a *WideAutomaton) NumStates() int { return len(a.States) }
+
+// NumEdges returns the total number of transitions.
+func (a *WideAutomaton) NumEdges() int {
+	n := 0
+	for i := range a.States {
+		n += len(a.States[i].Succ)
+	}
+	return n
+}
+
+// Normalize sorts and deduplicates successor lists.
+func (a *WideAutomaton) Normalize() {
+	for i := range a.States {
+		a.States[i].Succ = normalizeSucc(a.States[i].Succ)
+	}
+}
+
+// Validate checks structural invariants.
+func (a *WideAutomaton) Validate() error {
+	hasStart := false
+	for i := range a.States {
+		s := &a.States[i]
+		if len(s.Match) == 0 {
+			return fmt.Errorf("automata: wide state %d matches nothing", i)
+		}
+		for j := 1; j < len(s.Match); j++ {
+			if s.Match[j-1] >= s.Match[j] {
+				return fmt.Errorf("automata: wide state %d match list not sorted/unique", i)
+			}
+		}
+		if s.Start != StartNone {
+			hasStart = true
+		}
+		for _, t := range s.Succ {
+			if t < 0 || int(t) >= len(a.States) {
+				return fmt.Errorf("automata: wide state %d successor %d out of range", i, t)
+			}
+		}
+	}
+	if len(a.States) > 0 && !hasStart {
+		return fmt.Errorf("automata: no start state")
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// V256 is a fixed 256-bit vector: one row (or one column group) of a
+// 256-wide SRAM subarray. It is a value type; assignment copies it, and ==
+// compares it, which lets the architectural simulator store rows in plain
+// arrays and compare snapshots without allocation.
+type V256 [4]uint64
+
+// Set256 sets bit i.
+func (v *V256) Set(i int) {
+	check256(i)
+	v[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (v *V256) Clear(i int) {
+	check256(i)
+	v[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is set.
+func (v V256) Get(i int) bool {
+	check256(i)
+	return v[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func check256(i int) {
+	if i < 0 || i >= 256 {
+		panic(fmt.Sprintf("bitvec: V256 index %d out of range", i))
+	}
+}
+
+// And returns v & o.
+func (v V256) And(o V256) V256 {
+	return V256{v[0] & o[0], v[1] & o[1], v[2] & o[2], v[3] & o[3]}
+}
+
+// Or returns v | o.
+func (v V256) Or(o V256) V256 {
+	return V256{v[0] | o[0], v[1] | o[1], v[2] | o[2], v[3] | o[3]}
+}
+
+// AndNot returns v &^ o.
+func (v V256) AndNot(o V256) V256 {
+	return V256{v[0] &^ o[0], v[1] &^ o[1], v[2] &^ o[2], v[3] &^ o[3]}
+}
+
+// Not returns ^v. Together with Or it implements the wired-NOR read the 8T
+// subarray performs on its Port-2 bitlines.
+func (v V256) Not() V256 {
+	return V256{^v[0], ^v[1], ^v[2], ^v[3]}
+}
+
+// Any reports whether any bit is set.
+func (v V256) Any() bool { return v[0]|v[1]|v[2]|v[3] != 0 }
+
+// Count returns the number of set bits.
+func (v V256) Count() int {
+	return bits.OnesCount64(v[0]) + bits.OnesCount64(v[1]) +
+		bits.OnesCount64(v[2]) + bits.OnesCount64(v[3])
+}
+
+// ForEach calls f with the index of every set bit in ascending order.
+func (v V256) ForEach(f func(i int)) {
+	for wi, w := range v {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Bits returns the indices of all set bits in ascending order.
+func (v V256) Bits() []int {
+	out := make([]int, 0, v.Count())
+	v.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the vector as {i,j,...} for debugging.
+func (v V256) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	v.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestV256SetGet(t *testing.T) {
+	var v V256
+	for _, i := range []int{0, 63, 64, 127, 128, 255} {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.Count() != 6 {
+		t.Errorf("Count = %d, want 6", v.Count())
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Error("bit 64 set after Clear")
+	}
+}
+
+func TestV256RangePanics(t *testing.T) {
+	var v V256
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range")
+		}
+	}()
+	v.Set(256)
+}
+
+func TestV256Ops(t *testing.T) {
+	var a, b V256
+	a.Set(1)
+	a.Set(200)
+	b.Set(200)
+	b.Set(255)
+	if got := a.And(b).Bits(); len(got) != 1 || got[0] != 200 {
+		t.Errorf("And = %v", got)
+	}
+	if got := a.Or(b).Count(); got != 3 {
+		t.Errorf("Or count = %d", got)
+	}
+	if got := a.AndNot(b).Bits(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("AndNot = %v", got)
+	}
+	if a.Not().Count() != 254 {
+		t.Errorf("Not count = %d", a.Not().Count())
+	}
+	if !a.Any() {
+		t.Error("Any = false")
+	}
+	var z V256
+	if z.Any() {
+		t.Error("zero Any = true")
+	}
+}
+
+func TestV256ValueSemantics(t *testing.T) {
+	var a V256
+	a.Set(5)
+	b := a
+	b.Set(6)
+	if a.Get(6) {
+		t.Error("copy aliases original")
+	}
+	if a == b {
+		t.Error("distinct vectors compare equal")
+	}
+}
+
+func TestV256String(t *testing.T) {
+	var v V256
+	v.Set(2)
+	v.Set(3)
+	if s := v.String(); s != "{2,3}" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestQuickV256MatchesVector(t *testing.T) {
+	// V256 must agree with the generic Vector on every operation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b V256
+		ga, gb := New(256), New(256)
+		for i := 0; i < 256; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+				ga.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				gb.Set(i)
+			}
+		}
+		and := a.And(b)
+		gand := ga.Clone()
+		gand.And(gb)
+		or := a.Or(b)
+		gor := ga.Clone()
+		gor.Or(gb)
+		for i := 0; i < 256; i++ {
+			if and.Get(i) != gand.Get(i) || or.Get(i) != gor.Get(i) {
+				return false
+			}
+			if a.Not().Get(i) == a.Get(i) {
+				return false
+			}
+		}
+		return and.Count() == gand.Count() && or.Count() == gor.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

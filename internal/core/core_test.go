@@ -1,0 +1,382 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sunder/internal/automata"
+	"sunder/internal/funcsim"
+	"sunder/internal/mapping"
+	"sunder/internal/regex"
+	"sunder/internal/transform"
+)
+
+// build compiles patterns, transforms to the rate, places, and configures a
+// machine.
+func build(t *testing.T, patterns []regex.Pattern, cfg Config) (*Machine, *automata.UnitAutomaton) {
+	t.Helper()
+	a, err := regex.CompileSet(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := transform.ToRate(a, cfg.Rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := mapping.Place(ua, cfg.ReportColumns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Configure(ua, place, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ua
+}
+
+func eventsEqual(a, b []funcsim.ReportEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	type key struct {
+		unit   int64
+		origin int32
+		code   int32
+	}
+	count := map[key]int{}
+	for _, e := range a {
+		count[key{e.Unit, e.Origin, e.Code}]++
+	}
+	for _, e := range b {
+		count[key{e.Unit, e.Origin, e.Code}]--
+	}
+	for _, v := range count {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMachineMatchesFuncsim is the central integration invariant: the
+// architectural simulator produces exactly the functional simulator's
+// reports, at every rate, on varied pattern sets and random inputs.
+func TestMachineMatchesFuncsim(t *testing.T) {
+	sets := [][]regex.Pattern{
+		{{Expr: `abc`, Code: 1}},
+		{{Expr: `a.*b`, Code: 1}},
+		{{Expr: `ab|cd`, Code: 1}, {Expr: `bc+d`, Code: 2}},
+		{{Expr: `^ab`, Code: 1}, {Expr: `a[bc]{2}`, Code: 2}, {Expr: `ddd`, Code: 3}},
+		{{Expr: `aa`, Code: 1}, {Expr: `aaa`, Code: 2}},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for si, set := range sets {
+		for _, rate := range []int{1, 2, 4} {
+			cfg := DefaultConfig(rate)
+			m, ua := build(t, set, cfg)
+			sim := funcsim.NewUnitSimulator(ua)
+			for trial := 0; trial < 5; trial++ {
+				n := rng.Intn(120) + 1
+				input := make([]byte, n)
+				for i := range input {
+					input[i] = byte("abcd"[rng.Intn(4)])
+				}
+				units := funcsim.BytesToUnits(input, 4)
+				want := sim.Run(units, funcsim.Options{RecordEvents: true})
+				got := m.Run(units, RunOptions{RecordEvents: true})
+				if !eventsEqual(want.Events, got.Events) {
+					t.Fatalf("set %d rate %d input %q: machine events %v != funcsim %v",
+						si, rate, input, got.Events, want.Events)
+				}
+				if got.Reports != want.Reports || got.ReportCycles != want.ReportCycles {
+					t.Fatalf("set %d rate %d: stats mismatch", si, rate)
+				}
+				sim.Reset()
+				m.Reset()
+			}
+		}
+	}
+}
+
+// TestMachineMultiPU forces a multi-PU placement and checks cross-PU
+// propagation through the global switches.
+func TestMachineMultiPU(t *testing.T) {
+	// One long chain spanning more than 256 nibble states.
+	long := "abcdefghijklmnopqrstuvwxyz"
+	expr := long + long + long + long + long + long
+	cfg := DefaultConfig(1)
+	m, ua := build(t, []regex.Pattern{{Expr: expr, Code: 1}}, cfg)
+	if m.NumPUs() < 2 {
+		t.Fatalf("expected multi-PU placement, got %d", m.NumPUs())
+	}
+	input := []byte("xx" + expr + "yy" + expr)
+	units := funcsim.BytesToUnits(input, 4)
+	want := funcsim.NewUnitSimulator(ua).Run(units, funcsim.Options{RecordEvents: true})
+	got := m.Run(units, RunOptions{RecordEvents: true})
+	if want.Reports != 2 || !eventsEqual(want.Events, got.Events) {
+		t.Fatalf("cross-PU run: funcsim %d reports, machine %d", want.Reports, got.Reports)
+	}
+}
+
+// TestReadReportsDecodes checks the memory-mapped report region: entries
+// written in place decode back to the exact report cycles and states.
+func TestReadReportsDecodes(t *testing.T) {
+	cfg := DefaultConfig(2)
+	m, _ := build(t, []regex.Pattern{{Expr: `ab`, Code: 7}}, cfg)
+	input := []byte("abxxabxxxxab")
+	got := m.Run(funcsim.BytesToUnits(input, 4), RunOptions{RecordEvents: true})
+	if got.Reports != 3 {
+		t.Fatalf("reports = %d, want 3", got.Reports)
+	}
+	var recs []ReportRecord
+	for i := 0; i < m.NumPUs(); i++ {
+		recs = append(recs, m.ReadReports(i)...)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("decoded %d records, want 3", len(recs))
+	}
+	wantCycles := map[int64]bool{}
+	for _, ev := range got.Events {
+		wantCycles[ev.Cycle] = true
+	}
+	for _, r := range recs {
+		if !wantCycles[r.Cycle] {
+			t.Errorf("decoded cycle %d not in %v", r.Cycle, wantCycles)
+		}
+		if len(r.States) != 1 {
+			t.Errorf("record states = %v", r.States)
+		}
+	}
+}
+
+// TestStrideMarkers runs past the metadata counter range and checks cycle
+// reconstruction still works.
+func TestStrideMarkers(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.MetadataBits = 6 // wraps every 64 cycles
+	m, _ := build(t, []regex.Pattern{{Expr: `ab`, Code: 1}}, cfg)
+	// Reports at byte cycles 1, then around 200, then 400.
+	input := make([]byte, 500)
+	for i := range input {
+		input[i] = 'x'
+	}
+	copy(input[0:], "ab")
+	copy(input[200:], "ab")
+	copy(input[400:], "ab")
+	got := m.Run(funcsim.BytesToUnits(input, 4), RunOptions{RecordEvents: true})
+	if got.Reports != 3 {
+		t.Fatalf("reports = %d", got.Reports)
+	}
+	var recs []ReportRecord
+	for i := 0; i < m.NumPUs(); i++ {
+		recs = append(recs, m.ReadReports(i)...)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("decoded %d records, want 3", len(recs))
+	}
+	want := map[int64]bool{}
+	for _, ev := range got.Events {
+		want[ev.Cycle] = true
+	}
+	for _, r := range recs {
+		if !want[r.Cycle] {
+			t.Errorf("reconstructed cycle %d wrong (want one of %v)", r.Cycle, want)
+		}
+	}
+}
+
+// TestFlushOnFull drives a region to overflow without FIFO and checks
+// flush/stall accounting.
+func TestFlushOnFull(t *testing.T) {
+	cfg := DefaultConfig(4)
+	m, _ := build(t, []regex.Pattern{{Expr: `a`, Code: 1}}, cfg)
+	capacity := cfg.RegionCapacity()
+	// 'a' reports every byte; at rate 4 every cycle carries 2 reports but
+	// one region entry. Run enough cycles to overflow twice.
+	n := (capacity + 2) * 2 * 2 // bytes
+	input := make([]byte, n)
+	for i := range input {
+		input[i] = 'a'
+	}
+	res := m.Run(funcsim.BytesToUnits(input, 4), RunOptions{})
+	if res.Flushes < 2 {
+		t.Fatalf("flushes = %d, want >= 2 (capacity %d, cycles %d)", res.Flushes, capacity, res.KernelCycles)
+	}
+	wantStallPer := int64((cfg.ReportRows()*ColsPerSubarray + cfg.ExportBitsPerCycle - 1) / cfg.ExportBitsPerCycle)
+	if res.StallCycles != res.Flushes*wantStallPer {
+		t.Errorf("stalls = %d, want %d per flush × %d", res.StallCycles, wantStallPer, res.Flushes)
+	}
+	if res.Overhead() <= 1.0 {
+		t.Error("overhead not above 1 despite flushes")
+	}
+}
+
+// TestFIFOReducesStalls compares FIFO and non-FIFO on the same overflow
+// load: the FIFO drain must cut stalls (Table 4's two Sunder columns).
+func TestFIFOReducesStalls(t *testing.T) {
+	mk := func(fifo bool) *Result {
+		cfg := DefaultConfig(4)
+		cfg.FIFO = fifo
+		m, _ := build(t, []regex.Pattern{{Expr: `a`, Code: 1}}, cfg)
+		input := make([]byte, 40000)
+		for i := range input {
+			input[i] = 'a'
+		}
+		return m.Run(funcsim.BytesToUnits(input, 4), RunOptions{})
+	}
+	plain := mk(false)
+	fifo := mk(true)
+	if plain.Flushes == 0 {
+		t.Fatal("load did not overflow")
+	}
+	if fifo.StallCycles >= plain.StallCycles {
+		t.Errorf("FIFO stalls %d not below plain %d", fifo.StallCycles, plain.StallCycles)
+	}
+}
+
+// TestFIFOKeepsUpWithModerateLoad: at a report rate below the drain
+// bandwidth the FIFO never overflows — the "zero stalls for 95% of
+// applications" claim.
+func TestFIFOKeepsUpWithModerateLoad(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.FIFO = true
+	m, _ := build(t, []regex.Pattern{{Expr: `zq`, Code: 1}}, cfg)
+	input := make([]byte, 60000)
+	for i := range input {
+		input[i] = 'x'
+	}
+	for i := 0; i+20 < len(input); i += 20 { // report every 10th cycle
+		copy(input[i:], "zq")
+	}
+	res := m.Run(funcsim.BytesToUnits(input, 4), RunOptions{})
+	if res.Flushes != 0 || res.StallCycles != 0 {
+		t.Errorf("moderate load stalled: flushes=%d stalls=%d", res.Flushes, res.StallCycles)
+	}
+	if res.Overhead() != 1.0 {
+		t.Errorf("overhead = %v", res.Overhead())
+	}
+}
+
+// TestSummarizeOnFull checks the Figure 10 summarization mode: far less
+// stall than flushing, with summaries recorded.
+func TestSummarizeOnFull(t *testing.T) {
+	mk := func(summarize bool) *Result {
+		cfg := DefaultConfig(4)
+		cfg.SummarizeOnFull = summarize
+		m, _ := build(t, []regex.Pattern{{Expr: `a`, Code: 1}}, cfg)
+		input := make([]byte, 30000)
+		for i := range input {
+			input[i] = 'a'
+		}
+		return m.Run(funcsim.BytesToUnits(input, 4), RunOptions{})
+	}
+	flush := mk(false)
+	sum := mk(true)
+	if sum.Summaries == 0 {
+		t.Fatal("no summaries recorded")
+	}
+	if sum.StallCycles >= flush.StallCycles {
+		t.Errorf("summarize stalls %d not below flush stalls %d", sum.StallCycles, flush.StallCycles)
+	}
+}
+
+// TestSummarizeAPI checks on-demand summarization reports exactly the
+// states that reported since the last summarize.
+func TestSummarizeAPI(t *testing.T) {
+	cfg := DefaultConfig(2)
+	m, ua := build(t, []regex.Pattern{{Expr: `ab`, Code: 1}, {Expr: `cd`, Code: 2}}, cfg)
+	m.Run(funcsim.BytesToUnits([]byte("abxxab"), 4), RunOptions{})
+	got := m.Summarize()
+	// Exactly the `ab` report states must be flagged.
+	want := map[automata.StateID]bool{}
+	for s := range ua.States {
+		for _, r := range ua.States[s].Reports {
+			if r.Code == 1 {
+				want[automata.StateID(s)] = true
+			}
+		}
+	}
+	for s := range got {
+		found := false
+		for _, r := range ua.States[s].Reports {
+			if r.Code == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("summary flagged wrong state %d", s)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("summary empty")
+	}
+	if m.StallCycles() == 0 {
+		t.Error("summarize did not stall")
+	}
+	// After summarize, the region is clear: a new summarize is empty.
+	if len(m.Summarize()) != 0 {
+		t.Error("second summarize not empty")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Rate: 3, ReportColumns: 12, MetadataBits: 20, ExportBitsPerCycle: 128, SummarizeBatchRows: 16},
+		{Rate: 2, ReportColumns: 0, MetadataBits: 20, ExportBitsPerCycle: 128, SummarizeBatchRows: 16},
+		{Rate: 2, ReportColumns: 12, MetadataBits: 300, ExportBitsPerCycle: 128, SummarizeBatchRows: 16},
+		{Rate: 2, ReportColumns: 12, MetadataBits: 20, ExportBitsPerCycle: 0, SummarizeBatchRows: 16},
+		{Rate: 2, ReportColumns: 12, MetadataBits: 20, ExportBitsPerCycle: 128, SummarizeBatchRows: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultConfig(4).Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	cfg := DefaultConfig(4)
+	if cfg.MatchRows() != 64 || cfg.ReportRows() != 192 {
+		t.Errorf("rows: %d/%d", cfg.MatchRows(), cfg.ReportRows())
+	}
+	if cfg.EntryBits() != 32 || cfg.EntriesPerRow() != 8 {
+		t.Errorf("entry: %d bits, %d per row", cfg.EntryBits(), cfg.EntriesPerRow())
+	}
+	if cfg.RegionCapacity() != 1536 {
+		t.Errorf("capacity = %d", cfg.RegionCapacity())
+	}
+	// Equation 1 example from the paper: 192 report rows → 8 bits, 8
+	// entries/row → 3 bits... the paper's example uses m=8, n=24 → 8+8.
+	ex := Config{Rate: 4, ReportColumns: 8, MetadataBits: 24, ExportBitsPerCycle: 128, SummarizeBatchRows: 16}
+	if ex.LocalCounterBits() != 8+3 {
+		t.Errorf("counter bits = %d", ex.LocalCounterBits())
+	}
+	one := DefaultConfig(1)
+	if one.MatchRows() != 16 || one.ReportRows() != 240 {
+		t.Errorf("rate-1 rows: %d/%d", one.MatchRows(), one.ReportRows())
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	a, _ := regex.Compile(`ab`, 1)
+	ua, err := transform.ToRate(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := mapping.Place(ua, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4) // mismatched rate
+	if _, err := Configure(ua, place, cfg); err == nil {
+		t.Error("rate mismatch accepted")
+	}
+	cfg = DefaultConfig(2)
+	cfg.ReportColumns = 8 // mismatched budget
+	if _, err := Configure(ua, place, cfg); err == nil {
+		t.Error("budget mismatch accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"sunder/internal/funcsim"
+	"sunder/internal/regex"
+)
+
+func TestEnergyCounters(t *testing.T) {
+	cfg := DefaultConfig(2)
+	m, _ := build(t, []regex.Pattern{{Expr: `ab`, Code: 1}}, cfg)
+	res := m.Run(funcsim.BytesToUnits([]byte("abxxab"), 4), RunOptions{})
+	if res.Reports != 2 {
+		t.Fatalf("reports = %d", res.Reports)
+	}
+	e := m.Energy()
+	// One PU, 6 cycles: 6 match reads.
+	if e.MatchReads != 6 {
+		t.Errorf("match reads = %d, want 6", e.MatchReads)
+	}
+	// Two report entries, no stride markers (small cycle counts).
+	if e.ReportWrites != 2 {
+		t.Errorf("report writes = %d, want 2", e.ReportWrites)
+	}
+	// Crossbar activity follows the active states across the run.
+	if e.XbarRowReads == 0 {
+		t.Error("no crossbar activity recorded")
+	}
+	if e.EnergyPJ() <= 0 {
+		t.Error("non-positive energy")
+	}
+	if m.EnergyPerByte() <= 0 {
+		t.Error("non-positive energy per byte")
+	}
+	m.Reset()
+	if m.Energy() != (EnergyCounters{}) {
+		t.Error("Reset did not clear energy counters")
+	}
+	if m.EnergyPerByte() != 0 {
+		t.Error("energy per byte after reset")
+	}
+}
+
+func TestEnergyReportingCost(t *testing.T) {
+	// The same cycle count with dense reporting must cost more energy
+	// than with no reporting.
+	input := make([]byte, 4000)
+	for i := range input {
+		input[i] = 'a'
+	}
+	dense, _ := build(t, []regex.Pattern{{Expr: `a`, Code: 1}}, DefaultConfig(4))
+	denseRes := dense.Run(funcsim.BytesToUnits(input, 4), RunOptions{})
+	quiet, _ := build(t, []regex.Pattern{{Expr: `zz`, Code: 1}}, DefaultConfig(4))
+	quietRes := quiet.Run(funcsim.BytesToUnits(input, 4), RunOptions{})
+	if denseRes.Reports == 0 || quietRes.Reports != 0 {
+		t.Fatal("setup wrong")
+	}
+	if dense.Energy().EnergyPJ() <= quiet.Energy().EnergyPJ() {
+		t.Errorf("dense reporting energy %v not above quiet %v",
+			dense.Energy().EnergyPJ(), quiet.Energy().EnergyPJ())
+	}
+	// Flush exports show up as exported bits.
+	if denseRes.Flushes > 0 && dense.Energy().ExportedBits == 0 {
+		t.Error("flushes recorded no exported bits")
+	}
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+
+	"sunder/internal/automata"
+	"sunder/internal/bitvec"
+	"sunder/internal/funcsim"
+	"sunder/internal/mapping"
+)
+
+// Machine is a configured Sunder device: a set of processing units holding
+// one transformed automaton, executing one input vector per cycle.
+type Machine struct {
+	cfg   Config
+	a     *automata.UnitAutomaton
+	place *mapping.Placement
+	pus   []pu
+	// gx[pu][col][k] holds the columns of PU (clusterBase+k) activated
+	// by column col of pu — the per-cluster global switches (Figure 7).
+	gx [][ColsPerSubarray][mapping.PUsPerCluster]bitvec.V256
+
+	kernelCycles int64
+	stallCycles  int64
+	drainCredit  int64
+	drainRR      int
+	energy       EnergyCounters
+
+	// mode and configImage implement Normal Mode (see normalmode.go).
+	mode        Mode
+	configImage [][RowsPerSubarray]bitvec.V256
+	// scratch
+	newActive []bitvec.V256
+	enables   []bitvec.V256
+	v8        []int8
+}
+
+// Configure builds a Machine from a transformed automaton and a placement.
+// The automaton's rate must equal the configuration's, and the placement
+// must have been produced with the same report-column budget.
+func Configure(a *automata.UnitAutomaton, place *mapping.Placement, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if a.UnitBits != 4 {
+		return nil, fmt.Errorf("core: machine executes nibble automata; got %d-bit units", a.UnitBits)
+	}
+	if a.Rate != cfg.Rate {
+		return nil, fmt.Errorf("core: automaton rate %d != configured rate %d", a.Rate, cfg.Rate)
+	}
+	if place.ReportColumns != cfg.ReportColumns {
+		return nil, fmt.Errorf("core: placement used %d report columns, config has %d",
+			place.ReportColumns, cfg.ReportColumns)
+	}
+	m := &Machine{
+		cfg:       cfg,
+		a:         a,
+		place:     place,
+		pus:       make([]pu, place.NumPUs),
+		gx:        make([][ColsPerSubarray][mapping.PUsPerCluster]bitvec.V256, place.NumPUs),
+		newActive: make([]bitvec.V256, place.NumPUs),
+		enables:   make([]bitvec.V256, place.NumPUs),
+		v8:        make([]int8, cfg.Rate),
+	}
+	all := automata.AllUnits(4)
+	for s := range a.States {
+		st := &a.States[s]
+		loc := place.Of[s]
+		u := &m.pus[loc.PU]
+		for g := 0; g < cfg.Rate; g++ {
+			for v := 0; v < 16; v++ {
+				if st.Match[g].Has(v) {
+					u.rows[RowsPerNibble*g+v].Set(loc.Col)
+				}
+			}
+			if st.Match[g] == all {
+				u.dontCare[g].Set(loc.Col)
+			}
+		}
+		switch st.Start {
+		case automata.StartAllInput:
+			u.startAll.Set(loc.Col)
+		case automata.StartOfData:
+			u.startData.Set(loc.Col)
+		}
+		if len(st.Reports) > 0 {
+			if loc.Col < ColsPerSubarray-cfg.ReportColumns {
+				return nil, fmt.Errorf("core: report state %d placed outside report columns (col %d)", s, loc.Col)
+			}
+			u.reportMask.Set(loc.Col)
+		}
+	}
+	for s := range a.States {
+		from := place.Of[s]
+		for _, t := range a.States[s].Succ {
+			to := place.Of[t]
+			switch {
+			case from.PU == to.PU:
+				m.pus[from.PU].xbar[from.Col].Set(to.Col)
+			case mapping.ClusterOf(from.PU) == mapping.ClusterOf(to.PU):
+				k := to.PU % mapping.PUsPerCluster
+				m.gx[from.PU][from.Col][k].Set(to.Col)
+			default:
+				return nil, fmt.Errorf("core: edge %d→%d crosses clusters (PU %d → PU %d)", s, t, from.PU, to.PU)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumPUs returns the number of processing units in use.
+func (m *Machine) NumPUs() int { return len(m.pus) }
+
+// KernelCycles returns productive (non-stall) cycles executed.
+func (m *Machine) KernelCycles() int64 { return m.kernelCycles }
+
+// StallCycles returns cycles lost to reporting (flushes, overflow waits,
+// summarization).
+func (m *Machine) StallCycles() int64 { return m.stallCycles }
+
+// Flushes returns the total whole-region flushes (w/o FIFO) or overflow
+// events (w/ FIFO) across all PUs.
+func (m *Machine) Flushes() int64 {
+	var n int64
+	for i := range m.pus {
+		n += m.pus[i].flushes
+	}
+	return n
+}
+
+// Summaries returns the total in-place summarization events.
+func (m *Machine) Summaries() int64 {
+	var n int64
+	for i := range m.pus {
+		n += m.pus[i].summaries
+	}
+	return n
+}
+
+// Overhead returns the reporting slowdown (kernel+stall)/kernel — the
+// Table 4 metric.
+func (m *Machine) Overhead() float64 {
+	if m.kernelCycles == 0 {
+		return 1
+	}
+	return float64(m.kernelCycles+m.stallCycles) / float64(m.kernelCycles)
+}
+
+// Reset returns the machine to its post-configuration state.
+func (m *Machine) Reset() {
+	for i := range m.pus {
+		u := &m.pus[i]
+		u.active = bitvec.V256{}
+		u.clearRegion(m.cfg)
+		u.summary = bitvec.V256{}
+		u.lastStride = 0
+		u.flushes = 0
+		u.summaries = 0
+	}
+	m.kernelCycles = 0
+	m.stallCycles = 0
+	m.drainCredit = 0
+	m.drainRR = 0
+	m.energy = EnergyCounters{}
+}
+
+// Step executes one cycle on a vector of Rate units (funcsim.Pad allowed)
+// and appends the active reporting states to dst, returning it.
+func (m *Machine) Step(vec []funcsim.Unit, dst []automata.StateID) []automata.StateID {
+	if m.mode != AutomataMode {
+		panic("core: Step while in normal (cache) mode")
+	}
+	if len(vec) != m.cfg.Rate {
+		panic(fmt.Sprintf("core: vector length %d != rate %d", len(vec), m.cfg.Rate))
+	}
+	if m.cfg.FIFO {
+		m.drain()
+	}
+	injectAll := (m.kernelCycles*int64(m.cfg.Rate))%int64(m.a.SymbolUnits) == 0
+	injectData := m.kernelCycles == 0
+
+	// Phase 1: enables from the previous active vectors (local crossbar +
+	// global switches + start enables).
+	m.energy.MatchReads += int64(len(m.pus))
+	for i := range m.pus {
+		m.energy.XbarRowReads += int64(m.pus[i].active.Count())
+		m.enables[i] = m.pus[i].localEnable()
+		if injectAll {
+			m.enables[i] = m.enables[i].Or(m.pus[i].startAll)
+		}
+		if injectData {
+			m.enables[i] = m.enables[i].Or(m.pus[i].startData)
+		}
+	}
+	for i := range m.pus {
+		base := mapping.ClusterOf(i) * mapping.PUsPerCluster
+		m.pus[i].active.ForEach(func(col int) {
+			for k := 0; k < mapping.PUsPerCluster; k++ {
+				out := m.gx[i][col][k]
+				if out.Any() && base+k < len(m.pus) {
+					m.enables[base+k] = m.enables[base+k].Or(out)
+				}
+			}
+		})
+	}
+
+	// Phase 2: match (Port 2 multi-row activation) and activate.
+	for i, u := range vec {
+		m.v8[i] = int8(u)
+	}
+	for i := range m.pus {
+		match := m.pus[i].matchVector(m.cfg.Rate, m.v8)
+		m.newActive[i] = m.enables[i].And(match)
+	}
+	for i := range m.pus {
+		m.pus[i].active = m.newActive[i]
+	}
+
+	// Phase 3: reporting (Port 1), pipelined with matching; stalls are
+	// accounted when a region fills.
+	stalledThisCycle := false
+	cycle := m.kernelCycles
+	for i := range m.pus {
+		rep := m.pus[i].active.And(m.pus[i].reportMask)
+		if !rep.Any() {
+			continue
+		}
+		m.storeReport(i, rep, cycle, &stalledThisCycle)
+		rep.ForEach(func(col int) {
+			if s := m.place.StateAt[i][col]; s >= 0 {
+				dst = append(dst, automata.StateID(s))
+			}
+		})
+	}
+	m.kernelCycles++
+	return dst
+}
+
+// storeReport writes one report entry (preceded by stride markers when the
+// cycle counter wrapped) into PU i's region, handling full-region events.
+//
+// A stride marker is an entry with all-zero report bits whose metadata
+// holds a stride *delta*; the host accumulates deltas while reading, so
+// strides larger than the metadata field chain across several markers
+// ("the stride value is concatenated with all zeros ... written in the
+// metadata + report data region", Section 7.1). A region flush resets the
+// chain: the next report rewrites the full stride so the freshly cleared
+// region decodes from zero.
+func (m *Machine) storeReport(i int, rep bitvec.V256, cycle int64, stalled *bool) {
+	u := &m.pus[i]
+	mask := int64(1)<<uint(m.cfg.MetadataBits) - 1
+	stride := cycle >> uint(m.cfg.MetadataBits)
+	// Guard against configurations whose marker chain could never fit
+	// (tiny metadata width vs. enormous silent gaps).
+	if stride/mask >= int64(m.cfg.RegionCapacity())-1 {
+		panic(fmt.Sprintf("core: MetadataBits=%d too small to mark stride %d within a %d-entry region",
+			m.cfg.MetadataBits, stride, m.cfg.RegionCapacity()))
+	}
+	for {
+		m.ensureSpace(i, stalled)
+		// ensureSpace may have flushed the region, which restarts the
+		// marker chain from zero (lastStride == -1); derive the next
+		// chunk only after space is secured.
+		cur := u.lastStride
+		if cur < 0 {
+			cur = 0
+		}
+		if cur >= stride {
+			break
+		}
+		chunk := stride - cur
+		if chunk > mask {
+			chunk = mask
+		}
+		u.writeReportEntry(m.cfg, bitvec.V256{}, chunk)
+		m.energy.ReportWrites++
+		u.lastStride = cur + chunk
+	}
+	// The loop exits immediately after an ensureSpace that wrote nothing,
+	// so one free slot is guaranteed for the data entry.
+	u.writeReportEntry(m.cfg, rep, cycle&mask)
+	m.energy.ReportWrites++
+	u.lastStride = stride
+}
+
+// ensureSpace guarantees one free entry slot in PU i's region, performing
+// the configured full-region action (flush, forced drain, or
+// summarization) and accounting its stall.
+func (m *Machine) ensureSpace(i int, stalled *bool) {
+	u := &m.pus[i]
+	if u.occupied < m.cfg.RegionCapacity() {
+		return
+	}
+	switch {
+	case m.cfg.SummarizeOnFull:
+		batches := u.summarize(m.cfg)
+		u.clearRegion(m.cfg)
+		u.summaries++
+		if !*stalled {
+			m.stallCycles += int64(batches * m.cfg.SummarizeStallCycles)
+			*stalled = true
+		}
+	case m.cfg.FIFO:
+		// Overflow: wait for the drain to free one entry. Concurrent
+		// overflows share the wait window.
+		u.occupied--
+		u.flushes++
+		m.energy.ExportedBits += int64(m.cfg.EntryBits())
+		if !*stalled {
+			m.stallCycles += int64((m.cfg.EntryBits() + m.cfg.ExportBitsPerCycle - 1) / m.cfg.ExportBitsPerCycle)
+			*stalled = true
+		}
+	default:
+		// Whole-region flush; all full PUs flush in the same stall
+		// window since each drains through its own Port 1.
+		u.clearRegion(m.cfg)
+		u.flushes++
+		m.energy.ExportedBits += int64(m.cfg.ReportRows() * ColsPerSubarray)
+		if !*stalled {
+			bits := m.cfg.ReportRows() * ColsPerSubarray
+			m.stallCycles += int64((bits + m.cfg.ExportBitsPerCycle - 1) / m.cfg.ExportBitsPerCycle)
+			*stalled = true
+		}
+	}
+}
+
+// drain models the FIFO strategy: the host continuously reads entries from
+// the heads of occupied regions through Port 1 while matching proceeds on
+// Port 2, sharing ExportBitsPerCycle across PUs round-robin.
+func (m *Machine) drain() {
+	m.drainCredit += int64(m.cfg.ExportBitsPerCycle)
+	entry := int64(m.cfg.EntryBits())
+	for m.drainCredit >= entry {
+		target := -1
+		for k := 0; k < len(m.pus); k++ {
+			idx := (m.drainRR + k) % len(m.pus)
+			if m.pus[idx].occupied > 0 {
+				target = idx
+				break
+			}
+		}
+		if target < 0 {
+			// Nothing to drain; credit does not bank indefinitely.
+			if m.drainCredit > entry {
+				m.drainCredit = entry
+			}
+			return
+		}
+		m.pus[target].occupied--
+		m.drainCredit -= entry
+		m.energy.ExportedBits += entry
+		m.drainRR = (target + 1) % len(m.pus)
+	}
+}
+
+// Summarize performs on-demand report summarization of every PU
+// (Section 5.1.2: the host may request it at any time; matching stalls for
+// the batch NOR cycles) and returns, per automaton state ID, whether that
+// report state has reported since the last summarize/flush. The region is
+// cleared afterwards.
+func (m *Machine) Summarize() map[automata.StateID]bool {
+	out := make(map[automata.StateID]bool)
+	maxBatches := 0
+	for i := range m.pus {
+		u := &m.pus[i]
+		batches := u.summarize(m.cfg)
+		if batches > maxBatches {
+			maxBatches = batches
+		}
+		u.summary.ForEach(func(col int) {
+			if s := m.place.StateAt[i][col]; s >= 0 {
+				out[automata.StateID(s)] = true
+			}
+		})
+		u.summary = bitvec.V256{}
+		u.clearRegion(m.cfg)
+		u.summaries++
+	}
+	m.stallCycles += int64(maxBatches * m.cfg.SummarizeStallCycles)
+	return out
+}
+
+// ReportRecord is one decoded entry of a report region.
+type ReportRecord struct {
+	// Cycle is the reconstructed absolute cycle (stride markers applied).
+	Cycle int64
+	// States are the automaton states that reported in that cycle.
+	States []automata.StateID
+}
+
+// ReadReports decodes PU i's report region — the "easy access mechanism":
+// reading reports is just reading memory rows. Only meaningful without
+// FIFO drain (the host owns the read pointer there).
+func (m *Machine) ReadReports(i int) []ReportRecord {
+	u := &m.pus[i]
+	var out []ReportRecord
+	var stride int64
+	mBits := m.cfg.ReportColumns
+	for e := 0; e < u.occupied; e++ {
+		row := m.cfg.MatchRows() + e/m.cfg.EntriesPerRow()
+		base := (e % m.cfg.EntriesPerRow()) * m.cfg.EntryBits()
+		var states []automata.StateID
+		for k := 0; k < mBits; k++ {
+			if u.rows[row].Get(base + k) {
+				col := ColsPerSubarray - mBits + k
+				if s := m.place.StateAt[i][col]; s >= 0 {
+					states = append(states, automata.StateID(s))
+				}
+			}
+		}
+		var meta int64
+		for j := 0; j < m.cfg.MetadataBits; j++ {
+			if u.rows[row].Get(base + mBits + j) {
+				meta |= 1 << uint(j)
+			}
+		}
+		if len(states) == 0 {
+			// Stride marker: all-zero report bits carrying a stride
+			// delta; deltas accumulate across chained markers.
+			stride += meta
+			continue
+		}
+		out = append(out, ReportRecord{Cycle: stride<<uint(m.cfg.MetadataBits) | meta, States: states})
+	}
+	return out
+}

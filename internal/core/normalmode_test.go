@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"sunder/internal/bitvec"
+	"sunder/internal/funcsim"
+	"sunder/internal/regex"
+)
+
+func TestNormalModeRoundTrip(t *testing.T) {
+	m, _ := build(t, []regex.Pattern{{Expr: `ab`, Code: 1}}, DefaultConfig(2))
+	// Matching works in automata mode.
+	res := m.Run(funcsim.BytesToUnits([]byte("ab"), 4), RunOptions{})
+	if res.Reports != 1 {
+		t.Fatalf("reports = %d", res.Reports)
+	}
+	if m.Mode() != AutomataMode {
+		t.Fatal("not in automata mode")
+	}
+
+	// Enter normal mode and use the subarray as plain memory — including
+	// rows that hold the matching configuration.
+	m.EnterNormalMode()
+	var line bitvec.V256
+	line.Set(0)
+	line.Set(255)
+	if err := m.NormalWrite(0, 3, line); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.NormalRead(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != line {
+		t.Error("normal-mode read/write round trip failed")
+	}
+	// Idempotent re-entry.
+	m.EnterNormalMode()
+
+	// Back to automata mode: configuration restored, matching intact.
+	m.EnterAutomataMode()
+	m.EnterAutomataMode() // idempotent
+	res = m.Run(funcsim.BytesToUnits([]byte("xxab"), 4), RunOptions{})
+	if res.Reports != 1 {
+		t.Fatalf("after mode round trip: reports = %d", res.Reports)
+	}
+}
+
+func TestNormalModeErrors(t *testing.T) {
+	m, _ := build(t, []regex.Pattern{{Expr: `ab`, Code: 1}}, DefaultConfig(2))
+	if err := m.NormalWrite(0, 0, bitvec.V256{}); err == nil {
+		t.Error("normal write allowed in automata mode")
+	}
+	if _, err := m.NormalRead(0, 0); err == nil {
+		t.Error("normal read allowed in automata mode")
+	}
+	m.EnterNormalMode()
+	if err := m.NormalWrite(99, 0, bitvec.V256{}); err == nil {
+		t.Error("bad PU accepted")
+	}
+	if _, err := m.NormalRead(0, 300); err == nil {
+		t.Error("bad row accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Step in normal mode did not panic")
+		}
+	}()
+	m.Step([]funcsim.Unit{0, 0}, nil)
+}

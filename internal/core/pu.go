@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sunder/internal/bitvec"
+)
+
+// pu is one processing unit: a 256×256 match/report subarray plus a local
+// full-crossbar interconnect subarray (Figure 4). Bit i of a V256 row is
+// column i, i.e. state i of this PU.
+type pu struct {
+	// rows is the match/report subarray. Rows [0, 16·rate) are one-hot
+	// nibble encodings (row 16g+v has bit c set iff the state in column
+	// c accepts nibble value v at vector position g); the rest is the
+	// report region.
+	rows [RowsPerSubarray]bitvec.V256
+	// xbar is the local crossbar subarray: xbar[src] holds the columns
+	// activated when the state in column src is active. Reading all
+	// active source rows and wired-NORing the bitlines yields the
+	// enable vector.
+	xbar [ColsPerSubarray]bitvec.V256
+
+	// dontCare[g] marks columns whose entire 16-row group g is set: at a
+	// padding unit those columns still match ("don't care" positions of
+	// residual states).
+	dontCare [4]bitvec.V256
+	// startAll / startData are the columns injected by the start-enable
+	// configuration.
+	startAll  bitvec.V256
+	startData bitvec.V256
+	// reportMask marks the occupied report columns (the last m columns,
+	// Figure 5).
+	reportMask bitvec.V256
+
+	// active is the current active-state vector (the pink register of
+	// Figure 4).
+	active bitvec.V256
+
+	// Report-region write state: the local counter of Equation 1 plus
+	// occupancy bookkeeping.
+	counter    int // next entry slot (row-major within the region)
+	occupied   int // entries currently stored (unread)
+	lastStride int64
+	// summary accumulates per-report-column "reported since last
+	// summarize" bits when summarization is used.
+	summary bitvec.V256
+
+	flushes   int64
+	summaries int64
+}
+
+// matchVector reads the subarray through Port 2: one row per nibble group
+// is activated by the 4:16 decoders and the per-group results are ANDed
+// (multi-row activation, Section 5.1.1). A negative unit is padding and
+// matches only don't-care groups.
+func (p *pu) matchVector(rate int, vec []int8) bitvec.V256 {
+	match := bitvec.V256{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	for g := 0; g < rate; g++ {
+		if vec[g] < 0 {
+			match = match.And(p.dontCare[g])
+		} else {
+			match = match.And(p.rows[RowsPerNibble*g+int(vec[g])])
+		}
+	}
+	return match
+}
+
+// localEnable propagates the active vector through the local crossbar:
+// the OR of xbar rows of all active columns.
+func (p *pu) localEnable() bitvec.V256 {
+	var enable bitvec.V256
+	p.active.ForEach(func(col int) {
+		enable = enable.Or(p.xbar[col])
+	})
+	return enable
+}
+
+// writeReportEntry stores the m-bit report vector plus metadata at the
+// local counter's position through Port 1. It assumes capacity was checked
+// by the machine.
+func (p *pu) writeReportEntry(cfg Config, reportBits bitvec.V256, meta int64) {
+	row := cfg.MatchRows() + p.counter/cfg.EntriesPerRow()
+	base := (p.counter % cfg.EntriesPerRow()) * cfg.EntryBits()
+	m := cfg.ReportColumns
+	for k := 0; k < m; k++ {
+		if reportBits.Get(ColsPerSubarray - m + k) {
+			p.rows[row].Set(base + k)
+		} else {
+			p.rows[row].Clear(base + k)
+		}
+	}
+	for j := 0; j < cfg.MetadataBits; j++ {
+		if meta&(1<<uint(j)) != 0 {
+			p.rows[row].Set(base + m + j)
+		} else {
+			p.rows[row].Clear(base + m + j)
+		}
+	}
+	p.counter++
+	if p.counter == cfg.RegionCapacity() {
+		p.counter = 0
+	}
+	p.occupied++
+}
+
+// clearRegion resets the report region after a flush or summarization.
+// lastStride is invalidated so the next report re-writes a stride marker,
+// keeping host-side cycle reconstruction correct across flushes.
+func (p *pu) clearRegion(cfg Config) {
+	for r := cfg.MatchRows(); r < RowsPerSubarray; r++ {
+		p.rows[r] = bitvec.V256{}
+	}
+	p.counter = 0
+	p.occupied = 0
+	p.lastStride = -1
+}
+
+// summarize performs the column-wise NOR of the report region through
+// Port 2 in 16-row batches (Section 5.1.2) and folds the result into the
+// per-column summary. It returns the number of batches (each stalls
+// matching for SummarizeStallCycles).
+//
+// The hardware's wired-NOR yields the complement of the column-wise OR;
+// the host inverts it, so the model records the OR directly.
+func (p *pu) summarize(cfg Config) int {
+	var or bitvec.V256
+	batches := 0
+	for r := cfg.MatchRows(); r < RowsPerSubarray; r += cfg.SummarizeBatchRows {
+		end := r + cfg.SummarizeBatchRows
+		if end > RowsPerSubarray {
+			end = RowsPerSubarray
+		}
+		for i := r; i < end; i++ {
+			or = or.Or(p.rows[i])
+		}
+		batches++
+	}
+	// Collapse per-entry-slot report bits back onto report columns: slot
+	// k of any entry corresponds to report column 256-m+k.
+	m := cfg.ReportColumns
+	for slot := 0; slot < cfg.EntriesPerRow(); slot++ {
+		base := slot * cfg.EntryBits()
+		for k := 0; k < m; k++ {
+			if or.Get(base + k) {
+				p.summary.Set(ColsPerSubarray - m + k)
+			}
+		}
+	}
+	return batches
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sunder/internal/automata"
+	"sunder/internal/funcsim"
+	"sunder/internal/mapping"
+	"sunder/internal/transform"
+)
+
+// randomByteAutomaton builds a random homogeneous NFA (mirrors the
+// transform package's fuzz helper).
+func randomByteAutomaton(seed int64) *automata.Automaton {
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(10) + 2
+	a := automata.NewAutomaton()
+	for i := 0; i < n; i++ {
+		var match [4]uint64
+		for k := 0; k < rng.Intn(6)+1; k++ {
+			b := int('a') + rng.Intn(10)
+			match[b/64] |= 1 << (uint(b) % 64)
+		}
+		s := automata.State{Match: match}
+		if i == 0 || rng.Intn(4) == 0 {
+			if rng.Intn(3) == 0 {
+				s.Start = automata.StartOfData
+			} else {
+				s.Start = automata.StartAllInput
+			}
+		}
+		if rng.Intn(3) == 0 {
+			s.Report = true
+			s.ReportCode = int32(i)
+		}
+		a.AddState(s)
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < rng.Intn(3); k++ {
+			a.AddEdge(automata.StateID(i), automata.StateID(rng.Intn(n)))
+		}
+	}
+	a.Normalize()
+	if a.NumReportStates() == 0 {
+		a.States[n-1].Report = true
+	}
+	return a
+}
+
+// TestQuickMachineMatchesFuncsim fuzzes the machine against the functional
+// simulator with random automata, random rates and random inputs — the
+// property the whole architectural model rests on.
+func TestQuickMachineMatchesFuncsim(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomByteAutomaton(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0xc0de))
+		rate := []int{1, 2, 4}[rng.Intn(3)]
+		ua, err := transform.ToRate(a, rate)
+		if err != nil {
+			t.Logf("seed %d: transform: %v", seed, err)
+			return false
+		}
+		budget, err := mapping.AutoReportColumns(ua, 12)
+		if err != nil {
+			t.Logf("seed %d: budget: %v", seed, err)
+			return false
+		}
+		place, err := mapping.Place(ua, budget)
+		if err != nil {
+			t.Logf("seed %d: place: %v", seed, err)
+			return false
+		}
+		cfg := DefaultConfig(rate)
+		cfg.ReportColumns = budget
+		cfg.FIFO = rng.Intn(2) == 0
+		m, err := Configure(ua, place, cfg)
+		if err != nil {
+			t.Logf("seed %d: configure: %v", seed, err)
+			return false
+		}
+		sim := funcsim.NewUnitSimulator(ua)
+		for trial := 0; trial < 3; trial++ {
+			n := rng.Intn(60) + 1
+			input := make([]byte, n)
+			for i := range input {
+				input[i] = byte('a' + rng.Intn(12))
+			}
+			units := funcsim.BytesToUnits(input, 4)
+			want := sim.Run(units, funcsim.Options{RecordEvents: true})
+			got := m.Run(units, RunOptions{RecordEvents: true})
+			if !eventsEqual(want.Events, got.Events) {
+				t.Logf("seed %d trial %d input %q: machine %v != funcsim %v",
+					seed, trial, input, got.Events, want.Events)
+				return false
+			}
+			sim.Reset()
+			m.Reset()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReportRegionRoundTrip fuzzes the in-place report region: decoded
+// records must reproduce exactly the report cycles that occurred, under
+// random metadata widths (forcing stride markers).
+func TestQuickReportRegionRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomByteAutomaton(seed)
+		ua, err := transform.ToRate(a, 2)
+		if err != nil {
+			return false
+		}
+		budget, err := mapping.AutoReportColumns(ua, 12)
+		if err != nil {
+			return false
+		}
+		place, err := mapping.Place(ua, budget)
+		if err != nil {
+			return false
+		}
+		cfg := DefaultConfig(2)
+		cfg.ReportColumns = budget
+		cfg.MetadataBits = rng.Intn(10) + 4 // small: forces stride markers
+		m, err := Configure(ua, place, cfg)
+		if err != nil {
+			return false
+		}
+		n := rng.Intn(300) + 10
+		input := make([]byte, n)
+		for i := range input {
+			input[i] = byte('a' + rng.Intn(12))
+		}
+		res := m.Run(funcsim.BytesToUnits(input, 4), RunOptions{RecordEvents: true})
+		if res.Flushes > 0 {
+			return true // flushed entries are gone by design; skip
+		}
+		wantCycles := map[int64]int{}
+		for _, ev := range res.Events {
+			wantCycles[ev.Cycle] = 0
+		}
+		for _, ev := range res.Events {
+			wantCycles[ev.Cycle]++
+		}
+		got := 0
+		for pu := 0; pu < m.NumPUs(); pu++ {
+			for _, rec := range m.ReadReports(pu) {
+				if _, ok := wantCycles[rec.Cycle]; !ok {
+					t.Logf("seed %d: decoded cycle %d never reported", seed, rec.Cycle)
+					return false
+				}
+				got++
+			}
+		}
+		// One record per (PU, report cycle); must be ≥ report cycles and
+		// ≤ total events.
+		if int64(got) < res.ReportCycles || int64(got) > res.Reports {
+			t.Logf("seed %d: %d records for %d report cycles / %d reports",
+				seed, got, res.ReportCycles, res.Reports)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

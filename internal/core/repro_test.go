@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sunder/internal/funcsim"
+	"sunder/internal/mapping"
+	"sunder/internal/transform"
+)
+
+// TestStrideDeltaRegression pins the fix for a bug found by the
+// time-seeded quick tests: with a small metadata width, absolute stride
+// values overflowed the marker field and decoded report cycles were
+// reconstructed at stride 0. Markers now carry chained deltas; this seed
+// reproduces the original failure (296 cycles at MetadataBits=4, strides
+// up to 18 against a 15-value field).
+func TestStrideDeltaRegression(t *testing.T) {
+	seed := int64(-6365526899250777083)
+	rng := rand.New(rand.NewSource(seed))
+	a := randomByteAutomaton(seed)
+	ua, err := transform.ToRate(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := mapping.AutoReportColumns(ua, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := mapping.Place(ua, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2)
+	cfg.ReportColumns = budget
+	cfg.MetadataBits = rng.Intn(10) + 4
+	if cfg.MetadataBits != 4 {
+		t.Fatalf("rng stream changed; MetadataBits = %d, want 4", cfg.MetadataBits)
+	}
+	m, err := Configure(ua, place, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rng.Intn(300) + 10
+	input := make([]byte, n)
+	for i := range input {
+		input[i] = byte('a' + rng.Intn(12))
+	}
+	res := m.Run(funcsim.BytesToUnits(input, 4), RunOptions{RecordEvents: true})
+	if res.Flushes > 0 {
+		t.Skip("flushed; decode not applicable")
+	}
+	want := map[int64]bool{}
+	for _, ev := range res.Events {
+		want[ev.Cycle] = true
+	}
+	decoded := 0
+	for pu := 0; pu < m.NumPUs(); pu++ {
+		for _, rec := range m.ReadReports(pu) {
+			if !want[rec.Cycle] {
+				t.Errorf("pu %d decoded cycle %d that never reported", pu, rec.Cycle)
+			}
+			decoded++
+		}
+	}
+	if int64(decoded) < res.ReportCycles {
+		t.Errorf("decoded %d records for %d report cycles", decoded, res.ReportCycles)
+	}
+}

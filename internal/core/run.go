@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sunder/internal/automata"
+	"sunder/internal/funcsim"
+)
+
+// Result aggregates a machine run; the stall/flush fields are the Table 4
+// columns.
+type Result struct {
+	KernelCycles int64
+	StallCycles  int64
+	Flushes      int64
+	Summaries    int64
+
+	Reports            int64
+	ReportCycles       int64
+	MaxReportsPerCycle int
+	Events             []funcsim.ReportEvent
+}
+
+// Overhead returns the reporting slowdown (kernel+stall)/kernel.
+func (r *Result) Overhead() float64 {
+	if r.KernelCycles == 0 {
+		return 1
+	}
+	return float64(r.KernelCycles+r.StallCycles) / float64(r.KernelCycles)
+}
+
+// RunOptions configures a Machine run.
+type RunOptions struct {
+	// RecordEvents keeps the full report event list.
+	RecordEvents bool
+}
+
+type coreDedupKey struct {
+	offset uint8
+	origin int32
+}
+
+// Run streams a unit input (padded to the rate) through the machine and
+// returns aggregate results. Report counting matches the functional
+// simulator: reports deduplicate per cycle by (offset, origin), so a
+// Machine run and a funcsim run of the same automaton agree exactly.
+func (m *Machine) Run(units []funcsim.Unit, opts RunOptions) *Result {
+	units = funcsim.PadUnits(units, m.cfg.Rate)
+	res := &Result{}
+	var scratch []automata.StateID
+	seen := make(map[coreDedupKey]bool)
+	for off := 0; off < len(units); off += m.cfg.Rate {
+		cycle := m.kernelCycles
+		scratch = m.Step(units[off:off+m.cfg.Rate], scratch[:0])
+		if len(scratch) == 0 {
+			continue
+		}
+		clear(seen)
+		nrep := 0
+		for _, id := range scratch {
+			for _, r := range m.a.States[id].Reports {
+				k := coreDedupKey{offset: r.Offset, origin: r.Origin}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				nrep++
+				if opts.RecordEvents {
+					res.Events = append(res.Events, funcsim.ReportEvent{
+						Cycle:  cycle,
+						Unit:   cycle*int64(m.cfg.Rate) + int64(r.Offset),
+						State:  id,
+						Code:   r.Code,
+						Origin: r.Origin,
+					})
+				}
+			}
+		}
+		res.ReportCycles++
+		res.Reports += int64(nrep)
+		if nrep > res.MaxReportsPerCycle {
+			res.MaxReportsPerCycle = nrep
+		}
+	}
+	res.KernelCycles = m.kernelCycles
+	res.StallCycles = m.stallCycles
+	res.Flushes = m.Flushes()
+	res.Summaries = m.Summaries()
+	return res
+}

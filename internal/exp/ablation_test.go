@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationRate(t *testing.T) {
+	rows, err := AblationRate(testOpts, []string{"Snort", "ExactMatch", "SPM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Higher rate → strictly higher raw throughput.
+		if !(r.Throughput[0] < r.Throughput[1] && r.Throughput[1] < r.Throughput[2]) {
+			t.Errorf("%s: throughput not increasing: %v", r.Name, r.Throughput)
+		}
+		// 1-nibble should cost more states than 2-nibble.
+		if r.States[0] <= r.States[1] {
+			t.Errorf("%s: 1-nibble states %d not above 2-nibble %d", r.Name, r.States[0], r.States[1])
+		}
+	}
+	var sb strings.Builder
+	FprintAblationRate(&sb, rows)
+	if !strings.Contains(sb.String(), "Gbps/PU") {
+		t.Error("print missing header")
+	}
+}
+
+func TestAblationReportWidth(t *testing.T) {
+	rows, err := AblationReportWidth(testOpts, []int{8, 12, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Wider entries → smaller capacity.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RegionCapacity >= rows[i-1].RegionCapacity {
+			t.Errorf("capacity not decreasing with m: %+v", rows)
+		}
+	}
+	var sb strings.Builder
+	FprintAblationReportWidth(&sb, rows)
+	if !strings.Contains(sb.String(), "capacity") {
+		t.Error("print missing header")
+	}
+}
+
+func TestAblationCover(t *testing.T) {
+	rows, err := AblationCover(testOpts, []string{"Protomata", "Snort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Saving < 1.0 {
+			t.Errorf("%s: naive cover beat grouped (%.2f)", r.Name, r.Saving)
+		}
+	}
+	var sb strings.Builder
+	FprintAblationCover(&sb, rows)
+	if !strings.Contains(sb.String(), "grouped") {
+		t.Error("print missing header")
+	}
+}

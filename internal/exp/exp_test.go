@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"sunder/internal/hardware"
+)
+
+// testOpts keeps experiment tests fast.
+var testOpts = Options{Scale: 0.01, InputLen: 8000}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 {
+		t.Fatalf("rows = %d, want 19", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.States <= 0 || r.ReportStates <= 0 {
+			t.Errorf("%s: empty statics", r.Name)
+		}
+	}
+	// Behaviour classes (details are tested in workload; spot-check the
+	// table assembly).
+	if byName["ClamAV"].Reports != 0 {
+		t.Error("ClamAV reported")
+	}
+	if byName["Snort"].ReportCyclePct < 80 {
+		t.Errorf("Snort RC%% = %v", byName["Snort"].ReportCyclePct)
+	}
+	if byName["SPM"].ReportsPerReportCycle < 5 {
+		t.Errorf("SPM burst = %v", byName["SPM"].ReportsPerReportCycle)
+	}
+	var sb strings.Builder
+	FprintTable1(&sb, rows, testOpts)
+	if !strings.Contains(sb.String(), "Brill") {
+		t.Error("print missing rows")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows, err := Table3(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 { // ClamAV excluded
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	sx, ex := Table3Averages(rows)
+	// Paper shape: 1-nibble worst (≈2–6×), 2-nibble near 1×, 4-nibble
+	// between them.
+	if sx[0] < 1.5 || sx[0] > 6 {
+		t.Errorf("avg 1-nibble state ratio %.2f outside [1.5,6]", sx[0])
+	}
+	if sx[1] < 0.7 || sx[1] > 1.6 {
+		t.Errorf("avg 2-nibble state ratio %.2f outside [0.7,1.6]", sx[1])
+	}
+	if sx[2] < 0.8 || sx[2] > 3.0 {
+		t.Errorf("avg 4-nibble state ratio %.2f outside [0.8,3.0]", sx[2])
+	}
+	if !(sx[0] > sx[1]) {
+		t.Errorf("1-nibble (%.2f) should exceed 2-nibble (%.2f)", sx[0], sx[1])
+	}
+	if ex[1] > ex[0] {
+		t.Errorf("edge ratios: 2-nibble %.2f above 1-nibble %.2f", ex[1], ex[0])
+	}
+	for _, r := range rows {
+		for i := range r.States {
+			if r.States[i] <= 0 {
+				t.Errorf("%s: zero states at rate index %d", r.Name, i)
+			}
+		}
+	}
+	var sb strings.Builder
+	FprintTable3(&sb, rows, testOpts)
+	if !strings.Contains(sb.String(), "Average") {
+		t.Error("print missing average row")
+	}
+}
+
+func TestTable4AndFigure8(t *testing.T) {
+	rows, err := Table4(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		// Headline claims: Sunder overhead stays small everywhere
+		// (vs 46× for the AP), and the FIFO drain strategy absorbs
+		// even the dense cases almost completely.
+		if r.SunderOverhead > 1.5 {
+			t.Errorf("%s: Sunder w/o FIFO overhead %.2f", r.Name, r.SunderOverhead)
+		}
+		if r.SunderFIFOOverhead > 1.05 {
+			t.Errorf("%s: Sunder w/ FIFO overhead %.3f", r.Name, r.SunderFIFOOverhead)
+		}
+		if r.SunderFIFOOverhead > r.SunderOverhead+1e-9 {
+			t.Errorf("%s: FIFO %.3f worse than plain %.3f", r.Name, r.SunderFIFOOverhead, r.SunderOverhead)
+		}
+		if r.APOverhead < 1 || r.RADOverhead < 1 {
+			t.Errorf("%s: overheads below 1", r.Name)
+		}
+	}
+	// Snort must hurt the AP badly and RAD must help it.
+	if byName["Snort"].APOverhead < 10 {
+		t.Errorf("Snort AP overhead %.1f too low", byName["Snort"].APOverhead)
+	}
+	if byName["Snort"].RADOverhead >= byName["Snort"].APOverhead {
+		t.Error("RAD did not help Snort")
+	}
+	// RAD must not help dense SPM.
+	if spm := byName["SPM"]; spm.RADOverhead < spm.APOverhead*0.9 {
+		t.Errorf("RAD helped dense SPM: %.2f vs %.2f", spm.RADOverhead, spm.APOverhead)
+	}
+	// Silent benchmarks incur nothing anywhere.
+	for _, name := range []string{"ClamAV", "Dotstar03", "Ranges1", "Hamming"} {
+		r := byName[name]
+		if r.SunderFlushes != 0 || r.APOverhead > 1.01 {
+			t.Errorf("%s: unexpected overheads %+v", name, r)
+		}
+	}
+	s, sf, ap, rad := Table4Averages(rows)
+	if !(s < ap && s < rad && sf <= s && rad <= ap) {
+		t.Errorf("average ordering wrong: sunder %.2f fifo %.2f ap %.2f rad %.2f", s, sf, ap, rad)
+	}
+
+	f8 := Figure8(rows)
+	if f8[0].Arch != hardware.ArchSunder {
+		t.Fatal("figure 8 first row not Sunder")
+	}
+	for _, r := range f8[1:] {
+		if r.SunderSpeedupAP <= 1 {
+			t.Errorf("Sunder not faster than %s under AP reporting (%.2fx)", r.Arch, r.SunderSpeedupAP)
+		}
+		if r.SunderSpeedupRAD > r.SunderSpeedupAP {
+			t.Errorf("%s: RAD speedup %.1f exceeds AP %.1f", r.Arch, r.SunderSpeedupRAD, r.SunderSpeedupAP)
+		}
+	}
+	// AP (50nm) must be the slowest.
+	last := f8[len(f8)-1]
+	if last.Arch != hardware.ArchAP50 || last.SunderSpeedupAP < 50 {
+		t.Errorf("AP50 speedup = %.0f, want large", last.SunderSpeedupAP)
+	}
+	var sb strings.Builder
+	FprintTable4(&sb, rows, testOpts)
+	FprintFigure8(&sb, f8)
+	if !strings.Contains(sb.String(), "Avg. Overhead") {
+		t.Error("print missing rows")
+	}
+}
+
+func TestTable5Print(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sb strings.Builder
+	FprintTable2(&sb)
+	FprintTable5(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"6T 16x16", "Sunder", "AP (50nm)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("print missing %q", want)
+		}
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	rows := Figure9()
+	if rows[0].Breakdown.Arch != hardware.ArchSunder || rows[0].VsSunder != 1 {
+		t.Error("first row not Sunder baseline")
+	}
+	for _, r := range rows[1:] {
+		if r.VsSunder <= 1 {
+			t.Errorf("%s not larger than Sunder", r.Breakdown.Arch)
+		}
+	}
+	var sb strings.Builder
+	FprintFigure9(&sb, rows)
+	if !strings.Contains(sb.String(), "Reporting") {
+		t.Error("print missing header")
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	const inputLen = 160000
+	pts, err := Figure10(inputLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Flat near 1× at low rates.
+	if pts[0].NoSummarization > 1.01 {
+		t.Errorf("1%% slowdown = %.3f", pts[0].NoSummarization)
+	}
+	last := pts[len(pts)-1]
+	if last.ReportCyclePct != 100 {
+		t.Fatal("last point not 100%")
+	}
+	// At 100%: flushing hurts, summarization nearly eliminates it, and
+	// the curve is monotone in reporting rate.
+	if last.NoSummarization < 1.1 {
+		t.Errorf("100%% no-summarize slowdown = %.3f, want noticeable", last.NoSummarization)
+	}
+	if last.WithSummarization >= last.NoSummarization {
+		t.Errorf("summarization did not help: %.3f vs %.3f", last.WithSummarization, last.NoSummarization)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NoSummarization+1e-9 < pts[i-1].NoSummarization {
+			t.Errorf("slowdown not monotone at %d%%", pts[i].ReportCyclePct)
+		}
+	}
+	var sb strings.Builder
+	FprintFigure10(&sb, pts, inputLen)
+	if !strings.Contains(sb.String(), "100%") {
+		t.Error("print missing rows")
+	}
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"io"
+
+	"sunder/internal/automata"
+	"sunder/internal/core"
+	"sunder/internal/funcsim"
+	"sunder/internal/hotcold"
+	"sunder/internal/report"
+	"sunder/internal/workload"
+)
+
+// HotColdRow quantifies the Section 1 claim that Sunder's reporting is
+// complementary to Liu et al.'s hot/cold splitting: the split shrinks the
+// configured automaton but adds intermediate-report traffic, which the AP's
+// hierarchical buffers pay for in stalls and Sunder's in-place region
+// absorbs.
+type HotColdRow struct {
+	Name             string
+	CapacityFrac     float64
+	HotStates        int
+	ColdStates       int
+	BoundaryStates   int
+	IntermediatePerK float64 // intermediate reports per 1000 input bytes
+	SunderOverhead   float64 // machine overhead with intermediate reports included
+	APOverhead       float64 // AP reporting model on the same trace
+}
+
+// HotColdStudy splits each benchmark at the given capacity fraction
+// (hardware states / total states), using the first third of the input for
+// profiling and the rest for evaluation.
+func HotColdStudy(opts Options, names []string, capacityFrac float64) ([]HotColdRow, error) {
+	var rows []HotColdRow
+	for _, name := range names {
+		w, err := workload.Get(name, opts.Scale, opts.InputLen)
+		if err != nil {
+			return nil, err
+		}
+		training := w.Input[:len(w.Input)/3]
+		eval := w.Input[len(w.Input)/3:]
+		prof := hotcold.Profile(w.Automaton, training)
+		capacity := int(float64(w.Automaton.NumStates()) * capacityFrac)
+		if capacity < 1 {
+			capacity = 1
+		}
+		split, err := hotcold.SplitByCapacity(w.Automaton, prof, capacity)
+		if err != nil {
+			return nil, err
+		}
+		row := HotColdRow{
+			Name:           name,
+			CapacityFrac:   capacityFrac,
+			HotStates:      split.HotStates,
+			ColdStates:     split.ColdStates,
+			BoundaryStates: split.BoundaryStates,
+		}
+		traffic := split.MeasureTraffic(eval)
+		row.IntermediatePerK = 1000 * float64(traffic.IntermediateReports) / float64(len(eval))
+
+		// Sunder: run the restricted automaton (boundary states are
+		// report states now) on the machine.
+		hwWorkload := &workload.Workload{Spec: w.Spec, Automaton: split.Hardware, Input: eval}
+		m, err := buildMachine(hwWorkload, 4, core.DefaultConfig(4))
+		if err != nil {
+			return nil, err
+		}
+		mres := m.Run(funcsim.BytesToUnits(eval, 4), core.RunOptions{})
+		row.SunderOverhead = mres.Overhead()
+
+		// AP: same trace through the hierarchical model.
+		p := report.DefaultParams()
+		ap := report.NewAP(split.Hardware, p)
+		sim := funcsim.NewByteSimulator(split.Hardware)
+		fres := sim.Run(eval, funcsim.Options{
+			OnReportCycle: func(cycle int64, states []automata.StateID) {
+				ap.OnReportCycle(cycle, states)
+			},
+		})
+		row.APOverhead = ap.Result().Overhead(fres.Cycles)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintHotColdStudy renders the study.
+func FprintHotColdStudy(w io.Writer, rows []HotColdRow) {
+	fprintf(w, "Extension: hot/cold splitting (Liu et al.) + reporting cost of intermediate reports\n")
+	fprintf(w, "%-18s %6s | %6s %6s %6s | %10s | %9s %9s\n", "Benchmark", "cap%",
+		"hot", "cold", "bound", "interm/KB", "Sunder", "AP")
+	for _, r := range rows {
+		fprintf(w, "%-18s %5.0f%% | %6d %6d %6d | %10.1f | %8.2fx %8.2fx\n",
+			r.Name, 100*r.CapacityFrac, r.HotStates, r.ColdStates, r.BoundaryStates,
+			r.IntermediatePerK, r.SunderOverhead, r.APOverhead)
+	}
+}

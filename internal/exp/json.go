@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Results bundles every experiment's rows for machine-readable export
+// (sunder-bench -json), so downstream plotting does not have to parse the
+// printed tables.
+type Results struct {
+	Options  Options         `json:"options"`
+	Table1   []Table1Row     `json:"table1,omitempty"`
+	Table3   []Table3Row     `json:"table3,omitempty"`
+	Table4   []Table4Row     `json:"table4,omitempty"`
+	Table5   []Table5Row     `json:"table5,omitempty"`
+	Figure8  []Figure8Row    `json:"figure8,omitempty"`
+	Figure9  []Figure9Row    `json:"figure9,omitempty"`
+	Figure10 []Figure10Point `json:"figure10,omitempty"`
+}
+
+// CollectAll runs every table and figure and bundles the rows.
+func CollectAll(opts Options, figure10Input int) (*Results, error) {
+	res := &Results{Options: opts}
+	var err error
+	if res.Table1, err = Table1(opts); err != nil {
+		return nil, err
+	}
+	if res.Table3, err = Table3(opts); err != nil {
+		return nil, err
+	}
+	if res.Table4, err = Table4(opts); err != nil {
+		return nil, err
+	}
+	res.Table5 = Table5()
+	res.Figure8 = Figure8(res.Table4)
+	res.Figure9 = Figure9()
+	if res.Figure10, err = Figure10(figure10Input); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// WriteJSON marshals the results with indentation.
+func (r *Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

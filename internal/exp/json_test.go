@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestCollectAllJSON(t *testing.T) {
+	res, err := CollectAll(Options{Scale: 0.005, InputLen: 3000}, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.Table1) != 19 || len(back.Table3) != 18 || len(back.Table4) != 19 {
+		t.Errorf("row counts: t1=%d t3=%d t4=%d", len(back.Table1), len(back.Table3), len(back.Table4))
+	}
+	if len(back.Table5) != 5 || len(back.Figure8) != 5 || len(back.Figure9) != 4 || len(back.Figure10) != 8 {
+		t.Errorf("row counts: t5=%d f8=%d f9=%d f10=%d",
+			len(back.Table5), len(back.Figure8), len(back.Figure9), len(back.Figure10))
+	}
+	if back.Options.Scale != 0.005 {
+		t.Errorf("options not preserved: %+v", back.Options)
+	}
+}

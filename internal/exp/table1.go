@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"io"
+
+	"sunder/internal/funcsim"
+	"sunder/internal/workload"
+)
+
+// Table1Row is one row of Table 1: static structure and measured dynamic
+// reporting behaviour of a benchmark, with the paper's published values
+// alongside for comparison.
+type Table1Row struct {
+	Name   string
+	Family workload.Family
+
+	// Measured static analysis.
+	States         int
+	ReportStates   int
+	ReportStatePct float64
+	// Measured dynamic behaviour.
+	Cycles                int64
+	Reports               int64
+	ReportCycles          int64
+	ReportsPerCycle       float64
+	ReportsPerReportCycle float64
+	ReportCyclePct        float64
+
+	// Published values (per 1MB input) for the comparison columns.
+	PaperReportsPerCycle float64
+	PaperBurst           float64
+	PaperReportCyclePct  float64
+}
+
+// Table1 generates every benchmark at the given scale, simulates it on its
+// input stream, and returns the reporting-behaviour summary.
+func Table1(opts Options) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range workload.All() {
+		w, err := workload.Get(spec.Name, opts.Scale, opts.InputLen)
+		if err != nil {
+			return nil, err
+		}
+		sim := funcsim.NewByteSimulator(w.Automaton)
+		res := sim.Run(w.Input, funcsim.Options{})
+		st := w.Automaton.ComputeStats()
+		row := Table1Row{
+			Name:                  spec.Name,
+			Family:                spec.Family,
+			States:                st.States,
+			ReportStates:          st.ReportStates,
+			Cycles:                res.Cycles,
+			Reports:               res.Reports,
+			ReportCycles:          res.ReportCycles,
+			ReportsPerCycle:       res.ReportsPerCycle(),
+			ReportsPerReportCycle: res.ReportsPerReportCycle(),
+			ReportCyclePct:        res.ReportCycleFraction() * 100,
+			PaperReportsPerCycle:  float64(spec.PaperReports) / 1e6,
+			PaperBurst:            spec.PaperBurst(),
+			PaperReportCyclePct:   spec.PaperReportCycleFraction() * 100,
+		}
+		if st.States > 0 {
+			row.ReportStatePct = 100 * float64(st.ReportStates) / float64(st.States)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintTable1 renders the rows in the paper's layout.
+func FprintTable1(w io.Writer, rows []Table1Row, opts Options) {
+	fprintf(w, "Table 1: Reporting behavior summary (scale=%.3g, input=%d bytes; paper columns per 1MB)\n",
+		opts.Scale, opts.InputLen)
+	fprintf(w, "%-18s %-7s %7s %6s %6s %10s %9s %8s %8s %7s | %8s %8s %7s\n",
+		"Benchmark", "Family", "States", "#RS", "RS%",
+		"#Reports", "#RepCyc", "Rep/Cyc", "Rep/RC", "RC%",
+		"pR/Cyc", "pRep/RC", "pRC%")
+	for _, r := range rows {
+		fprintf(w, "%-18s %-7s %7d %6d %5.1f%% %10d %9d %8.3f %8.2f %6.2f%% | %8.3f %8.2f %6.2f%%\n",
+			r.Name, r.Family, r.States, r.ReportStates, r.ReportStatePct,
+			r.Reports, r.ReportCycles, r.ReportsPerCycle, r.ReportsPerReportCycle, r.ReportCyclePct,
+			r.PaperReportsPerCycle, r.PaperBurst, r.PaperReportCyclePct)
+	}
+}

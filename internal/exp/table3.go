@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"io"
+
+	"sunder/internal/transform"
+	"sunder/internal/workload"
+)
+
+// Table3Row holds the state and transition overheads of the 1-, 2- and
+// 4-nibble transformations of one benchmark, normalized to the original
+// 8-bit automaton (Table 3).
+type Table3Row struct {
+	Name string
+
+	ByteStates int
+	ByteEdges  int
+
+	States [3]int // 1-, 2-, 4-nibble absolute counts
+	Edges  [3]int
+	StateX [3]float64 // ratios vs 8-bit
+	EdgeX  [3]float64
+}
+
+// table3Rates maps result indices to processing rates.
+var table3Rates = [3]int{1, 2, 4}
+
+// Table3 transforms every benchmark (except ClamAV, which the paper omits
+// from this table) to each processing rate and measures the overheads.
+func Table3(opts Options) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, spec := range workload.All() {
+		if spec.Name == "ClamAV" {
+			continue
+		}
+		w, err := workload.Get(spec.Name, opts.Scale, 64) // input unused here
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Name:       spec.Name,
+			ByteStates: w.Automaton.NumStates(),
+			ByteEdges:  w.Automaton.NumEdges(),
+		}
+		for i, rate := range table3Rates {
+			ua, err := transform.ToRate(w.Automaton, rate)
+			if err != nil {
+				return nil, err
+			}
+			row.States[i] = ua.NumStates()
+			row.Edges[i] = ua.NumEdges()
+			row.StateX[i] = float64(ua.NumStates()) / float64(row.ByteStates)
+			row.EdgeX[i] = float64(ua.NumEdges()) / float64(max1(row.ByteEdges))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Table3Averages returns the per-rate mean state and edge ratios (the
+// paper's Average row).
+func Table3Averages(rows []Table3Row) (stateX, edgeX [3]float64) {
+	for _, r := range rows {
+		for i := range table3Rates {
+			stateX[i] += r.StateX[i]
+			edgeX[i] += r.EdgeX[i]
+		}
+	}
+	n := float64(len(rows))
+	for i := range table3Rates {
+		stateX[i] /= n
+		edgeX[i] /= n
+	}
+	return stateX, edgeX
+}
+
+// FprintTable3 renders the rows in the paper's layout.
+func FprintTable3(w io.Writer, rows []Table3Row, opts Options) {
+	fprintf(w, "Table 3: states and transitions normalized to the original 8-bit automata (scale=%.3g)\n", opts.Scale)
+	fprintf(w, "%-18s | %8s %8s %8s | %8s %8s %8s\n", "Benchmark",
+		"S 4-bit", "S 8-bit", "S 16-bit", "T 4-bit", "T 8-bit", "T 16-bit")
+	for _, r := range rows {
+		fprintf(w, "%-18s | %7.1fx %7.1fx %7.1fx | %7.1fx %7.1fx %7.1fx\n",
+			r.Name, r.StateX[0], r.StateX[1], r.StateX[2], r.EdgeX[0], r.EdgeX[1], r.EdgeX[2])
+	}
+	sx, ex := Table3Averages(rows)
+	fprintf(w, "%-18s | %7.1fx %7.1fx %7.1fx | %7.1fx %7.1fx %7.1fx\n",
+		"Average", sx[0], sx[1], sx[2], ex[0], ex[1], ex[2])
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"io"
+
+	"sunder/internal/hardware"
+)
+
+// FprintTable2 renders the subarray parameters (Table 2), which are the
+// published memory-compiler constants.
+func FprintTable2(w io.Writer) {
+	fprintf(w, "Table 2: subarray parameters (14nm, 0.8V, incl. peripherals)\n")
+	fprintf(w, "%-58s %-10s %8s %10s %10s\n", "Usage", "Size", "Delay", "Read Power", "Area")
+	for _, row := range hardware.Table2() {
+		fprintf(w, "%-58s %-10s %6.0fps %8.2fmW %7.0fum2\n",
+			row.Usage, row.Array.String(), row.Array.DelayPS, row.Array.PowerMW, row.Array.AreaUM2)
+	}
+}
+
+// Table5Row is one architecture's pipeline timing (Table 5).
+type Table5Row struct {
+	Arch             hardware.Arch
+	StateMatchingPS  float64
+	LocalSwitchPS    float64
+	GlobalSwitchPS   float64
+	MaxFreqGHz       float64
+	OperatingFreqGHz float64
+}
+
+// Table5 derives the pipeline-stage delays and frequencies.
+func Table5() []Table5Row {
+	var rows []Table5Row
+	for _, a := range []hardware.Arch{hardware.ArchSunder, hardware.ArchImpala, hardware.ArchCA, hardware.ArchAP50, hardware.ArchAP14} {
+		p := hardware.PipelineFor(a)
+		rows = append(rows, Table5Row{
+			Arch:             a,
+			StateMatchingPS:  p.StateMatchingPS,
+			LocalSwitchPS:    p.LocalSwitchPS,
+			GlobalSwitchPS:   p.GlobalSwitchPS,
+			MaxFreqGHz:       p.MaxFreqGHz(),
+			OperatingFreqGHz: p.OperatingFreqGHz(),
+		})
+	}
+	return rows
+}
+
+// FprintTable5 renders the rows in the paper's layout.
+func FprintTable5(w io.Writer, rows []Table5Row) {
+	fprintf(w, "Table 5: pipeline-stage delays and operating frequency\n")
+	fprintf(w, "%-12s %10s %10s %10s %10s %10s\n",
+		"Architecture", "Match", "LocalSW", "GlobalSW", "MaxFreq", "OpFreq")
+	for _, r := range rows {
+		if r.StateMatchingPS == 0 {
+			fprintf(w, "%-12s %10s %10s %10s %7.2fGHz %7.2fGHz\n",
+				r.Arch, "-", "-", "-", r.MaxFreqGHz, r.OperatingFreqGHz)
+			continue
+		}
+		fprintf(w, "%-12s %8.0fps %8.0fps %8.0fps %7.2fGHz %7.2fGHz\n",
+			r.Arch, r.StateMatchingPS, r.LocalSwitchPS, r.GlobalSwitchPS,
+			r.MaxFreqGHz, r.OperatingFreqGHz)
+	}
+}

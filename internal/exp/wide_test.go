@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWideStudy(t *testing.T) {
+	row, err := WideStudy(20, 3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.WideReports == 0 || row.ByteReports == 0 {
+		t.Fatalf("no reports: %+v", row)
+	}
+	// Both encodings recognize the same language on item-aligned input;
+	// report counts must agree.
+	if row.WideReports != row.ByteReports {
+		t.Errorf("wide %d reports, byte %d", row.WideReports, row.ByteReports)
+	}
+	// The wide path consumes one symbol per cycle; the byte path needs
+	// two cycles per symbol at the same 16-bit rate.
+	if row.WideSymbolsPerCycle < 0.99 || row.WideSymbolsPerCycle > 1.01 {
+		t.Errorf("wide symbols/cycle = %v, want 1.0", row.WideSymbolsPerCycle)
+	}
+	if row.ByteSymbolsPerCycle > 0.51 {
+		t.Errorf("byte symbols/cycle = %v, want 0.5", row.ByteSymbolsPerCycle)
+	}
+	var sb strings.Builder
+	FprintWideStudy(&sb, row)
+	if !strings.Contains(sb.String(), "byte pairs") {
+		t.Error("print missing rows")
+	}
+}

@@ -1,0 +1,258 @@
+// Package funcsim is a cycle-accurate functional simulator for homogeneous
+// NFAs — the reproduction's equivalent of VASim. It executes byte-oriented
+// automata and transformed unit automata with identical semantics, traces
+// every report, and computes the dynamic reporting statistics of Table 1.
+//
+// Per-cycle semantics (Section 2.1 of the paper):
+//
+//	enabled(t) = ⋃ succ(active(t-1)) ∪ startAllInput ∪ (startOfData if t==0)
+//	active(t)  = enabled(t) ∩ match(input(t))
+//	reports(t) = active(t) ∩ reportStates
+package funcsim
+
+import (
+	"sunder/internal/automata"
+	"sunder/internal/bitvec"
+)
+
+// ReportEvent records one report.
+type ReportEvent struct {
+	// Cycle is the simulator cycle at which the report was generated.
+	Cycle int64
+	// Unit is the absolute input-unit index at which the report logically
+	// occurred. For byte automata a report on byte t has Unit
+	// = t*unitsPerSymbol + (unitsPerSymbol-1); for unit automata it is
+	// cycle*Rate + offset. Reports from equivalent automata at different
+	// rates therefore carry identical Unit values, which is how the
+	// differential tests compare them.
+	Unit int64
+	// State is the reporting STE.
+	State automata.StateID
+	// Code is the report metadata (pattern/rule ID).
+	Code int32
+	// Origin is the logical report point. For byte automata it equals
+	// State; for transformed automata it is the originating state of the
+	// byte automaton, so events can be compared across processing rates.
+	Origin int32
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// RecordEvents keeps the full []ReportEvent in the result. Disable
+	// for long dense-reporting runs and use OnReportCycle instead.
+	RecordEvents bool
+	// OnReportCycle, if non-nil, is invoked for every cycle that produces
+	// at least one report, with the reporting state IDs for that cycle.
+	// The slice is reused across calls and must not be retained.
+	OnReportCycle func(cycle int64, states []automata.StateID)
+	// TrackActive also tracks the maximum number of simultaneously
+	// active states (useful for capacity studies); it costs a popcount
+	// per cycle.
+	TrackActive bool
+}
+
+// Result summarizes a run; its fields correspond to the dynamic-behaviour
+// columns of Table 1.
+type Result struct {
+	// Cycles is the total number of simulation cycles.
+	Cycles int64
+	// Reports is the total number of reports generated.
+	Reports int64
+	// ReportCycles is the number of cycles with at least one report.
+	ReportCycles int64
+	// MaxReportsPerCycle is the largest report burst in a single cycle.
+	MaxReportsPerCycle int
+	// MaxActive is the peak number of simultaneously active states
+	// (only tracked when Options.TrackActive is set).
+	MaxActive int
+	// Events holds every report when Options.RecordEvents is set.
+	Events []ReportEvent
+}
+
+// ReportsPerCycle returns Reports/Cycles (Table 1, "#Reports/Cycles").
+func (r *Result) ReportsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Reports) / float64(r.Cycles)
+}
+
+// ReportsPerReportCycle returns Reports/ReportCycles (Table 1,
+// "#Reports/Report Cycles").
+func (r *Result) ReportsPerReportCycle() float64 {
+	if r.ReportCycles == 0 {
+		return 0
+	}
+	return float64(r.Reports) / float64(r.ReportCycles)
+}
+
+// ReportCycleFraction returns ReportCycles/Cycles (Table 1, "#Report
+// Cycles/#Cycles").
+func (r *Result) ReportCycleFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.ReportCycles) / float64(r.Cycles)
+}
+
+// fanoutThreshold selects which states get a precomputed successor mask:
+// for a state activating many successors, OR-ing one dense vector beats
+// setting bits one edge at a time. Dot-star and hub states in real rule
+// sets have fan-outs in the hundreds.
+const fanoutThreshold = 8
+
+// ByteSimulator executes a byte-oriented homogeneous NFA.
+type ByteSimulator struct {
+	a *automata.Automaton
+	// symbolTable[b] holds the set of states matching byte b.
+	symbolTable [256]*bitvec.Vector
+	startAll    *bitvec.Vector
+	startData   *bitvec.Vector
+	reportMask  *bitvec.Vector
+	// succMask[i] is non-nil for high-fanout states and holds their
+	// successor set as a vector.
+	succMask []*bitvec.Vector
+
+	active  *bitvec.Vector
+	enabled *bitvec.Vector
+	cycle   int64
+}
+
+// NewByteSimulator builds a simulator for a. The automaton is captured by
+// reference and must not be mutated during simulation.
+func NewByteSimulator(a *automata.Automaton) *ByteSimulator {
+	n := a.NumStates()
+	s := &ByteSimulator{
+		a:          a,
+		startAll:   bitvec.New(n),
+		startData:  bitvec.New(n),
+		reportMask: bitvec.New(n),
+		active:     bitvec.New(n),
+		enabled:    bitvec.New(n),
+	}
+	for b := 0; b < 256; b++ {
+		s.symbolTable[b] = bitvec.New(n)
+	}
+	s.succMask = make([]*bitvec.Vector, n)
+	for i := range a.States {
+		st := &a.States[i]
+		st.Match.ForEach(func(b int) {
+			s.symbolTable[b].Set(i)
+		})
+		switch st.Start {
+		case automata.StartAllInput:
+			s.startAll.Set(i)
+		case automata.StartOfData:
+			s.startData.Set(i)
+		}
+		if st.Report {
+			s.reportMask.Set(i)
+		}
+		if len(st.Succ) >= fanoutThreshold {
+			mask := bitvec.New(n)
+			for _, t := range st.Succ {
+				mask.Set(int(t))
+			}
+			s.succMask[i] = mask
+		}
+	}
+	return s
+}
+
+// Reset returns the simulator to its initial configuration.
+func (s *ByteSimulator) Reset() {
+	s.active.Reset()
+	s.cycle = 0
+}
+
+// Active returns the current active-state vector (live view; do not mutate).
+func (s *ByteSimulator) Active() *bitvec.Vector { return s.active }
+
+// Cycle returns the number of cycles executed since the last Reset.
+func (s *ByteSimulator) Cycle() int64 { return s.cycle }
+
+// Step consumes one input byte and returns the active reporting states for
+// this cycle (nil when there are none). The returned slice is reused across
+// calls.
+func (s *ByteSimulator) Step(b byte, scratch []automata.StateID) []automata.StateID {
+	s.enabled.Reset()
+	if s.cycle == 0 {
+		s.enabled.Or(s.startData)
+	}
+	s.enabled.Or(s.startAll)
+	s.active.ForEach(func(i int) bool {
+		if m := s.succMask[i]; m != nil {
+			s.enabled.Or(m)
+			return true
+		}
+		for _, t := range s.a.States[i].Succ {
+			s.enabled.Set(int(t))
+		}
+		return true
+	})
+	s.enabled.And(s.symbolTable[b])
+	s.active, s.enabled = s.enabled, s.active
+	s.cycle++
+
+	if !s.active.Intersects(s.reportMask) {
+		return nil
+	}
+	out := scratch[:0]
+	s.active.ForEach(func(i int) bool {
+		if s.reportMask.Get(i) {
+			out = append(out, automata.StateID(i))
+		}
+		return true
+	})
+	return out
+}
+
+// unitsPerByteSymbol is the Unit-index scale for byte automata when they are
+// compared against nibble automata: one byte is two 4-bit units.
+const unitsPerByteSymbol = 2
+
+// Run executes the simulator over input and returns aggregate results.
+func (s *ByteSimulator) Run(input []byte, opts Options) *Result {
+	res := &Result{}
+	var scratch []automata.StateID
+	for _, b := range input {
+		cycle := s.cycle
+		reports := s.Step(b, scratch)
+		scratch = reports
+		res.Cycles++
+		if opts.TrackActive {
+			if n := s.active.Count(); n > res.MaxActive {
+				res.MaxActive = n
+			}
+		}
+		if len(reports) == 0 {
+			continue
+		}
+		res.ReportCycles++
+		res.Reports += int64(len(reports))
+		if len(reports) > res.MaxReportsPerCycle {
+			res.MaxReportsPerCycle = len(reports)
+		}
+		if opts.OnReportCycle != nil {
+			opts.OnReportCycle(cycle, reports)
+		}
+		if opts.RecordEvents {
+			for _, id := range reports {
+				res.Events = append(res.Events, ReportEvent{
+					Cycle:  cycle,
+					Unit:   cycle*unitsPerByteSymbol + (unitsPerByteSymbol - 1),
+					State:  id,
+					Code:   s.a.States[id].ReportCode,
+					Origin: int32(id),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// RunBytes is a convenience wrapper: build, run, return results with events
+// recorded.
+func RunBytes(a *automata.Automaton, input []byte) *Result {
+	return NewByteSimulator(a).Run(input, Options{RecordEvents: true})
+}

@@ -1,0 +1,182 @@
+package funcsim
+
+import (
+	"testing"
+
+	"sunder/internal/automata"
+)
+
+// literal builds an unanchored literal-matching automaton.
+func literal(s string) *automata.Automaton {
+	a := automata.NewAutomaton()
+	var prev automata.StateID = -1
+	for i := 0; i < len(s); i++ {
+		st := automata.State{Match: automata.Symbol(s[i])}
+		if i == 0 {
+			st.Start = automata.StartAllInput
+		}
+		if i == len(s)-1 {
+			st.Report = true
+			st.ReportCode = 1
+		}
+		id := a.AddState(st)
+		if prev >= 0 {
+			a.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	return a
+}
+
+func TestByteLiteral(t *testing.T) {
+	a := literal("abc")
+	res := RunBytes(a, []byte("xxabcabcx"))
+	if res.Reports != 2 {
+		t.Fatalf("reports = %d, want 2", res.Reports)
+	}
+	if res.Events[0].Cycle != 4 || res.Events[1].Cycle != 7 {
+		t.Errorf("events = %+v", res.Events)
+	}
+	if res.Events[0].Unit != 9 { // byte 4 → unit 4*2+1
+		t.Errorf("unit = %d, want 9", res.Events[0].Unit)
+	}
+	if res.Cycles != 9 || res.ReportCycles != 2 {
+		t.Errorf("cycles = %d, report cycles = %d", res.Cycles, res.ReportCycles)
+	}
+}
+
+func TestByteOverlapping(t *testing.T) {
+	a := literal("aa")
+	res := RunBytes(a, []byte("aaaa"))
+	// Occurrences end at bytes 1,2,3.
+	if res.Reports != 3 {
+		t.Fatalf("reports = %d, want 3", res.Reports)
+	}
+}
+
+func TestStartOfData(t *testing.T) {
+	a := literal("ab")
+	a.States[0].Start = automata.StartOfData
+	res := RunBytes(a, []byte("abab"))
+	if res.Reports != 1 || res.Events[0].Cycle != 1 {
+		t.Fatalf("anchored events = %+v", res.Events)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	// a+b: state0 'a' self-loop, state1 'b' report.
+	a := automata.NewAutomaton()
+	s0 := a.AddState(automata.State{Match: automata.Symbol('a'), Start: automata.StartAllInput})
+	s1 := a.AddState(automata.State{Match: automata.Symbol('b'), Report: true})
+	a.AddEdge(s0, s0)
+	a.AddEdge(s0, s1)
+	a.Normalize()
+	res := RunBytes(a, []byte("aaab xb ab"))
+	if res.Reports != 2 {
+		t.Fatalf("reports = %d, want 2", res.Reports)
+	}
+	if res.Events[0].Cycle != 3 || res.Events[1].Cycle != 9 {
+		t.Errorf("events = %+v", res.Events)
+	}
+}
+
+func TestResetAndStep(t *testing.T) {
+	a := literal("ab")
+	sim := NewByteSimulator(a)
+	var scratch []automata.StateID
+	sim.Step('a', scratch)
+	reports := sim.Step('b', scratch)
+	if len(reports) != 1 {
+		t.Fatalf("reports after ab = %v", reports)
+	}
+	if sim.Cycle() != 2 {
+		t.Errorf("cycle = %d", sim.Cycle())
+	}
+	sim.Reset()
+	if sim.Cycle() != 0 || sim.Active().Any() {
+		t.Error("Reset did not clear state")
+	}
+	// After reset, anchored behaviour re-arms.
+	a2 := literal("ab")
+	a2.States[0].Start = automata.StartOfData
+	sim2 := NewByteSimulator(a2)
+	sim2.Run([]byte("xab"), Options{})
+	sim2.Reset()
+	res := sim2.Run([]byte("ab"), Options{RecordEvents: true})
+	if res.Reports != 1 {
+		t.Errorf("anchored after reset: %d reports", res.Reports)
+	}
+}
+
+func TestOnReportCycleCallback(t *testing.T) {
+	a := literal("a")
+	var cycles []int64
+	var counts []int
+	a.States[0].ReportCode = 9
+	sim := NewByteSimulator(a)
+	sim.Run([]byte("aba"), Options{
+		OnReportCycle: func(cycle int64, states []automata.StateID) {
+			cycles = append(cycles, cycle)
+			counts = append(counts, len(states))
+		},
+	})
+	if len(cycles) != 2 || cycles[0] != 0 || cycles[1] != 2 || counts[0] != 1 {
+		t.Errorf("callback cycles = %v counts = %v", cycles, counts)
+	}
+}
+
+func TestResultRatios(t *testing.T) {
+	r := &Result{Cycles: 100, Reports: 10, ReportCycles: 5}
+	if r.ReportsPerCycle() != 0.1 {
+		t.Error("ReportsPerCycle")
+	}
+	if r.ReportsPerReportCycle() != 2 {
+		t.Error("ReportsPerReportCycle")
+	}
+	if r.ReportCycleFraction() != 0.05 {
+		t.Error("ReportCycleFraction")
+	}
+	z := &Result{}
+	if z.ReportsPerCycle() != 0 || z.ReportsPerReportCycle() != 0 || z.ReportCycleFraction() != 0 {
+		t.Error("zero-division handling")
+	}
+}
+
+// TestHighFanout exercises the precomputed successor-mask path: a hub state
+// with fan-out above the threshold must behave identically to edge-by-edge
+// propagation.
+func TestHighFanout(t *testing.T) {
+	a := automata.NewAutomaton()
+	hub := a.AddState(automata.State{Match: automata.Symbol('h'), Start: automata.StartAllInput})
+	const fan = 20 // above fanoutThreshold
+	for i := 0; i < fan; i++ {
+		leaf := a.AddState(automata.State{
+			Match:      automata.Symbol(byte('a' + i%4)),
+			Report:     true,
+			ReportCode: int32(i),
+		})
+		a.AddEdge(hub, leaf)
+	}
+	a.Normalize()
+	sim := NewByteSimulator(a)
+	res := sim.Run([]byte("hahbhc"), Options{RecordEvents: true})
+	// After each 'h', exactly the fan/4 leaves matching the next byte
+	// report.
+	if res.Reports != 3*fan/4 {
+		t.Fatalf("reports = %d, want %d", res.Reports, 3*fan/4)
+	}
+	for _, ev := range res.Events {
+		if ev.Cycle%2 != 1 {
+			t.Errorf("report at unexpected cycle %d", ev.Cycle)
+		}
+	}
+}
+
+func TestTrackActive(t *testing.T) {
+	a := literal("a")
+	a.States[0].Match = automata.AllSymbols()
+	res := NewByteSimulator(a).Run([]byte("xyz"), Options{TrackActive: true})
+	if res.MaxActive != 1 {
+		t.Errorf("MaxActive = %d", res.MaxActive)
+	}
+}

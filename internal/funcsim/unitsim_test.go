@@ -1,0 +1,175 @@
+package funcsim
+
+import (
+	"testing"
+
+	"sunder/internal/automata"
+)
+
+func TestBytesToUnits(t *testing.T) {
+	units := BytesToUnits([]byte{0xAB, 0x0F}, 4)
+	want := []Unit{0xA, 0xB, 0x0, 0xF}
+	if len(units) != 4 {
+		t.Fatalf("len = %d", len(units))
+	}
+	for i := range want {
+		if units[i] != want[i] {
+			t.Errorf("units[%d] = %d, want %d", i, units[i], want[i])
+		}
+	}
+	bits := BytesToUnits([]byte{0b10110001}, 1)
+	wantBits := []Unit{1, 0, 1, 1, 0, 0, 0, 1}
+	for i := range wantBits {
+		if bits[i] != wantBits[i] {
+			t.Errorf("bits[%d] = %d, want %d", i, bits[i], wantBits[i])
+		}
+	}
+}
+
+func TestBytesToUnitsBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on bad width")
+		}
+	}()
+	BytesToUnits([]byte{1}, 3)
+}
+
+func TestPadUnits(t *testing.T) {
+	u := PadUnits([]Unit{1, 2, 3}, 4)
+	if len(u) != 4 || u[3] != Pad {
+		t.Errorf("padded = %v", u)
+	}
+	u = PadUnits([]Unit{1, 2}, 2)
+	if len(u) != 2 {
+		t.Errorf("no-op pad = %v", u)
+	}
+}
+
+// nibbleLiteral builds a rate-1 nibble automaton matching the nibble
+// sequence of the byte string s.
+func nibbleLiteral(s string) *automata.UnitAutomaton {
+	a := automata.NewUnitAutomaton(4, 1, 2)
+	var prev automata.StateID = -1
+	for i := 0; i < len(s); i++ {
+		for _, nib := range []byte{s[i] >> 4, s[i] & 0x0f} {
+			st := automata.UnitState{Match: [automata.MaxRate]automata.UnitSet{1 << uint(nib)}}
+			if prev < 0 {
+				st.Start = automata.StartAllInput
+			}
+			id := a.AddState(st)
+			if prev >= 0 {
+				a.States[prev].Succ = append(a.States[prev].Succ, id)
+			}
+			prev = id
+		}
+	}
+	a.States[prev].Reports = []automata.Report{{Offset: 0, Code: 1}}
+	return a
+}
+
+func TestUnitLiteralMatchesByteLiteral(t *testing.T) {
+	input := []byte("xxabcabcx")
+	ref := RunBytes(literal("abc"), input)
+	ua := nibbleLiteral("abc")
+	got := RunUnits(ua, BytesToUnits(input, 4))
+	if got.Reports != ref.Reports {
+		t.Fatalf("unit reports = %d, byte reports = %d", got.Reports, ref.Reports)
+	}
+	for i := range ref.Events {
+		if got.Events[i].Unit != ref.Events[i].Unit {
+			t.Errorf("event %d unit = %d, want %d", i, got.Events[i].Unit, ref.Events[i].Unit)
+		}
+	}
+}
+
+// TestStartGating verifies that an unanchored start state in a rate-1
+// nibble automaton is injected only at byte boundaries: the nibble sequence
+// of "ab" appearing at an odd nibble offset must not match.
+func TestStartGating(t *testing.T) {
+	ua := nibbleLiteral("ab")
+	// "ab" is nibbles 6,1,6,2. Craft bytes whose straddled nibbles spell
+	// the same sequence at odd offset: bytes 0x_6 0x16 0x2_ → nibble
+	// stream ?,6,1,6,2,?.
+	input := []byte{0x06, 0x16, 0x20}
+	got := RunUnits(ua, BytesToUnits(input, 4))
+	if got.Reports != 0 {
+		t.Fatalf("phase-shifted match produced %d reports", got.Reports)
+	}
+	// Sanity: the aligned occurrence still matches.
+	got = RunUnits(ua, BytesToUnits([]byte("xab"), 4))
+	if got.Reports != 1 {
+		t.Fatalf("aligned match reports = %d", got.Reports)
+	}
+}
+
+func TestPadOnlyMatchesDontCare(t *testing.T) {
+	// Rate-2 automaton: state matches nibble 6 then don't-care, reporting
+	// at offset 0. With input "a" (nibbles 6,1): vector (6,1) matches.
+	// With input ending exactly at nibble 6 + pad: must also match.
+	a := automata.NewUnitAutomaton(4, 2, 2)
+	a.AddState(automata.UnitState{
+		Match:   [automata.MaxRate]automata.UnitSet{1 << 6, automata.AllUnits(4)},
+		Start:   automata.StartAllInput,
+		Reports: []automata.Report{{Offset: 0, Code: 1}},
+	})
+	res := RunUnits(a, []Unit{6, Pad})
+	if res.Reports != 1 {
+		t.Fatalf("don't-care + pad reports = %d, want 1", res.Reports)
+	}
+	// A state requiring a real nibble must NOT match pad.
+	b := automata.NewUnitAutomaton(4, 2, 2)
+	b.AddState(automata.UnitState{
+		Match:   [automata.MaxRate]automata.UnitSet{1 << 6, 1 << 1},
+		Start:   automata.StartAllInput,
+		Reports: []automata.Report{{Offset: 1, Code: 1}},
+	})
+	res = RunUnits(b, []Unit{6, Pad})
+	if res.Reports != 0 {
+		t.Fatalf("pad matched a real unit set: %d reports", res.Reports)
+	}
+}
+
+func TestUnitStepPanicsOnBadVector(t *testing.T) {
+	a := nibbleLiteral("a")
+	sim := NewUnitSimulator(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong vector length")
+		}
+	}()
+	sim.Step([]Unit{1, 2}, nil)
+}
+
+func TestUnitReset(t *testing.T) {
+	a := nibbleLiteral("ab")
+	sim := NewUnitSimulator(a)
+	sim.Run(BytesToUnits([]byte("ab"), 4), Options{})
+	sim.Reset()
+	if sim.Cycle() != 0 || sim.Active().Any() {
+		t.Error("Reset did not clear")
+	}
+	res := sim.Run(BytesToUnits([]byte("ab"), 4), Options{RecordEvents: true})
+	if res.Reports != 1 {
+		t.Errorf("reports after reset = %d", res.Reports)
+	}
+}
+
+func TestUnitMultipleReportsPerState(t *testing.T) {
+	a := automata.NewUnitAutomaton(4, 2, 2)
+	a.AddState(automata.UnitState{
+		Match: [automata.MaxRate]automata.UnitSet{1 << 1, 1 << 2},
+		Start: automata.StartOfData,
+		Reports: []automata.Report{
+			{Offset: 0, Code: 7},
+			{Offset: 1, Code: 8},
+		},
+	})
+	res := RunUnits(a, []Unit{1, 2})
+	if res.Reports != 2 || res.MaxReportsPerCycle != 2 {
+		t.Fatalf("reports = %d, max/cycle = %d", res.Reports, res.MaxReportsPerCycle)
+	}
+	if res.Events[0].Unit != 0 || res.Events[1].Unit != 1 {
+		t.Errorf("events = %+v", res.Events)
+	}
+}

@@ -1,0 +1,130 @@
+package funcsim
+
+import (
+	"sunder/internal/automata"
+	"sunder/internal/bitvec"
+)
+
+// Wide-symbol simulation: the reference executor for 16-bit automata
+// against which their nibble transformations are differentially tested.
+
+// SymbolsToUnits expands 16-bit symbols into nibbles, most significant
+// first — the encoding convention of transform.WideToNibble.
+func SymbolsToUnits(symbols []uint16) []Unit {
+	out := make([]Unit, 0, len(symbols)*4)
+	for _, s := range symbols {
+		out = append(out, Unit(s>>12), Unit((s>>8)&0xf), Unit((s>>4)&0xf), Unit(s&0xf))
+	}
+	return out
+}
+
+// WideSimulator executes a 16-bit homogeneous NFA one symbol per cycle.
+type WideSimulator struct {
+	a *automata.WideAutomaton
+	// table maps each symbol that appears in some state's match list to
+	// the set of states accepting it; symbols not present match nothing.
+	table      map[uint16]*bitvec.Vector
+	startAll   *bitvec.Vector
+	startData  *bitvec.Vector
+	reportMask *bitvec.Vector
+	empty      *bitvec.Vector
+
+	active  *bitvec.Vector
+	enabled *bitvec.Vector
+	cycle   int64
+}
+
+// NewWideSimulator builds a simulator for a.
+func NewWideSimulator(a *automata.WideAutomaton) *WideSimulator {
+	n := a.NumStates()
+	s := &WideSimulator{
+		a:          a,
+		table:      make(map[uint16]*bitvec.Vector),
+		startAll:   bitvec.New(n),
+		startData:  bitvec.New(n),
+		reportMask: bitvec.New(n),
+		empty:      bitvec.New(n),
+		active:     bitvec.New(n),
+		enabled:    bitvec.New(n),
+	}
+	for i := range a.States {
+		st := &a.States[i]
+		for _, sym := range st.Match {
+			v := s.table[sym]
+			if v == nil {
+				v = bitvec.New(n)
+				s.table[sym] = v
+			}
+			v.Set(i)
+		}
+		switch st.Start {
+		case automata.StartAllInput:
+			s.startAll.Set(i)
+		case automata.StartOfData:
+			s.startData.Set(i)
+		}
+		if st.Report {
+			s.reportMask.Set(i)
+		}
+	}
+	return s
+}
+
+// Reset returns the simulator to its initial configuration.
+func (s *WideSimulator) Reset() {
+	s.active.Reset()
+	s.cycle = 0
+}
+
+// Run executes the simulator over a symbol stream with events recorded.
+// Each report's Unit is the index of the symbol's final nibble, matching
+// the unit simulator's convention (4 units per symbol).
+func (s *WideSimulator) Run(symbols []uint16) *Result {
+	res := &Result{}
+	for _, sym := range symbols {
+		s.enabled.Reset()
+		if s.cycle == 0 {
+			s.enabled.Or(s.startData)
+		}
+		s.enabled.Or(s.startAll)
+		s.active.ForEach(func(i int) bool {
+			for _, t := range s.a.States[i].Succ {
+				s.enabled.Set(int(t))
+			}
+			return true
+		})
+		match := s.table[sym]
+		if match == nil {
+			match = s.empty
+		}
+		s.enabled.And(match)
+		s.active, s.enabled = s.enabled, s.active
+		cycle := s.cycle
+		s.cycle++
+		res.Cycles++
+
+		if !s.active.Intersects(s.reportMask) {
+			continue
+		}
+		nrep := 0
+		s.active.ForEach(func(i int) bool {
+			if s.reportMask.Get(i) {
+				nrep++
+				res.Events = append(res.Events, ReportEvent{
+					Cycle:  cycle,
+					Unit:   cycle*4 + 3,
+					State:  automata.StateID(i),
+					Code:   s.a.States[i].ReportCode,
+					Origin: int32(i),
+				})
+			}
+			return true
+		})
+		res.ReportCycles++
+		res.Reports += int64(nrep)
+		if nrep > res.MaxReportsPerCycle {
+			res.MaxReportsPerCycle = nrep
+		}
+	}
+	return res
+}

@@ -1,0 +1,132 @@
+package hardware
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 3 {
+		t.Fatalf("Table 2 has %d rows", len(rows))
+	}
+	if rows[0].Array.DelayPS != 180 || rows[1].Array.DelayPS != 220 || rows[2].Array.DelayPS != 150 {
+		t.Error("Table 2 delays wrong")
+	}
+	if rows[2].Array.Bits() != 65536 {
+		t.Errorf("256x256 bits = %d", rows[2].Array.Bits())
+	}
+	if rows[0].Array.String() != "6T 16x16" {
+		t.Errorf("String = %q", rows[0].Array.String())
+	}
+}
+
+// TestTable5Frequencies pins the published Table 5 values.
+func TestTable5Frequencies(t *testing.T) {
+	sunder := PipelineFor(ArchSunder)
+	approx(t, "Sunder global switch", sunder.GlobalSwitchPS, 249, 0.5)
+	approx(t, "Sunder max freq", sunder.MaxFreqGHz(), 4.01, 0.02)
+	approx(t, "Sunder operating freq", sunder.OperatingFreqGHz(), 3.6, 0.05)
+
+	impala := PipelineFor(ArchImpala)
+	approx(t, "Impala global switch", impala.GlobalSwitchPS, 170, 0.5)
+	approx(t, "Impala max freq", impala.MaxFreqGHz(), 5.55, 0.02)
+	approx(t, "Impala operating freq", impala.OperatingFreqGHz(), 5.0, 0.05)
+
+	ca := PipelineFor(ArchCA)
+	approx(t, "CA max freq", ca.MaxFreqGHz(), 4.01, 0.02)
+	approx(t, "CA operating freq", ca.OperatingFreqGHz(), 3.6, 0.05)
+
+	approx(t, "AP 50nm", PipelineFor(ArchAP50).OperatingFreqGHz(), 0.133, 0.001)
+	approx(t, "AP 14nm", PipelineFor(ArchAP14).OperatingFreqGHz(), 1.69, 0.01)
+}
+
+func TestBitsPerCycle(t *testing.T) {
+	if BitsPerCycle(ArchSunder) != 16 || BitsPerCycle(ArchImpala) != 16 {
+		t.Error("16-bit architectures wrong")
+	}
+	if BitsPerCycle(ArchCA) != 8 || BitsPerCycle(ArchAP50) != 8 {
+		t.Error("8-bit architectures wrong")
+	}
+}
+
+// TestFigure8Shape checks the throughput ordering and rough ratios of
+// Figure 8 using the paper's average overheads (Sunder 1.0, others 4.69
+// with AP-style reporting).
+func TestFigure8Shape(t *testing.T) {
+	const apOverhead = 4.69
+	sunder := Throughput(ArchSunder, 1.0)
+	approx(t, "Sunder throughput", sunder, 57.6, 0.6)
+	impala := Throughput(ArchImpala, apOverhead)
+	ca := Throughput(ArchCA, apOverhead)
+	ap14 := Throughput(ArchAP14, apOverhead)
+	ap50 := Throughput(ArchAP50, apOverhead)
+	if !(sunder > impala && impala > ca && ca > ap14 && ap14 > ap50) {
+		t.Errorf("ordering wrong: %v %v %v %v %v", sunder, impala, ca, ap14, ap50)
+	}
+	// Paper: 280× vs AP(50nm), 22× vs AP(14nm), 10× vs CA, 4× vs Impala.
+	if r := sunder / ap50; r < 150 || r > 400 {
+		t.Errorf("Sunder/AP50 = %.0f, want ~250", r)
+	}
+	if r := sunder / ap14; r < 12 || r > 30 {
+		t.Errorf("Sunder/AP14 = %.1f, want ~20", r)
+	}
+	if r := sunder / ca; r < 6 || r > 13 {
+		t.Errorf("Sunder/CA = %.1f, want ~10", r)
+	}
+	if r := sunder / impala; r < 2.5 || r > 5 {
+		t.Errorf("Sunder/Impala = %.1f, want ~4", r)
+	}
+}
+
+func TestThroughputClampsOverhead(t *testing.T) {
+	if Throughput(ArchSunder, 0.5) != Throughput(ArchSunder, 1.0) {
+		t.Error("overhead below 1 not clamped")
+	}
+}
+
+// TestFigure9Shape checks the area ordering and the headline claims:
+// Sunder smallest, AP largest (~2.1×), and Sunder's reporting overhead
+// below 2%.
+func TestFigure9Shape(t *testing.T) {
+	const states = 32 * 1024
+	sunder := AreaFor(ArchSunder, states).Total()
+	ca := AreaFor(ArchCA, states).Total()
+	impala := AreaFor(ArchImpala, states).Total()
+	ap := AreaFor(ArchAP14, states).Total()
+	if !(sunder < ca && sunder < impala && sunder < ap) {
+		t.Errorf("Sunder not smallest: %v %v %v %v", sunder, ca, impala, ap)
+	}
+	if r := ap / sunder; r < 1.8 || r > 2.4 {
+		t.Errorf("AP/Sunder = %.2f, want ~2.1", r)
+	}
+	if r := ca / sunder; r < 1.2 || r > 1.9 {
+		t.Errorf("CA/Sunder = %.2f, want ~1.5", r)
+	}
+	if r := impala / sunder; r < 1.2 || r > 2.3 {
+		t.Errorf("Impala/Sunder = %.2f, want ~1.6", r)
+	}
+	if f := SunderReportingOverheadFraction(states); f > 0.02 {
+		t.Errorf("Sunder reporting fraction = %.4f, want < 0.02", f)
+	}
+	// Breakdown sanity: every component positive, totals scale with
+	// states.
+	b := AreaFor(ArchSunder, states)
+	if b.Match <= 0 || b.Interconnect <= 0 || b.Reporting <= 0 {
+		t.Errorf("breakdown has non-positive component: %+v", b)
+	}
+	if AreaFor(ArchSunder, 2*states).Total() <= sunder {
+		t.Error("area does not scale with states")
+	}
+}
+
+func TestAPProjection(t *testing.T) {
+	approx(t, "AP 14nm projection", APFreqGHz14nm(), 1.69, 0.02)
+}

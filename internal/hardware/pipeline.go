@@ -1,0 +1,125 @@
+package hardware
+
+// Pipeline model (Table 5): in-memory automata processing is a three-stage
+// pipeline — state matching, local switch, global switch — and the clock is
+// set by the slowest stage, derated 10%.
+
+// Arch identifies one of the compared architectures.
+type Arch string
+
+// Architectures of the evaluation.
+const (
+	ArchSunder Arch = "Sunder"
+	ArchImpala Arch = "Impala"
+	ArchCA     Arch = "CA"
+	ArchAP50   Arch = "AP (50nm)"
+	ArchAP14   Arch = "AP (14nm)"
+)
+
+// Pipeline holds the per-stage delays of one architecture.
+type Pipeline struct {
+	Arch            Arch
+	StateMatchingPS float64
+	LocalSwitchPS   float64
+	GlobalSwitchPS  float64
+	// fixedFreqGHz overrides the stage-delay calculation for the AP,
+	// whose internal pipeline is not public (Table 5 footnote).
+	fixedFreqGHz float64
+}
+
+// MaxFreqGHz returns the frequency implied by the slowest pipeline stage.
+func (p Pipeline) MaxFreqGHz() float64 {
+	if p.fixedFreqGHz > 0 {
+		return p.fixedFreqGHz
+	}
+	worst := p.StateMatchingPS
+	if p.LocalSwitchPS > worst {
+		worst = p.LocalSwitchPS
+	}
+	if p.GlobalSwitchPS > worst {
+		worst = p.GlobalSwitchPS
+	}
+	return 1000.0 / worst // 1/ps → GHz
+}
+
+// OperatingFreqGHz returns the derated operating frequency.
+func (p Pipeline) OperatingFreqGHz() float64 {
+	if p.fixedFreqGHz > 0 {
+		return p.fixedFreqGHz
+	}
+	return p.MaxFreqGHz() * FrequencyDerate
+}
+
+// globalSwitchDelayPS is a global-switch read plus the wire to it.
+func globalSwitchDelayPS(readPS, wirePS float64) float64 { return readPS + wirePS }
+
+// PipelineFor returns the Table 5 row for an architecture.
+func PipelineFor(a Arch) Pipeline {
+	globalWirePS := WireDelayPSPerMM * GlobalWireMM
+	switch a {
+	case ArchSunder:
+		return Pipeline{
+			Arch:            a,
+			StateMatchingPS: Sunder8T256.DelayPS,
+			LocalSwitchPS:   Sunder8T256.DelayPS,
+			GlobalSwitchPS:  globalSwitchDelayPS(Sunder8T256.DelayPS, globalWirePS),
+		}
+	case ArchImpala:
+		return Pipeline{
+			Arch:            a,
+			StateMatchingPS: Impala6T16.DelayPS,
+			LocalSwitchPS:   Sunder8T256.DelayPS,
+			GlobalSwitchPS:  globalSwitchDelayPS(Sunder8T256.DelayPS, ImpalaWireDelayPS),
+		}
+	case ArchCA:
+		return Pipeline{
+			Arch:            a,
+			StateMatchingPS: CA6T256.DelayPS,
+			LocalSwitchPS:   Sunder8T256.DelayPS,
+			GlobalSwitchPS:  globalSwitchDelayPS(Sunder8T256.DelayPS, globalWirePS),
+		}
+	case ArchAP50:
+		return Pipeline{Arch: a, fixedFreqGHz: APFreqGHz50nm}
+	case ArchAP14:
+		return Pipeline{Arch: a, fixedFreqGHz: APFreqGHz14nm()}
+	default:
+		panic("hardware: unknown architecture " + string(a))
+	}
+}
+
+// BitsPerCycle returns the symbol processing rate of each architecture in
+// the Figure 8 comparison: Sunder reconfigured to 16-bit, Impala fixed
+// 16-bit, CA and the AP fixed 8-bit.
+func BitsPerCycle(a Arch) int {
+	switch a {
+	case ArchSunder, ArchImpala:
+		return 16
+	case ArchCA, ArchAP50, ArchAP14:
+		return 8
+	default:
+		panic("hardware: unknown architecture " + string(a))
+	}
+}
+
+// ThroughputAtRate returns Sunder's throughput in Gbit/s at an arbitrary
+// configured rate (bits per cycle) and reporting overhead — the figure the
+// public API reports for a compiled engine.
+func ThroughputAtRate(bitsPerCycle int, overhead float64) float64 {
+	if overhead < 1 {
+		overhead = 1
+	}
+	return PipelineFor(ArchSunder).OperatingFreqGHz() * float64(bitsPerCycle) / overhead
+}
+
+// Throughput models Figure 8: overall throughput is
+// frequency × bits-per-cycle ÷ reporting-overhead — unlike prior work,
+// which quoted frequency × bits-per-cycle and overlooked reporting.
+// overhead is the average reporting slowdown (Table 4); 1.0 means
+// stall-free. The result is in Gbit/s.
+func Throughput(a Arch, overhead float64) float64 {
+	if overhead < 1 {
+		overhead = 1
+	}
+	p := PipelineFor(a)
+	return p.OperatingFreqGHz() * float64(BitsPerCycle(a)) / overhead
+}

@@ -1,0 +1,55 @@
+package hardware
+
+import "testing"
+
+func TestPowerBreakdown(t *testing.T) {
+	s := PowerFor(ArchSunder, 0)
+	// Idle reporting costs nothing in Sunder.
+	if s.ReportingMW != 0 {
+		t.Errorf("Sunder idle reporting power = %v", s.ReportingMW)
+	}
+	// Match and interconnect are both 8T reads.
+	if s.MatchMW != s.InterconnectMW {
+		t.Errorf("Sunder match %v != interconnect %v", s.MatchMW, s.InterconnectMW)
+	}
+	busy := PowerFor(ArchSunder, 1)
+	if busy.TotalMW() <= s.TotalMW() {
+		t.Error("reporting did not add power")
+	}
+	// Sunder's reporting power at full rate is one extra subarray access;
+	// AP-style reporting charges > 4 row writes per report cycle.
+	ca := PowerFor(ArchCA, 1)
+	if ca.ReportingMW <= busy.ReportingMW/2 {
+		t.Errorf("AP-style reporting power %v should far exceed Sunder's %v",
+			ca.ReportingMW, busy.ReportingMW)
+	}
+}
+
+func TestPowerClampsFraction(t *testing.T) {
+	lo := PowerFor(ArchSunder, -1)
+	hi := PowerFor(ArchSunder, 2)
+	if lo.ReportingMW != 0 || hi.ReportingMW != PowerFor(ArchSunder, 1).ReportingMW {
+		t.Error("fraction not clamped")
+	}
+}
+
+func TestEnergyPerByte(t *testing.T) {
+	// Sunder processes 2 bytes/cycle; the AP at 50nm processes 1 byte at
+	// 27× lower frequency but energy/byte is power/throughput, so the
+	// comparison must favour Sunder clearly.
+	s := EnergyPerByte(ArchSunder, 0.05)
+	ca := EnergyPerByte(ArchCA, 0.05)
+	if s <= 0 || ca <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	if s >= ca {
+		t.Errorf("Sunder energy/byte %v not below CA %v", s, ca)
+	}
+	// Frequency scaling sanity: all architectures yield finite positive
+	// values.
+	for _, a := range []Arch{ArchSunder, ArchImpala, ArchCA, ArchAP14, ArchAP50} {
+		if e := EnergyPerByte(a, 0.1); e <= 0 {
+			t.Errorf("%s energy = %v", a, e)
+		}
+	}
+}

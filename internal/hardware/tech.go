@@ -1,0 +1,102 @@
+// Package hardware encodes the technology and architecture models of the
+// paper's evaluation: the 14nm memory-compiler subarray parameters
+// (Table 2), the pipeline-stage delay and operating-frequency model
+// (Table 5), the throughput model (Figure 8) and the area model (Figure 9).
+//
+// The paper's absolute numbers come from a memory compiler under NDA and
+// SPICE wire models; the paper publishes the resulting constants, and this
+// package encodes exactly those published values. Where a bar in Figure 9
+// depends on unpublished internals (the AP's DRAM-process routing area),
+// the model derives it from the published claims (reporting is 40% of AP
+// area [21]); every such assumption is a named constant below.
+package hardware
+
+import "fmt"
+
+// CellType is the SRAM bit-cell family of a subarray.
+type CellType string
+
+// Cell families of Table 2.
+const (
+	Cell6T CellType = "6T"
+	Cell8T CellType = "8T"
+)
+
+// Subarray describes one memory subarray configuration from Table 2,
+// including peripheral overhead, in 14nm at nominal 0.8V.
+type Subarray struct {
+	Cell    CellType
+	Rows    int
+	Cols    int
+	DelayPS float64 // read access latency
+	PowerMW float64 // read power
+	AreaUM2 float64 // area including peripherals
+}
+
+// Bits returns the subarray capacity in bits.
+func (s Subarray) Bits() int { return s.Rows * s.Cols }
+
+// String formats the subarray like Table 2's Size column.
+func (s Subarray) String() string {
+	return fmt.Sprintf("%s %dx%d", s.Cell, s.Rows, s.Cols)
+}
+
+// Table 2 rows.
+var (
+	// Impala6T16 is the Impala state-matching subarray: 6T, 16×16.
+	Impala6T16 = Subarray{Cell: Cell6T, Rows: 16, Cols: 16, DelayPS: 180, PowerMW: 0.58, AreaUM2: 453}
+	// CA6T256 is the Cache Automaton state-matching subarray: 6T, 256×256.
+	CA6T256 = Subarray{Cell: Cell6T, Rows: 256, Cols: 256, DelayPS: 220, PowerMW: 5.52, AreaUM2: 9394}
+	// Sunder8T256 is the 8T 256×256 subarray used for Sunder state
+	// matching/reporting and for the interconnect of CA, Impala and
+	// Sunder. 8T cells are faster but larger than 6T.
+	Sunder8T256 = Subarray{Cell: Cell8T, Rows: 256, Cols: 256, DelayPS: 150, PowerMW: 6.07, AreaUM2: 20102}
+)
+
+// Table2 returns the subarray parameter rows in paper order, labeled by
+// usage.
+func Table2() []struct {
+	Usage string
+	Array Subarray
+} {
+	return []struct {
+		Usage string
+		Array Subarray
+	}{
+		{Usage: "State-matching (Impala)", Array: Impala6T16},
+		{Usage: "State-matching (CA)", Array: CA6T256},
+		{Usage: "Interconnect (CA, Impala, Sunder) / State-matching (Sunder)", Array: Sunder8T256},
+	}
+}
+
+// Wire and floorplan constants (Section 7.4).
+const (
+	// WireDelayPSPerMM is the SPICE-modeled global wire delay.
+	WireDelayPSPerMM = 66.0
+	// GlobalWireMM is the assumed distance between SRAM arrays and the
+	// global switch (half of a 3.19mm × 3mm CA-style slice).
+	GlobalWireMM = 1.5
+	// ImpalaWireDelayPS is the shorter wire to Impala's global switch
+	// (its matching subarrays are ~5× smaller).
+	ImpalaWireDelayPS = 20.0
+	// FrequencyDerate backs the operating frequency off the maximum to
+	// absorb estimation error (Section 7.4: "10% less").
+	FrequencyDerate = 0.9
+)
+
+// Technology-projection constants for the Automata Processor.
+const (
+	// APFreqGHz50nm is the AP's native symbol rate (7.5ns per symbol).
+	APFreqGHz50nm = 0.133
+	// APTechNM and TargetTechNM define the 50nm → 14nm projection. The
+	// paper projects frequency by the squared feature-size ratio, an
+	// assumption it calls ideal for the AP.
+	APTechNM     = 50.0
+	TargetTechNM = 14.0
+)
+
+// APFreqGHz14nm returns the AP frequency projected to 14nm.
+func APFreqGHz14nm() float64 {
+	r := APTechNM / TargetTechNM
+	return APFreqGHz50nm * r * r
+}

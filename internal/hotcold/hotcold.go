@@ -1,0 +1,164 @@
+// Package hotcold models the large-automata technique of Liu et al.
+// (MICRO 2018) that Section 1 of the Sunder paper calls complementary:
+// profiling shows most NFA states are never or rarely enabled, so only the
+// hot states are configured on the accelerator while the cold remainder
+// runs on the CPU. The price is intermediate-report traffic: every
+// activation of a hardware state whose successors live on the CPU must be
+// exported. Sunder's in-place reporting makes that export cheap where the
+// AP's hierarchical buffers stall — the claim this package quantifies
+// (see exp.HotColdStudy).
+//
+// The model: profile per-state activation counts on a training input,
+// keep the most active states up to a capacity budget, restrict the
+// automaton to that set, and mark boundary states (hot states with cold
+// successors) as intermediate-report states. The CPU→hardware re-injection
+// direction is not modeled; the study measures the hardware→CPU reporting
+// cost, which is the direction the reporting architecture serves.
+package hotcold
+
+import (
+	"fmt"
+	"sort"
+
+	"sunder/internal/automata"
+	"sunder/internal/funcsim"
+)
+
+// IntermediateCodeBase offsets report codes of boundary states so they are
+// distinguishable from application reports.
+const IntermediateCodeBase = 1 << 20
+
+// Profile counts, per state, the cycles in which the state was active on
+// the training input.
+func Profile(a *automata.Automaton, training []byte) []int64 {
+	counts := make([]int64, a.NumStates())
+	sim := funcsim.NewByteSimulator(a)
+	var scratch []automata.StateID
+	for _, b := range training {
+		sim.Step(b, scratch)
+		sim.Active().ForEach(func(i int) bool {
+			counts[i]++
+			return true
+		})
+	}
+	return counts
+}
+
+// Split is the result of a hot/cold partition.
+type Split struct {
+	// Hardware is the restricted automaton: hot states only, with
+	// boundary states carrying intermediate reports (their codes are
+	// IntermediateCodeBase + original state ID) in addition to any
+	// application reports.
+	Hardware *automata.Automaton
+	// HotStates and BoundaryStates count the partition.
+	HotStates      int
+	ColdStates     int
+	BoundaryStates int
+	// HotOf maps original state IDs to hardware state IDs (-1 = cold).
+	HotOf []automata.StateID
+}
+
+// SplitByCapacity partitions the automaton: the most-activated states (per
+// the profile) are kept up to capacity states; start states are always
+// kept so the hardware automaton remains well-formed.
+func SplitByCapacity(a *automata.Automaton, profile []int64, capacity int) (*Split, error) {
+	n := a.NumStates()
+	if len(profile) != n {
+		return nil, fmt.Errorf("hotcold: profile has %d entries for %d states", len(profile), n)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("hotcold: capacity %d", capacity)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return profile[order[x]] > profile[order[y]] })
+
+	hot := make([]bool, n)
+	kept := 0
+	for i := range a.States {
+		if a.States[i].Start != automata.StartNone {
+			hot[i] = true
+			kept++
+		}
+	}
+	for _, i := range order {
+		if kept >= capacity {
+			break
+		}
+		if !hot[i] && profile[i] > 0 {
+			hot[i] = true
+			kept++
+		}
+	}
+
+	s := &Split{Hardware: automata.NewAutomaton(), HotOf: make([]automata.StateID, n)}
+	for i := range s.HotOf {
+		s.HotOf[i] = -1
+	}
+	for i := range a.States {
+		if !hot[i] {
+			s.ColdStates++
+			continue
+		}
+		st := a.States[i]
+		st.Succ = nil
+		s.HotOf[i] = s.Hardware.AddState(st)
+		s.HotStates++
+	}
+	for i := range a.States {
+		if !hot[i] {
+			continue
+		}
+		hw := s.HotOf[i]
+		boundary := false
+		for _, t := range a.States[i].Succ {
+			if hot[t] {
+				s.Hardware.AddEdge(hw, s.HotOf[t])
+			} else {
+				boundary = true
+			}
+		}
+		if boundary {
+			s.BoundaryStates++
+			// Boundary activations export an intermediate report the
+			// CPU uses to continue the cold part.
+			hwState := &s.Hardware.States[hw]
+			if !hwState.Report {
+				hwState.Report = true
+				hwState.ReportCode = IntermediateCodeBase + int32(i)
+			}
+		}
+	}
+	s.Hardware.Normalize()
+	if err := s.Hardware.Validate(); err != nil {
+		return nil, fmt.Errorf("hotcold: restricted automaton invalid: %w", err)
+	}
+	return s, nil
+}
+
+// TrafficStats summarizes the intermediate-report load of a split on an
+// input.
+type TrafficStats struct {
+	Cycles              int64
+	IntermediateReports int64
+	ReportCycles        int64
+}
+
+// MeasureTraffic runs the hardware automaton and counts intermediate
+// reports (boundary activations).
+func (s *Split) MeasureTraffic(input []byte) TrafficStats {
+	res := funcsim.RunBytes(s.Hardware, input)
+	stats := TrafficStats{Cycles: res.Cycles}
+	cycles := map[int64]bool{}
+	for _, ev := range res.Events {
+		if ev.Code >= IntermediateCodeBase {
+			stats.IntermediateReports++
+			cycles[ev.Cycle] = true
+		}
+	}
+	stats.ReportCycles = int64(len(cycles))
+	return stats
+}

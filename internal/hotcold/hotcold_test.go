@@ -1,0 +1,117 @@
+package hotcold
+
+import (
+	"testing"
+
+	"sunder/internal/regex"
+)
+
+func TestProfileCountsActivations(t *testing.T) {
+	a := regex.MustCompile(`ab`, 1)
+	prof := Profile(a, []byte("ababxx"))
+	// State 0 ('a') activates at cycles 0 and 2; state 1 ('b') at 1, 3.
+	if prof[0] != 2 || prof[1] != 2 {
+		t.Errorf("profile = %v", prof)
+	}
+}
+
+func TestSplitKeepsStartsAndBounds(t *testing.T) {
+	set, err := regex.CompileSet([]regex.Pattern{
+		{Expr: `abcde`, Code: 1},
+		{Expr: `zzzzz`, Code: 2}, // never activated by training
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := Profile(set, []byte("abcdeabcde"))
+	s, err := SplitByCapacity(set, prof, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of pattern 1's profiled states are hot (plus both start
+	// states); pattern 2's tail is cold.
+	if s.ColdStates == 0 {
+		t.Error("nothing went cold")
+	}
+	if s.HotStates+s.ColdStates != set.NumStates() {
+		t.Error("partition does not cover the automaton")
+	}
+	if err := s.Hardware.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The truncated chain must have a boundary state exporting
+	// intermediate reports.
+	if s.BoundaryStates == 0 {
+		t.Error("no boundary states despite truncation")
+	}
+}
+
+func TestSplitTraffic(t *testing.T) {
+	set := regex.MustCompile(`ab.*cd`, 1)
+	prof := Profile(set, []byte("ababab"))
+	// Keep only the profiled prefix states: 'a', 'b' and the dot-star.
+	s, err := SplitByCapacity(set, prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s.MeasureTraffic([]byte("abxxabxx"))
+	if stats.IntermediateReports == 0 {
+		t.Fatal("no intermediate reports measured")
+	}
+	if stats.ReportCycles == 0 || stats.ReportCycles > stats.Cycles {
+		t.Errorf("report cycles = %d of %d", stats.ReportCycles, stats.Cycles)
+	}
+}
+
+func TestSplitPreservesApplicationReports(t *testing.T) {
+	set := regex.MustCompile(`ab`, 7)
+	prof := Profile(set, []byte("abab"))
+	s, err := SplitByCapacity(set, prof, set.NumStates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full capacity: nothing cold, no boundary, reports intact.
+	if s.ColdStates != 0 || s.BoundaryStates != 0 {
+		t.Errorf("full-capacity split went cold: %+v", s)
+	}
+	found := false
+	for i := range s.Hardware.States {
+		if s.Hardware.States[i].Report && s.Hardware.States[i].ReportCode == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("application report lost")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	a := regex.MustCompile(`ab`, 1)
+	if _, err := SplitByCapacity(a, []int64{1}, 2); err == nil {
+		t.Error("bad profile length accepted")
+	}
+	if _, err := SplitByCapacity(a, []int64{1, 1}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestHotOfMapping(t *testing.T) {
+	set := regex.MustCompile(`abcd`, 1)
+	prof := Profile(set, []byte("ababab")) // only a,b profiled
+	s, err := SplitByCapacity(set, prof, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotCount := 0
+	for orig, hw := range s.HotOf {
+		if hw >= 0 {
+			hotCount++
+			if int(hw) >= s.Hardware.NumStates() {
+				t.Errorf("HotOf[%d] = %d out of range", orig, hw)
+			}
+		}
+	}
+	if hotCount != s.HotStates {
+		t.Errorf("HotOf marks %d hot, split says %d", hotCount, s.HotStates)
+	}
+}

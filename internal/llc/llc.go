@@ -1,0 +1,259 @@
+// Package llc models the system-integration path of Section 6: realizing
+// Sunder by repurposing last-level-cache slices. Configuring the device
+// requires *flat* access to specific subarrays, but a Sandy-Bridge-style
+// LLC hashes physical addresses across slices at cache-line granularity and
+// a slice interleaves lines across ways and sets. The package models:
+//
+//   - the (reverse-engineered) slice hash: an XOR of selected physical
+//     address bits, as in Maurice et al.;
+//   - Cache Allocation Technology (CAT) way masking, restricting which
+//     ways a configuration stream may touch;
+//   - the virtual→physical translation of a large (1GB) page, so that a
+//     contiguous virtual configuration image lands on predictable slice
+//     addresses;
+//   - the address iterator used to write an automaton's configuration
+//     into the subarrays of a chosen slice/way, and to read report rows
+//     back (load for immediate processing, clflush for post-processing).
+//
+// The model is functional, not timing-accurate: its purpose is to exercise
+// the configuration path end to end (hash → slice → way → subarray row)
+// and to verify that every subarray row of a machine is reachable through
+// ordinary loads and stores.
+package llc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CacheGeometry describes a sliced last-level cache.
+type CacheGeometry struct {
+	// Slices is the number of LLC slices (usually one per core).
+	Slices int
+	// WaysPerSlice and SetsPerSlice give each slice's organization.
+	WaysPerSlice int
+	SetsPerSlice int
+	// LineBytes is the cache line size.
+	LineBytes int
+}
+
+// DefaultGeometry models an 8-slice, 16-way, 2.5MB/slice Xeon LLC (Chen et
+// al., the L3 slice the paper cites as matching Sunder's subarrays).
+func DefaultGeometry() CacheGeometry {
+	return CacheGeometry{Slices: 8, WaysPerSlice: 16, SetsPerSlice: 2048, LineBytes: 64}
+}
+
+// SliceBytes returns one slice's capacity.
+func (g CacheGeometry) SliceBytes() int { return g.WaysPerSlice * g.SetsPerSlice * g.LineBytes }
+
+// Validate checks the geometry.
+func (g CacheGeometry) Validate() error {
+	for _, v := range []int{g.Slices, g.WaysPerSlice, g.SetsPerSlice, g.LineBytes} {
+		if v <= 0 || v&(v-1) != 0 {
+			return fmt.Errorf("llc: geometry values must be positive powers of two: %+v", g)
+		}
+	}
+	return nil
+}
+
+// SliceHash is the complex-addressing function distributing physical
+// addresses over slices: slice = XOR of selected physical address bits per
+// output bit (Maurice et al.).
+type SliceHash struct {
+	// Masks[i] selects the physical-address bits XOR-folded into output
+	// bit i.
+	Masks []uint64
+}
+
+// DefaultHash returns a hash of the published Sandy Bridge form for up to
+// 8 slices.
+func DefaultHash(slices int) SliceHash {
+	// Bit masks adapted from the reverse-engineered Intel functions:
+	// each output bit XORs a distinct spread of address bits ≥ bit 6.
+	all := []uint64{
+		0x1b5f575440, // o0
+		0x2eb5faa880, // o1
+		0x3cccc93100, // o2
+	}
+	n := bits.Len(uint(slices - 1))
+	return SliceHash{Masks: all[:n]}
+}
+
+// SliceOf returns the slice index of a physical address.
+func (h SliceHash) SliceOf(pa uint64) int {
+	s := 0
+	for i, m := range h.Masks {
+		if bits.OnesCount64(pa&m)%2 == 1 {
+			s |= 1 << i
+		}
+	}
+	return s
+}
+
+// PageMapper models the 1GB-page virtual→physical translation the host
+// uses at configuration time (mmap + /proc/self/pagemap in Section 6): one
+// huge page is physically contiguous, so PA = base + (VA - vbase).
+type PageMapper struct {
+	VBase uint64
+	PBase uint64
+	Size  uint64
+}
+
+// NewPageMapper returns a mapper for one huge page.
+func NewPageMapper(vbase, pbase, size uint64) (*PageMapper, error) {
+	if size == 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("llc: page size %#x not a power of two", size)
+	}
+	if vbase%size != 0 || pbase%size != 0 {
+		return nil, fmt.Errorf("llc: page bases must be size-aligned")
+	}
+	return &PageMapper{VBase: vbase, PBase: pbase, Size: size}, nil
+}
+
+// Translate converts a virtual address within the page.
+func (p *PageMapper) Translate(va uint64) (uint64, error) {
+	if va < p.VBase || va >= p.VBase+p.Size {
+		return 0, fmt.Errorf("llc: va %#x outside page [%#x, %#x)", va, p.VBase, p.VBase+p.Size)
+	}
+	return p.PBase + (va - p.VBase), nil
+}
+
+// CATMask is a Cache Allocation Technology way mask: bit w set means way w
+// may be used by the configuring program.
+type CATMask uint32
+
+// Allows reports whether way w is permitted.
+func (m CATMask) Allows(w int) bool { return m&(1<<uint(w)) != 0 }
+
+// Ways returns the allowed way indices.
+func (m CATMask) Ways(total int) []int {
+	var out []int
+	for w := 0; w < total; w++ {
+		if m.Allows(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Mapper combines the pieces into the configuration-path model.
+type Mapper struct {
+	Geo  CacheGeometry
+	Hash SliceHash
+	Page *PageMapper
+	CAT  CATMask
+}
+
+// NewMapper validates and assembles a Mapper.
+func NewMapper(geo CacheGeometry, hash SliceHash, page *PageMapper, cat CATMask) (*Mapper, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if len(hash.Masks) < bits.Len(uint(geo.Slices-1)) {
+		return nil, fmt.Errorf("llc: hash produces %d bits for %d slices", len(hash.Masks), geo.Slices)
+	}
+	if len(cat.Ways(geo.WaysPerSlice)) == 0 {
+		return nil, fmt.Errorf("llc: CAT mask allows no ways")
+	}
+	return &Mapper{Geo: geo, Hash: hash, Page: page, CAT: cat}, nil
+}
+
+// Location is where a cache line lands.
+type Location struct {
+	Slice int
+	Set   int
+	// Way is not addressable by software; the CAT mask restricts the
+	// candidate set and the model reports the first allowed way.
+	Way int
+}
+
+// Locate maps a virtual address to its slice/set under the hash, assuming
+// replacement lands it in the first CAT-allowed way.
+func (m *Mapper) Locate(va uint64) (Location, error) {
+	pa, err := m.Page.Translate(va)
+	if err != nil {
+		return Location{}, err
+	}
+	line := pa / uint64(m.Geo.LineBytes)
+	return Location{
+		Slice: m.Hash.SliceOf(pa),
+		Set:   int(line % uint64(m.Geo.SetsPerSlice)),
+		Way:   m.CAT.Ways(m.Geo.WaysPerSlice)[0],
+	}, nil
+}
+
+// SliceAddresses scans the huge page and returns, for the target slice,
+// one virtual address per cache set in ascending set order — the flat
+// access sequence the host uses to write configuration rows into that
+// slice. An error is returned if some set is never hit (the hash model
+// would then be unusable for configuration).
+func (m *Mapper) SliceAddresses(slice int) ([]uint64, error) {
+	if slice < 0 || slice >= m.Geo.Slices {
+		return nil, fmt.Errorf("llc: slice %d out of range", slice)
+	}
+	found := make([]uint64, m.Geo.SetsPerSlice)
+	seen := make([]bool, m.Geo.SetsPerSlice)
+	remaining := m.Geo.SetsPerSlice
+	for off := uint64(0); off < m.Page.Size && remaining > 0; off += uint64(m.Geo.LineBytes) {
+		va := m.Page.VBase + off
+		loc, err := m.Locate(va)
+		if err != nil {
+			return nil, err
+		}
+		if loc.Slice != slice || seen[loc.Set] {
+			continue
+		}
+		seen[loc.Set] = true
+		found[loc.Set] = va
+		remaining--
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("llc: %d sets of slice %d unreachable within the page", remaining, slice)
+	}
+	return found, nil
+}
+
+// RowsPerSubarray mirrors the Sunder subarray height: a 256×256-bit
+// subarray holds 256 rows of 32 bytes; with 64-byte lines, one line covers
+// two rows.
+const subarrayRowBytes = 32
+
+// ConfigurationPlan enumerates the (virtual address, subarray row) pairs
+// used to write a machine's subarrays through the cache, exercising the
+// full Section 6 path.
+type ConfigurationPlan struct {
+	Slice int
+	// RowAddr[pu][row] is the virtual address whose cache line holds the
+	// row's 32 bytes.
+	RowAddr [][]uint64
+}
+
+// PlanConfiguration builds the write plan for numPUs subarrays of 256 rows
+// in the given slice. Each cache set stores LineBytes/subarrayRowBytes
+// rows.
+func (m *Mapper) PlanConfiguration(slice, numPUs int) (*ConfigurationPlan, error) {
+	addrs, err := m.SliceAddresses(slice)
+	if err != nil {
+		return nil, err
+	}
+	rowsPerLine := m.Geo.LineBytes / subarrayRowBytes
+	rowsAvailable := len(addrs) * rowsPerLine * m.CATWays()
+	need := numPUs * 256
+	if need > rowsAvailable {
+		return nil, fmt.Errorf("llc: %d PUs need %d rows; slice %d offers %d under the CAT mask",
+			numPUs, need, slice, rowsAvailable)
+	}
+	plan := &ConfigurationPlan{Slice: slice, RowAddr: make([][]uint64, numPUs)}
+	idx := 0
+	for pu := 0; pu < numPUs; pu++ {
+		plan.RowAddr[pu] = make([]uint64, 256)
+		for r := 0; r < 256; r++ {
+			plan.RowAddr[pu][r] = addrs[idx/rowsPerLine%len(addrs)]
+			idx++
+		}
+	}
+	return plan, nil
+}
+
+// CATWays returns the number of ways the CAT mask allows.
+func (m *Mapper) CATWays() int { return len(m.CAT.Ways(m.Geo.WaysPerSlice)) }

@@ -1,0 +1,155 @@
+package llc
+
+import "testing"
+
+func defaultMapper(t *testing.T) *Mapper {
+	t.Helper()
+	geo := DefaultGeometry()
+	page, err := NewPageMapper(0x40000000, 0x80000000, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMapper(geo, DefaultHash(geo.Slices), page, CATMask(0x3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.SliceBytes() != 2*1024*1024 {
+		t.Errorf("slice bytes = %d, want 2MiB", g.SliceBytes())
+	}
+	bad := g
+	bad.Slices = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two slices accepted")
+	}
+}
+
+func TestHashBalance(t *testing.T) {
+	h := DefaultHash(8)
+	counts := make([]int, 8)
+	for pa := uint64(0); pa < 1<<22; pa += 64 {
+		s := h.SliceOf(pa)
+		if s < 0 || s >= 8 {
+			t.Fatalf("slice %d out of range", s)
+		}
+		counts[s]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	for s, c := range counts {
+		frac := float64(c) / float64(total)
+		if frac < 0.08 || frac > 0.17 {
+			t.Errorf("slice %d holds %.3f of lines; hash unbalanced", s, frac)
+		}
+	}
+}
+
+func TestPageMapper(t *testing.T) {
+	p, err := NewPageMapper(0x40000000, 0x80000000, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := p.Translate(0x40000040)
+	if err != nil || pa != 0x80000040 {
+		t.Errorf("translate = %#x, %v", pa, err)
+	}
+	if _, err := p.Translate(0x3fffffff); err == nil {
+		t.Error("out-of-page VA accepted")
+	}
+	if _, err := NewPageMapper(0x1000, 0x2000, 3000); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if _, err := NewPageMapper(0x1234, 0x2000, 1<<30); err == nil {
+		t.Error("unaligned base accepted")
+	}
+}
+
+func TestCATMask(t *testing.T) {
+	m := CATMask(0b1010)
+	if m.Allows(0) || !m.Allows(1) || m.Allows(2) || !m.Allows(3) {
+		t.Error("Allows wrong")
+	}
+	if got := m.Ways(16); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Ways = %v", got)
+	}
+}
+
+func TestMapperValidation(t *testing.T) {
+	geo := DefaultGeometry()
+	page, _ := NewPageMapper(0, 0, 1<<30)
+	if _, err := NewMapper(geo, SliceHash{Masks: []uint64{1}}, page, 1); err == nil {
+		t.Error("insufficient hash bits accepted")
+	}
+	if _, err := NewMapper(geo, DefaultHash(8), page, 0); err == nil {
+		t.Error("empty CAT mask accepted")
+	}
+}
+
+func TestSliceAddressesCoverAllSets(t *testing.T) {
+	m := defaultMapper(t)
+	addrs, err := m.SliceAddresses(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != m.Geo.SetsPerSlice {
+		t.Fatalf("addresses = %d, want %d", len(addrs), m.Geo.SetsPerSlice)
+	}
+	for set, va := range addrs {
+		loc, err := m.Locate(va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loc.Slice != 3 || loc.Set != set {
+			t.Errorf("address %#x maps to slice %d set %d, want slice 3 set %d",
+				va, loc.Slice, loc.Set, set)
+		}
+	}
+}
+
+func TestPlanConfiguration(t *testing.T) {
+	m := defaultMapper(t)
+	plan, err := m.PlanConfiguration(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.RowAddr) != 4 {
+		t.Fatalf("PUs = %d", len(plan.RowAddr))
+	}
+	for pu := range plan.RowAddr {
+		if len(plan.RowAddr[pu]) != 256 {
+			t.Fatalf("rows = %d", len(plan.RowAddr[pu]))
+		}
+		for _, va := range plan.RowAddr[pu] {
+			loc, err := m.Locate(va)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loc.Slice != 2 {
+				t.Fatalf("config address %#x landed in slice %d", va, loc.Slice)
+			}
+			if !m.CAT.Allows(loc.Way) {
+				t.Fatalf("way %d not allowed by CAT", loc.Way)
+			}
+		}
+	}
+}
+
+func TestPlanConfigurationCapacity(t *testing.T) {
+	m := defaultMapper(t)
+	// 2 ways × 2048 sets × 2 rows/line = 8192 rows = 32 PUs max.
+	if _, err := m.PlanConfiguration(0, 33); err == nil {
+		t.Error("over-capacity plan accepted")
+	}
+	if _, err := m.PlanConfiguration(9, 1); err == nil {
+		t.Error("bad slice accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package mapping
+
+import "fmt"
+
+// Device capacity and reconfiguration-rounds model. Section 1 of the paper:
+// "If device capacity is not enough for an application, either more
+// hardware units or multiple rounds of reconfigurations are required."
+// When a rule set needs more PUs than the device provides, the input is
+// streamed once per configuration round, and each round pays a
+// reconfiguration cost (writing the subarrays and switch tables through
+// the Section 6 cache path).
+
+// Device describes one Sunder device's capacity.
+type Device struct {
+	// PUs is the number of 256-state processing units (a repurposed LLC
+	// slice of 2MB holds 32 match/report + 32 crossbar subarrays ⇒ 16
+	// PUs per slice; a large Xeon LLC offers hundreds).
+	PUs int
+	// ReconfigureCyclesPerPU is the cost of writing one PU's match rows
+	// and crossbar rows through the configuration path (512 row writes).
+	ReconfigureCyclesPerPU int64
+}
+
+// DefaultDevice models eight repurposed 2MB LLC slices.
+func DefaultDevice() Device {
+	return Device{PUs: 128, ReconfigureCyclesPerPU: 512}
+}
+
+// ExecutionPlan describes how an application runs on a device.
+type ExecutionPlan struct {
+	// RequiredPUs is the placement's PU count.
+	RequiredPUs int
+	// Rounds is the number of configuration rounds (1 = fits).
+	Rounds int
+	// ReconfigureCycles is the total configuration cost across rounds.
+	ReconfigureCycles int64
+}
+
+// Plan computes the execution plan for a placement on a device.
+func (d Device) Plan(p *Placement) (ExecutionPlan, error) {
+	if d.PUs < PUsPerCluster {
+		return ExecutionPlan{}, fmt.Errorf("mapping: device must have at least one cluster (%d PUs)", PUsPerCluster)
+	}
+	rounds := (p.NumPUs + d.PUs - 1) / d.PUs
+	if rounds < 1 {
+		rounds = 1
+	}
+	return ExecutionPlan{
+		RequiredPUs:       p.NumPUs,
+		Rounds:            rounds,
+		ReconfigureCycles: int64(minInt(p.NumPUs, rounds*d.PUs)) * d.ReconfigureCyclesPerPU,
+	}, nil
+}
+
+// EffectiveThroughputFactor returns the throughput multiplier versus a
+// device that fits the whole application: the input is streamed Rounds
+// times, plus the amortized reconfiguration cost.
+func (p ExecutionPlan) EffectiveThroughputFactor(inputCycles int64) float64 {
+	if inputCycles <= 0 {
+		return 1
+	}
+	total := int64(p.Rounds)*inputCycles + p.ReconfigureCycles
+	return float64(inputCycles) / float64(total)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

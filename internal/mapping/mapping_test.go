@@ -1,0 +1,165 @@
+package mapping
+
+import (
+	"testing"
+
+	"sunder/internal/automata"
+	"sunder/internal/regex"
+	"sunder/internal/transform"
+)
+
+func nibbleOf(t *testing.T, patterns []regex.Pattern, rate int) *automata.UnitAutomaton {
+	t.Helper()
+	a, err := regex.CompileSet(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := transform.ToRate(a, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ua
+}
+
+func TestPlaceSmall(t *testing.T) {
+	ua := nibbleOf(t, []regex.Pattern{{Expr: `abcd`, Code: 1}}, 1)
+	p, err := Place(ua, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPUs != 1 {
+		t.Errorf("PUs = %d, want 1", p.NumPUs)
+	}
+	// Every report state must sit in the report columns.
+	for s := range ua.States {
+		loc := p.Of[s]
+		isRep := len(ua.States[s].Reports) > 0
+		inRegion := loc.Col >= StatesPerPU-p.ReportColumns
+		if isRep != inRegion {
+			t.Errorf("state %d report=%v but col=%d", s, isRep, loc.Col)
+		}
+		if p.StateAt[loc.PU][loc.Col] != int32(s) {
+			t.Errorf("StateAt inverse broken for state %d", s)
+		}
+	}
+}
+
+func TestPlaceManyComponents(t *testing.T) {
+	// 120 independent 16-state chains, built directly so minimization
+	// cannot merge or connect them.
+	ua := automata.NewUnitAutomaton(4, 1, 2)
+	for i := 0; i < 120; i++ {
+		var prev automata.StateID = -1
+		for k := 0; k < 16; k++ {
+			s := automata.UnitState{
+				Match: [automata.MaxRate]automata.UnitSet{automata.UnitSet(1 << uint((i+k)%16))},
+			}
+			if k == 0 {
+				s.Start = automata.StartAllInput
+			}
+			if k == 15 {
+				s.Reports = []automata.Report{{Offset: 0, Code: int32(i), Origin: int32(i)}}
+			}
+			id := ua.AddState(s)
+			if prev >= 0 {
+				ua.States[prev].Succ = []automata.StateID{id}
+			}
+			prev = id
+		}
+	}
+	ua.Normalize()
+	p, err := Place(ua, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 components × 16 nibble states; 12 report columns per PU cap
+	// the packing at 12 components/PU → at least 10 PUs.
+	if p.NumPUs < 10 {
+		t.Errorf("PUs = %d, want >= 10 (report-column constrained)", p.NumPUs)
+	}
+	st := p.ComputeStats(ua)
+	if st.CrossPUEdges != 0 {
+		t.Errorf("small components should not cross PUs: %d edges", st.CrossPUEdges)
+	}
+	if st.ReportsPlaced != ua.NumReportStates() {
+		t.Errorf("reports placed = %d, want %d", st.ReportsPlaced, ua.NumReportStates())
+	}
+}
+
+func TestPlaceLargeComponentSpansCluster(t *testing.T) {
+	// One connected pattern with > 256 nibble states.
+	ua := nibbleOf(t, []regex.Pattern{{Expr: `abcdefghijklmnopqrstuvwxyz{4}`, Code: 1}}, 1)
+	if ua.NumStates() <= StatesPerPU {
+		// Lengthen until it spans.
+		t.Skip("pattern too small to span")
+	}
+	p, err := Place(ua, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.ComputeStats(ua)
+	if st.CrossPUEdges == 0 {
+		t.Error("large component placed without cross-PU edges")
+	}
+	// All cross-PU edges stay inside one cluster.
+	for s := range ua.States {
+		for _, succ := range ua.States[s].Succ {
+			if ClusterOf(p.Of[s].PU) != ClusterOf(p.Of[succ].PU) {
+				t.Fatalf("edge %d→%d crosses clusters", s, succ)
+			}
+		}
+	}
+}
+
+func TestPlaceRejectsOversized(t *testing.T) {
+	// A single chain of > 1024 states cannot fit a cluster.
+	a := automata.NewUnitAutomaton(4, 1, 2)
+	var prev automata.StateID = -1
+	for i := 0; i < StatesPerCluster+10; i++ {
+		s := automata.UnitState{Match: [automata.MaxRate]automata.UnitSet{1}}
+		if i == 0 {
+			s.Start = automata.StartAllInput
+		}
+		id := a.AddState(s)
+		if prev >= 0 {
+			a.States[prev].Succ = []automata.StateID{id}
+		}
+		prev = id
+	}
+	a.States[prev].Reports = []automata.Report{{Offset: 0, Code: 1}}
+	if _, err := Place(a, 12); err == nil {
+		t.Error("oversized component accepted")
+	}
+}
+
+func TestPlaceRejectsBadBudget(t *testing.T) {
+	ua := nibbleOf(t, []regex.Pattern{{Expr: `ab`, Code: 1}}, 1)
+	if _, err := Place(ua, 0); err == nil {
+		t.Error("zero report columns accepted")
+	}
+	if _, err := Place(ua, 500); err == nil {
+		t.Error("huge report columns accepted")
+	}
+}
+
+func TestPlaceTooManyReportsInComponent(t *testing.T) {
+	// A single component with more report states than a cluster's
+	// report budget (12 columns × 4 PUs = 48) must be rejected. Build it
+	// directly: a hub fanning out to 60 distinct report states.
+	ua := automata.NewUnitAutomaton(4, 1, 2)
+	hub := ua.AddState(automata.UnitState{
+		Match: [automata.MaxRate]automata.UnitSet{1},
+		Start: automata.StartAllInput,
+	})
+	for i := 0; i < 60; i++ {
+		rep := ua.AddState(automata.UnitState{
+			Match:   [automata.MaxRate]automata.UnitSet{automata.UnitSet(1 << uint(i%16))},
+			Reports: []automata.Report{{Offset: 0, Code: int32(i), Origin: int32(i)}},
+		})
+		ua.States[hub].Succ = append(ua.States[hub].Succ, rep)
+	}
+	ua.Normalize()
+	if _, err := Place(ua, 12); err == nil {
+		t.Error("component with 60 report states accepted with 12×4 budget")
+	}
+}

@@ -1,0 +1,99 @@
+// Package regex compiles a practical regular-expression subset into
+// homogeneous NFAs via the Glushkov position construction, which yields a
+// homogeneous automaton directly: every position in the pattern becomes one
+// STE labeled with that position's character class.
+//
+// Supported syntax: literals, ".", character classes ("[a-z]", "[^...]",
+// ranges, escapes), the escapes \d \D \w \W \s \S \n \t \r \xHH and escaped
+// metacharacters, grouping "(...)", alternation "|", the quantifiers
+// "*", "+", "?", "{m}", "{m,}", "{m,n}", a leading "(?i)" flag for ASCII
+// case-insensitive matching, and a leading "^" anchor (compiled to a
+// start-of-data STE). Patterns that can match the empty string are
+// rejected: a homogeneous STE reports only when a symbol activates it.
+package regex
+
+import "sunder/internal/bitvec"
+
+// node is a regex AST node.
+type node interface {
+	// nullable reports whether the node matches the empty string.
+	nullable() bool
+}
+
+// classNode matches one input byte from a symbol set. Each classNode is one
+// Glushkov position and becomes one STE.
+type classNode struct {
+	set bitvec.V256
+	pos int // assigned during numbering
+}
+
+// concatNode matches its children in sequence.
+type concatNode struct{ subs []node }
+
+// altNode matches any one of its children.
+type altNode struct{ subs []node }
+
+// starNode matches zero or more repetitions of its child.
+type starNode struct{ sub node }
+
+// plusNode matches one or more repetitions of its child.
+type plusNode struct{ sub node }
+
+// optNode matches zero or one occurrence of its child.
+type optNode struct{ sub node }
+
+// emptyNode matches the empty string (used only transiently, e.g. "x{0}").
+type emptyNode struct{}
+
+func (*classNode) nullable() bool { return false }
+func (n *concatNode) nullable() bool {
+	for _, s := range n.subs {
+		if !s.nullable() {
+			return false
+		}
+	}
+	return true
+}
+func (n *altNode) nullable() bool {
+	for _, s := range n.subs {
+		if s.nullable() {
+			return true
+		}
+	}
+	return false
+}
+func (*starNode) nullable() bool   { return true }
+func (n *plusNode) nullable() bool { return n.sub.nullable() }
+func (*optNode) nullable() bool    { return true }
+func (*emptyNode) nullable() bool  { return true }
+
+// clone produces a structural copy of the AST (bounded repetition expands by
+// duplication, and positions must be distinct per copy).
+func clone(n node) node {
+	switch n := n.(type) {
+	case *classNode:
+		return &classNode{set: n.set}
+	case *concatNode:
+		subs := make([]node, len(n.subs))
+		for i, s := range n.subs {
+			subs[i] = clone(s)
+		}
+		return &concatNode{subs: subs}
+	case *altNode:
+		subs := make([]node, len(n.subs))
+		for i, s := range n.subs {
+			subs[i] = clone(s)
+		}
+		return &altNode{subs: subs}
+	case *starNode:
+		return &starNode{sub: clone(n.sub)}
+	case *plusNode:
+		return &plusNode{sub: clone(n.sub)}
+	case *optNode:
+		return &optNode{sub: clone(n.sub)}
+	case *emptyNode:
+		return &emptyNode{}
+	default:
+		panic("regex: unknown node type")
+	}
+}

@@ -1,0 +1,191 @@
+package regex
+
+import (
+	"sunder/internal/automata"
+)
+
+// Glushkov position construction. Each classNode occurrence ("position")
+// becomes one STE. first/last/follow sets over positions give start flags,
+// report flags, and edges respectively. The construction never introduces
+// epsilon transitions, so the result is homogeneous by construction.
+
+type glushkov struct {
+	positions []*classNode
+	first     map[int]bool
+	last      map[int]bool
+	follow    map[int]map[int]bool
+}
+
+// number assigns position indices to every classNode in depth-first order.
+func (g *glushkov) number(n node) {
+	switch n := n.(type) {
+	case *classNode:
+		n.pos = len(g.positions)
+		g.positions = append(g.positions, n)
+	case *concatNode:
+		for _, s := range n.subs {
+			g.number(s)
+		}
+	case *altNode:
+		for _, s := range n.subs {
+			g.number(s)
+		}
+	case *starNode:
+		g.number(n.sub)
+	case *plusNode:
+		g.number(n.sub)
+	case *optNode:
+		g.number(n.sub)
+	case *emptyNode:
+	}
+}
+
+// firstSet returns the positions that can begin a match of n.
+func firstSet(n node) map[int]bool {
+	out := map[int]bool{}
+	switch n := n.(type) {
+	case *classNode:
+		out[n.pos] = true
+	case *concatNode:
+		for _, s := range n.subs {
+			for p := range firstSet(s) {
+				out[p] = true
+			}
+			if !s.nullable() {
+				break
+			}
+		}
+	case *altNode:
+		for _, s := range n.subs {
+			for p := range firstSet(s) {
+				out[p] = true
+			}
+		}
+	case *starNode:
+		return firstSet(n.sub)
+	case *plusNode:
+		return firstSet(n.sub)
+	case *optNode:
+		return firstSet(n.sub)
+	case *emptyNode:
+	}
+	return out
+}
+
+// lastSet returns the positions that can end a match of n.
+func lastSet(n node) map[int]bool {
+	out := map[int]bool{}
+	switch n := n.(type) {
+	case *classNode:
+		out[n.pos] = true
+	case *concatNode:
+		for i := len(n.subs) - 1; i >= 0; i-- {
+			for p := range lastSet(n.subs[i]) {
+				out[p] = true
+			}
+			if !n.subs[i].nullable() {
+				break
+			}
+		}
+	case *altNode:
+		for _, s := range n.subs {
+			for p := range lastSet(s) {
+				out[p] = true
+			}
+		}
+	case *starNode:
+		return lastSet(n.sub)
+	case *plusNode:
+		return lastSet(n.sub)
+	case *optNode:
+		return lastSet(n.sub)
+	case *emptyNode:
+	}
+	return out
+}
+
+// computeFollow fills g.follow for every position in n.
+func (g *glushkov) computeFollow(n node) {
+	add := func(from int, tos map[int]bool) {
+		m := g.follow[from]
+		if m == nil {
+			m = map[int]bool{}
+			g.follow[from] = m
+		}
+		for t := range tos {
+			m[t] = true
+		}
+	}
+	switch n := n.(type) {
+	case *concatNode:
+		for _, s := range n.subs {
+			g.computeFollow(s)
+		}
+		// last(subs[i]) is followed by first(subs[j]) for the earliest
+		// non-nullable j > i and every nullable sub in between.
+		for i := 0; i < len(n.subs)-1; i++ {
+			lasts := lastSet(n.subs[i])
+			for j := i + 1; j < len(n.subs); j++ {
+				firsts := firstSet(n.subs[j])
+				for p := range lasts {
+					add(p, firsts)
+				}
+				if !n.subs[j].nullable() {
+					break
+				}
+			}
+		}
+	case *altNode:
+		for _, s := range n.subs {
+			g.computeFollow(s)
+		}
+	case *starNode:
+		g.computeFollow(n.sub)
+		firsts := firstSet(n.sub)
+		for p := range lastSet(n.sub) {
+			add(p, firsts)
+		}
+	case *plusNode:
+		g.computeFollow(n.sub)
+		firsts := firstSet(n.sub)
+		for p := range lastSet(n.sub) {
+			add(p, firsts)
+		}
+	case *optNode:
+		g.computeFollow(n.sub)
+	case *classNode, *emptyNode:
+	}
+}
+
+// build converts the AST into a homogeneous NFA.
+func build(root node, anchored bool, reportCode int32) *automata.Automaton {
+	g := &glushkov{follow: map[int]map[int]bool{}}
+	g.number(root)
+	g.first = firstSet(root)
+	g.last = lastSet(root)
+	g.computeFollow(root)
+
+	a := automata.NewAutomaton()
+	startKind := automata.StartAllInput
+	if anchored {
+		startKind = automata.StartOfData
+	}
+	for i, c := range g.positions {
+		s := automata.State{Match: c.set}
+		if g.first[i] {
+			s.Start = startKind
+		}
+		if g.last[i] {
+			s.Report = true
+			s.ReportCode = reportCode
+		}
+		a.AddState(s)
+	}
+	for from, tos := range g.follow {
+		for to := range tos {
+			a.AddEdge(automata.StateID(from), automata.StateID(to))
+		}
+	}
+	a.Normalize()
+	return a
+}

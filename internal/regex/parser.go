@@ -1,0 +1,460 @@
+package regex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sunder/internal/automata"
+	"sunder/internal/bitvec"
+)
+
+// maxRepeat bounds {m,n} expansion so a typo cannot explode compilation.
+const maxRepeat = 1024
+
+// SyntaxError describes a pattern parse failure with its byte offset.
+type SyntaxError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("regex: %s at offset %d in %q", e.Msg, e.Pos, e.Pattern)
+}
+
+type parser struct {
+	src string
+	pos int
+	// anchored is set when the pattern begins with "^".
+	anchored bool
+	// foldCase is set by a leading "(?i)" flag: ASCII letters match both
+	// cases, as in common rule sets (Snort content matches default to
+	// case-insensitive).
+	foldCase bool
+}
+
+// newClass wraps classNode construction, applying case folding when the
+// (?i) flag is active.
+func (p *parser) newClass(set bitvec.V256) *classNode {
+	if p.foldCase {
+		for b := 'a'; b <= 'z'; b++ {
+			upper := int(b) - 'a' + 'A'
+			if set.Get(int(b)) {
+				set.Set(upper)
+			}
+			if set.Get(upper) {
+				set.Set(int(b))
+			}
+		}
+	}
+	return &classNode{set: set}
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pattern: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool  { return p.pos >= len(p.src) }
+func (p *parser) peek() byte { return p.src[p.pos] }
+func (p *parser) next() byte { c := p.src[p.pos]; p.pos++; return c }
+func (p *parser) accept(c byte) bool {
+	if !p.eof() && p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parse parses the whole pattern.
+func (p *parser) parse() (node, error) {
+	if strings.HasPrefix(p.src[p.pos:], "(?i)") {
+		p.foldCase = true
+		p.pos += 4
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^") {
+		p.anchored = true
+		p.pos++
+	}
+	n, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errf("unexpected %q", p.peek())
+	}
+	return n, nil
+}
+
+func (p *parser) alternation() (node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []node{first}
+	for p.accept('|') {
+		n, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &altNode{subs: subs}, nil
+}
+
+func (p *parser) concat() (node, error) {
+	var subs []node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		n, err := p.repetition()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	switch len(subs) {
+	case 0:
+		return &emptyNode{}, nil
+	case 1:
+		return subs[0], nil
+	default:
+		return &concatNode{subs: subs}, nil
+	}
+}
+
+func (p *parser) repetition() (node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = &starNode{sub: atom}
+		case '+':
+			p.pos++
+			atom = &plusNode{sub: atom}
+		case '?':
+			p.pos++
+			atom = &optNode{sub: atom}
+		case '{':
+			rep, ok, err := p.tryCount()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return atom, nil
+			}
+			atom = expandRepeat(atom, rep.min, rep.max)
+		default:
+			return atom, nil
+		}
+	}
+	return atom, nil
+}
+
+type repeatCount struct {
+	min, max int // max < 0 means unbounded
+}
+
+// tryCount parses "{m}", "{m,}" or "{m,n}". A "{" not followed by a valid
+// count is treated as a literal brace, matching common regex engines.
+func (p *parser) tryCount() (repeatCount, bool, error) {
+	start := p.pos
+	p.pos++ // consume '{'
+	digits := func() (int, bool) {
+		s := p.pos
+		for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+			p.pos++
+		}
+		if p.pos == s {
+			return 0, false
+		}
+		v, err := strconv.Atoi(p.src[s:p.pos])
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	min, ok := digits()
+	if !ok {
+		p.pos = start
+		return repeatCount{}, false, nil
+	}
+	max := min
+	if p.accept(',') {
+		if v, ok := digits(); ok {
+			max = v
+		} else {
+			max = -1
+		}
+	}
+	if !p.accept('}') {
+		p.pos = start
+		return repeatCount{}, false, nil
+	}
+	if max >= 0 && max < min {
+		p.pos = start
+		return repeatCount{}, false, p.errf("invalid repeat count {%d,%d}", min, max)
+	}
+	if min > maxRepeat || max > maxRepeat {
+		p.pos = start
+		return repeatCount{}, false, p.errf("repeat count exceeds %d", maxRepeat)
+	}
+	return repeatCount{min: min, max: max}, true, nil
+}
+
+// expandRepeat rewrites n{min,max} by duplication: min mandatory copies
+// followed by either a star (unbounded) or max-min optional copies.
+func expandRepeat(n node, min, max int) node {
+	var subs []node
+	for i := 0; i < min; i++ {
+		subs = append(subs, clone(n))
+	}
+	if max < 0 {
+		subs = append(subs, &starNode{sub: clone(n)})
+	} else {
+		for i := min; i < max; i++ {
+			subs = append(subs, &optNode{sub: clone(n)})
+		}
+	}
+	switch len(subs) {
+	case 0:
+		return &emptyNode{}
+	case 1:
+		return subs[0]
+	default:
+		return &concatNode{subs: subs}
+	}
+}
+
+func (p *parser) atom() (node, error) {
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		n, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(')') {
+			return nil, p.errf("missing )")
+		}
+		return n, nil
+	case '[':
+		set, err := p.class()
+		if err != nil {
+			return nil, err
+		}
+		return p.newClass(set), nil
+	case '.':
+		p.pos++
+		return p.newClass(automata.AllSymbols()), nil
+	case '\\':
+		set, err := p.escape()
+		if err != nil {
+			return nil, err
+		}
+		return p.newClass(set), nil
+	case '*', '+', '?':
+		return nil, p.errf("quantifier %q with nothing to repeat", c)
+	case ')':
+		return nil, p.errf("unmatched )")
+	case '$':
+		return nil, p.errf("end anchor $ is not supported: homogeneous STEs report on symbol activation, not end of input")
+	case '^':
+		return nil, p.errf("^ is only valid at the start of the pattern")
+	default:
+		p.pos++
+		return p.newClass(automata.Symbol(c)), nil
+	}
+}
+
+// escape parses a backslash escape and returns its symbol set.
+func (p *parser) escape() (bitvec.V256, error) {
+	p.pos++ // consume backslash
+	if p.eof() {
+		return bitvec.V256{}, p.errf("trailing backslash")
+	}
+	c := p.next()
+	switch c {
+	case 'n':
+		return automata.Symbol('\n'), nil
+	case 't':
+		return automata.Symbol('\t'), nil
+	case 'r':
+		return automata.Symbol('\r'), nil
+	case 'f':
+		return automata.Symbol('\f'), nil
+	case 'v':
+		return automata.Symbol('\v'), nil
+	case '0':
+		return automata.Symbol(0), nil
+	case 'd':
+		return classDigit(), nil
+	case 'D':
+		return classDigit().Not(), nil
+	case 'w':
+		return classWord(), nil
+	case 'W':
+		return classWord().Not(), nil
+	case 's':
+		return classSpace(), nil
+	case 'S':
+		return classSpace().Not(), nil
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return bitvec.V256{}, p.errf("truncated \\x escape")
+		}
+		v, err := strconv.ParseUint(p.src[p.pos:p.pos+2], 16, 8)
+		if err != nil {
+			return bitvec.V256{}, p.errf("bad \\x escape: %v", err)
+		}
+		p.pos += 2
+		return automata.Symbol(byte(v)), nil
+	default:
+		// Escaped metacharacter or punctuation matches itself.
+		return automata.Symbol(c), nil
+	}
+}
+
+// class parses "[...]" including negation and ranges.
+func (p *parser) class() (bitvec.V256, error) {
+	var set bitvec.V256
+	p.pos++ // consume '['
+	neg := p.accept('^')
+	first := true
+	for {
+		if p.eof() {
+			return set, p.errf("missing ]")
+		}
+		if p.peek() == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		lo, loSet, err := p.classAtom()
+		if err != nil {
+			return set, err
+		}
+		if loSet != nil {
+			// A multi-byte escape like \d inside a class; ranges over it
+			// are invalid.
+			if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+				return set, p.errf("character class escape cannot be a range endpoint")
+			}
+			set = set.Or(*loSet)
+			continue
+		}
+		hi := lo
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++
+			h, hiSet, err := p.classAtom()
+			if err != nil {
+				return set, err
+			}
+			if hiSet != nil {
+				return set, p.errf("character class escape cannot be a range endpoint")
+			}
+			hi = h
+		}
+		if hi < lo {
+			return set, p.errf("inverted range %q-%q", lo, hi)
+		}
+		set = set.Or(automata.Range(lo, hi))
+	}
+	// Case folding applies to the listed members, before negation:
+	// (?i)[^a] excludes both cases. The folded set is case-symmetric, so
+	// the fold in newClass is a no-op afterwards.
+	if p.foldCase {
+		for b := 'a'; b <= 'z'; b++ {
+			upper := int(b) - 'a' + 'A'
+			if set.Get(int(b)) {
+				set.Set(upper)
+			}
+			if set.Get(upper) {
+				set.Set(int(b))
+			}
+		}
+	}
+	if neg {
+		set = set.Not()
+	}
+	if !set.Any() {
+		return set, p.errf("empty character class")
+	}
+	return set, nil
+}
+
+// classAtom parses one class element: either a single byte (returned as lo)
+// or a multi-byte escape (returned as a set).
+func (p *parser) classAtom() (byte, *bitvec.V256, error) {
+	c := p.next()
+	if c != '\\' {
+		return c, nil, nil
+	}
+	if p.eof() {
+		return 0, nil, p.errf("trailing backslash in class")
+	}
+	e := p.next()
+	switch e {
+	case 'n':
+		return '\n', nil, nil
+	case 't':
+		return '\t', nil, nil
+	case 'r':
+		return '\r', nil, nil
+	case 'f':
+		return '\f', nil, nil
+	case 'v':
+		return '\v', nil, nil
+	case '0':
+		return 0, nil, nil
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return 0, nil, p.errf("truncated \\x escape in class")
+		}
+		v, err := strconv.ParseUint(p.src[p.pos:p.pos+2], 16, 8)
+		if err != nil {
+			return 0, nil, p.errf("bad \\x escape in class: %v", err)
+		}
+		p.pos += 2
+		return byte(v), nil, nil
+	case 'd':
+		s := classDigit()
+		return 0, &s, nil
+	case 'D':
+		s := classDigit().Not()
+		return 0, &s, nil
+	case 'w':
+		s := classWord()
+		return 0, &s, nil
+	case 'W':
+		s := classWord().Not()
+		return 0, &s, nil
+	case 's':
+		s := classSpace()
+		return 0, &s, nil
+	case 'S':
+		s := classSpace().Not()
+		return 0, &s, nil
+	default:
+		return e, nil, nil
+	}
+}
+
+func classDigit() bitvec.V256 { return automata.Range('0', '9') }
+
+func classWord() bitvec.V256 {
+	s := automata.Range('a', 'z')
+	s = s.Or(automata.Range('A', 'Z'))
+	s = s.Or(automata.Range('0', '9'))
+	s = s.Or(automata.Symbol('_'))
+	return s
+}
+
+func classSpace() bitvec.V256 {
+	return automata.Symbols(' ', '\t', '\n', '\r', '\f', '\v')
+}

@@ -1,0 +1,67 @@
+package regex
+
+import (
+	"fmt"
+
+	"sunder/internal/automata"
+)
+
+// Pattern pairs a regular expression with the report code its matches carry.
+type Pattern struct {
+	// Expr is the regular expression source.
+	Expr string
+	// Code identifies the pattern in reports (e.g. a Snort rule ID).
+	Code int32
+}
+
+// Compile compiles a single pattern into a homogeneous NFA. Matching is
+// unanchored unless the pattern starts with "^": an unanchored pattern
+// reports at every input position where an occurrence ends, the standard
+// automata-processing semantics.
+func Compile(expr string, code int32) (*automata.Automaton, error) {
+	p := &parser{src: expr}
+	root, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if root.nullable() {
+		return nil, fmt.Errorf("regex: pattern %q can match the empty string; homogeneous STEs report only on symbol activation", expr)
+	}
+	a := build(root, p.anchored, code)
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("regex: internal error compiling %q: %w", expr, err)
+	}
+	return a, nil
+}
+
+// CompileSet compiles a rule set into a single automaton (the union of the
+// per-pattern automata), the way pattern sets are deployed on automata
+// processors.
+func CompileSet(patterns []Pattern) (*automata.Automaton, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("regex: empty pattern set")
+	}
+	var out *automata.Automaton
+	for _, p := range patterns {
+		a, err := Compile(p.Expr, p.Code)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = a
+		} else {
+			out.Union(a)
+		}
+	}
+	return out, nil
+}
+
+// MustCompile is Compile but panics on error; for tests and tables of
+// known-good patterns.
+func MustCompile(expr string, code int32) *automata.Automaton {
+	a, err := Compile(expr, code)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

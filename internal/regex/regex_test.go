@@ -1,0 +1,270 @@
+package regex
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+
+	"sunder/internal/funcsim"
+)
+
+// corpus lists patterns valid in both this package and Go's regexp, used by
+// the differential oracle tests.
+var corpus = []string{
+	`abc`,
+	`a`,
+	`ab|cd`,
+	`a|bc|ddd`,
+	`[a-c]d`,
+	`[^a]b`,
+	`a.c`,
+	`ab*c`,
+	`ab+c`,
+	`ab?c`,
+	`(ab)+c`,
+	`(a|b)(c|d)`,
+	`a(bc|de)*f`,
+	`ab{2,4}c`,
+	`ab{2}c`,
+	`ab{2,}c`,
+	`\da`,
+	`\wb`,
+	`a\sb`,
+	`a\S`,
+	`[ab][cd][ef]`,
+	`^abc`,
+	`^a+b`,
+	`a[b-d]*e`,
+	`(a+|b+)c`,
+	`a(b|c)d(e|f)g`,
+	`aa(bb)?cc`,
+	`[^abc]{2}d`,
+	`\x61\x62`,
+	`a\.b`,
+	`[\d]a`,
+	`[\w.]b`,
+	`[x\s]c`,
+	`[\Da]b`,
+	`[\x61-\x63]d`,
+	`[a\t\n]e`,
+	`(ab|cd){2}e`,
+	`(a[bc]){1,2}d`,
+	`(a|b.c){2,}d`,
+	`x\fy?`,
+	`x\vy?`,
+	`a\0?b`,
+	`[\W]a`,
+	`[\S]{2}`,
+	`f{3}`,
+	`(?i)abc`,
+	`(?i)a[b-d]+e`,
+	`(?i)[^a]b`,
+	`(?i)^ab`,
+	`(?i)A|Bc`,
+	`(?i)x\d`,
+}
+
+// matchEnds returns, per end position e (1-based), whether some occurrence
+// of pattern ends exactly at e, using Go's regexp as the oracle.
+func matchEnds(t *testing.T, pattern string, input []byte) []bool {
+	t.Helper()
+	re, err := regexp.Compile(`(?s)(?:` + pattern + `)\z`)
+	if err != nil {
+		t.Fatalf("oracle compile %q: %v", pattern, err)
+	}
+	out := make([]bool, len(input)+1)
+	for e := 1; e <= len(input); e++ {
+		out[e] = re.Match(input[:e])
+	}
+	return out
+}
+
+func TestDifferentialAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := []byte("abcdefABCD .\t0_")
+	for _, pattern := range corpus {
+		a, err := Compile(pattern, 0)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", pattern, err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			n := rng.Intn(60) + 1
+			input := make([]byte, n)
+			for i := range input {
+				input[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			want := matchEnds(t, pattern, input)
+			res := funcsim.RunBytes(a, input)
+			got := make([]bool, len(input)+1)
+			for _, ev := range res.Events {
+				got[ev.Cycle+1] = true
+			}
+			for e := 1; e <= len(input); e++ {
+				if got[e] != want[e] {
+					t.Fatalf("pattern %q input %q: end position %d: got %v, want %v",
+						pattern, input, e, got[e], want[e])
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialPlantedMatches(t *testing.T) {
+	// Random inputs rarely exercise long literals; plant them.
+	rng := rand.New(rand.NewSource(2))
+	plants := map[string][]string{
+		`abc`:        {"abc"},
+		`ab{2,4}c`:   {"abbc", "abbbc", "abbbbc", "abbbbbc"},
+		`(ab)+c`:     {"ababc", "abc"},
+		`a(bc|de)*f`: {"af", "abcf", "abcdef", "adebcf"},
+		`^abc`:       {"abc"},
+		`a[b-d]*e`:   {"ae", "abcde"},
+		`(?i)abc`:    {"abc", "ABC", "aBc"},
+		`(?i)[^a]bc`: {"xbc", "XBC", "abc"},
+	}
+	for pattern, seeds := range plants {
+		a, err := Compile(pattern, 0)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", pattern, err)
+		}
+		for _, seed := range seeds {
+			for trial := 0; trial < 10; trial++ {
+				pre := make([]byte, rng.Intn(8))
+				post := make([]byte, rng.Intn(8))
+				for i := range pre {
+					pre[i] = byte('a' + rng.Intn(6))
+				}
+				for i := range post {
+					post[i] = byte('a' + rng.Intn(6))
+				}
+				input := append(append(pre, seed...), post...)
+				want := matchEnds(t, pattern, input)
+				res := funcsim.RunBytes(a, input)
+				got := make([]bool, len(input)+1)
+				for _, ev := range res.Events {
+					got[ev.Cycle+1] = true
+				}
+				for e := 1; e <= len(input); e++ {
+					if got[e] != want[e] {
+						t.Fatalf("pattern %q input %q end %d: got %v want %v",
+							pattern, input, e, got[e], want[e])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		``,        // empty matches empty string
+		`a*`,      // nullable
+		`a?`,      // nullable
+		`(a|)b`,   // nullable branch is fine... but empty alt branch parses to empty node; (a|)b is not nullable overall — should compile
+		`*a`,      // dangling quantifier
+		`a)`,      // unmatched
+		`(ab`,     // missing )
+		`a$`,      // unsupported anchor
+		`[a`,      // unterminated class
+		`[]`,      // empty class... parses ']' as literal first char: "[]" is missing close
+		`a{3,1}b`, // inverted count
+		`a\`,      // trailing backslash
+		`ab^c`,    // misplaced anchor
+	}
+	for _, p := range bad {
+		if p == `(a|)b` {
+			if _, err := Compile(p, 0); err != nil {
+				t.Errorf("Compile(%q) rejected: %v", p, err)
+			}
+			continue
+		}
+		if _, err := Compile(p, 0); err == nil {
+			t.Errorf("Compile(%q) accepted", p)
+		}
+	}
+}
+
+func TestClassEscapeErrors(t *testing.T) {
+	bad := []string{
+		`[\d-z]a`, // class escape as range endpoint
+		`[a-\w]b`, // class escape as range endpoint
+		`[\`,      // trailing backslash in class
+		`[\x6]`,   // truncated hex in class
+		`[\xzz]`,  // bad hex in class
+		`a\x6`,    // truncated hex outside class
+		`a\xzz`,   // bad hex outside class
+	}
+	for _, p := range bad {
+		if _, err := Compile(p, 0); err == nil {
+			t.Errorf("Compile(%q) accepted", p)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Compile(`ab)`, 0)
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if se.Pos != 2 || se.Pattern != `ab)` {
+		t.Errorf("SyntaxError = %+v", se)
+	}
+}
+
+func TestAnchoredStart(t *testing.T) {
+	a := MustCompile(`^ab`, 0)
+	res := funcsim.RunBytes(a, []byte("abab"))
+	if len(res.Events) != 1 || res.Events[0].Cycle != 1 {
+		t.Errorf("anchored events = %+v", res.Events)
+	}
+	b := MustCompile(`ab`, 0)
+	res = funcsim.RunBytes(b, []byte("abab"))
+	if len(res.Events) != 2 {
+		t.Errorf("unanchored events = %+v", res.Events)
+	}
+}
+
+func TestReportCodes(t *testing.T) {
+	set, err := CompileSet([]Pattern{{Expr: `aa`, Code: 10}, {Expr: `bb`, Code: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := funcsim.RunBytes(set, []byte("aabb"))
+	if len(res.Events) != 2 || res.Events[0].Code != 10 || res.Events[1].Code != 20 {
+		t.Errorf("events = %+v", res.Events)
+	}
+}
+
+func TestCompileSetEmpty(t *testing.T) {
+	if _, err := CompileSet(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic")
+		}
+	}()
+	MustCompile(`(`, 0)
+}
+
+func TestRepeatBound(t *testing.T) {
+	if _, err := Compile(`a{2000}`, 0); err == nil {
+		t.Error("accepted huge repeat")
+	}
+}
+
+func TestLiteralBrace(t *testing.T) {
+	// "{" not followed by a count is a literal, as in common engines.
+	a, err := Compile(`a{x`, 0)
+	if err != nil {
+		t.Fatalf("literal brace rejected: %v", err)
+	}
+	res := funcsim.RunBytes(a, []byte("a{x"))
+	if len(res.Events) != 1 {
+		t.Errorf("events = %+v", res.Events)
+	}
+}

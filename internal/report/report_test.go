@@ -1,0 +1,171 @@
+package report
+
+import (
+	"testing"
+
+	"sunder/internal/automata"
+	"sunder/internal/funcsim"
+	"sunder/internal/workload"
+)
+
+// hotAutomaton builds an automaton with n report states, all reporting.
+func hotAutomaton(n int) *automata.Automaton {
+	a := automata.NewAutomaton()
+	for i := 0; i < n; i++ {
+		a.AddState(automata.State{
+			Match:  automata.AllSymbols(),
+			Start:  automata.StartAllInput,
+			Report: true,
+		})
+	}
+	return a
+}
+
+func TestNoReportsNoStalls(t *testing.T) {
+	a := hotAutomaton(1)
+	ap := NewAP(a, DefaultParams())
+	res := ap.Result()
+	if res.StallCycles != 0 || res.Flushes != 0 {
+		t.Errorf("idle model accumulated %+v", res)
+	}
+	if res.Overhead(1000) != 1.0 {
+		t.Errorf("overhead = %v", res.Overhead(1000))
+	}
+	if res.Overhead(0) != 1.0 {
+		t.Error("zero-cycle overhead not 1")
+	}
+}
+
+func TestAPFillsAndFlushes(t *testing.T) {
+	p := DefaultParams()
+	a := hotAutomaton(1)
+	ap := NewAP(a, p)
+	entry := int64(p.RegionSize + p.MetadataBits) // 1088 bits
+	perBuffer := int64(p.L1CapacityBits) / entry  // entries before flush
+	// One more report cycle than capacity forces exactly one flush.
+	for c := int64(0); c <= perBuffer; c++ {
+		ap.OnReportCycle(c, []automata.StateID{0})
+	}
+	res := ap.Result()
+	if res.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", res.Flushes)
+	}
+	wantStall := (perBuffer*entry + int64(p.ExportBitsPerCycle) - 1) / int64(p.ExportBitsPerCycle)
+	if res.StallCycles != wantStall {
+		t.Errorf("stall = %d, want %d", res.StallCycles, wantStall)
+	}
+}
+
+func TestAPRegionsIndependent(t *testing.T) {
+	p := DefaultParams()
+	a := hotAutomaton(p.RegionSize + 1) // two regions
+	ap := NewAP(a, p)
+	// Reports in both regions each cycle: occupancy grows in both.
+	entry := int64(p.RegionSize + p.MetadataBits)
+	perBuffer := int64(p.L1CapacityBits) / entry
+	for c := int64(0); c <= perBuffer; c++ {
+		ap.OnReportCycle(c, []automata.StateID{0, automata.StateID(p.RegionSize)})
+	}
+	if got := ap.Result().Flushes; got != 2 {
+		t.Errorf("flushes = %d, want 2 (one per region)", got)
+	}
+}
+
+func TestRADChargesPerChunk(t *testing.T) {
+	p := DefaultParams()
+	a := hotAutomaton(p.RegionSize)
+	rad := NewRAD(a, p)
+	// Two states in the same chunk: one chunk offloaded.
+	rad.OnReportCycle(0, []automata.StateID{0, 1})
+	one := rad.Result().OffloadedBits
+	if want := int64(p.RADChunkBits + p.MetadataBits); one != want {
+		t.Errorf("same-chunk offload = %d bits, want %d", one, want)
+	}
+	// Two states in different chunks: two chunks.
+	rad.OnReportCycle(1, []automata.StateID{0, automata.StateID(p.RADChunkBits)})
+	if got := rad.Result().OffloadedBits - one; got != 2*int64(p.RADChunkBits+p.MetadataBits) {
+		t.Errorf("cross-chunk offload = %d bits", got)
+	}
+}
+
+func TestRADBeatsAPOnSparse(t *testing.T) {
+	p := DefaultParams()
+	a := hotAutomaton(8)
+	ap := NewAP(a, p)
+	rad := NewRAD(a, p)
+	// Sparse frequent reporting: one report nearly every cycle.
+	for c := int64(0); c < 2_000_000; c++ {
+		ap.OnReportCycle(c, []automata.StateID{0})
+		rad.OnReportCycle(c, []automata.StateID{0})
+	}
+	apo := ap.Result().Overhead(2_000_000)
+	rado := rad.Result().Overhead(2_000_000)
+	if rado >= apo {
+		t.Errorf("RAD overhead %.2f not below AP %.2f on sparse reporting", rado, apo)
+	}
+}
+
+func TestRADNoHelpOnDense(t *testing.T) {
+	p := DefaultParams()
+	n := p.RegionSize
+	a := hotAutomaton(n)
+	all := make([]automata.StateID, n)
+	for i := range all {
+		all[i] = automata.StateID(i)
+	}
+	ap := NewAP(a, p)
+	rad := NewRAD(a, p)
+	for c := int64(0); c < 50_000; c++ {
+		ap.OnReportCycle(c, all)
+		rad.OnReportCycle(c, all)
+	}
+	apo := ap.Result().Overhead(50_000)
+	rado := rad.Result().Overhead(50_000)
+	if rado < apo {
+		t.Errorf("RAD overhead %.2f below AP %.2f on dense reporting; RAD should not help", rado, apo)
+	}
+}
+
+// TestSnortCalibration drives the model with Snort-like behaviour (reports
+// ~95% of cycles in one region) and checks the published ~46× slowdown
+// emerges at 1M cycles.
+func TestSnortCalibration(t *testing.T) {
+	p := DefaultParams()
+	a := hotAutomaton(4)
+	ap := NewAP(a, p)
+	reportCycles := 0
+	for c := int64(0); c < 1_000_000; c++ {
+		if c%20 != 19 { // ~95% of cycles
+			ap.OnReportCycle(c, []automata.StateID{0, 1})
+			reportCycles++
+		}
+	}
+	o := ap.Result().Overhead(1_000_000)
+	if o < 35 || o > 55 {
+		t.Errorf("Snort-like AP overhead = %.1f, want ~46", o)
+	}
+}
+
+// TestWorkloadDriven runs the real Snort workload through both models.
+func TestWorkloadDriven(t *testing.T) {
+	w := workload.MustGet("Snort", 0.01, 20000)
+	p := DefaultParams()
+	ap := NewAP(w.Automaton, p)
+	rad := NewRAD(w.Automaton, p)
+	sim := funcsim.NewByteSimulator(w.Automaton)
+	res := sim.Run(w.Input, funcsim.Options{
+		OnReportCycle: func(cycle int64, states []automata.StateID) {
+			ap.OnReportCycle(cycle, states)
+			rad.OnReportCycle(cycle, states)
+		},
+	})
+	apo := ap.Result().Overhead(res.Cycles)
+	rado := rad.Result().Overhead(res.Cycles)
+	t.Logf("Snort @20k: AP %.2fx, RAD %.2fx", apo, rado)
+	if apo < 10 {
+		t.Errorf("AP overhead %.2f too small for Snort-like load", apo)
+	}
+	if rado >= apo {
+		t.Errorf("RAD %.2f did not improve on AP %.2f", rado, apo)
+	}
+}

@@ -1,0 +1,104 @@
+package transform
+
+import (
+	"testing"
+
+	"sunder/internal/automata"
+)
+
+// TestExhaustiveTwoStateAutomata enumerates every two-state homogeneous NFA
+// over a two-symbol alphabet — all combinations of match sets, start kinds,
+// report flags and edge sets — and verifies every transformation stage on
+// every input up to length 4. Unlike the randomized tests, this is a
+// complete proof over the small domain: any systematic defect in the
+// nibble decomposition, striding, residuals, shifted starts or
+// minimization that manifests on two states cannot hide.
+func TestExhaustiveTwoStateAutomata(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	symbols := []byte{'a', 'b'}
+	// All inputs up to length 4 over {a,b}.
+	var inputs [][]byte
+	var gen func(prefix []byte)
+	gen = func(prefix []byte) {
+		if len(prefix) > 0 {
+			inputs = append(inputs, append([]byte(nil), prefix...))
+		}
+		if len(prefix) == 4 {
+			return
+		}
+		for _, c := range symbols {
+			gen(append(prefix, c))
+		}
+	}
+	gen(nil)
+
+	matchSets := [][]byte{{'a'}, {'b'}, {'a', 'b'}}
+	startKinds := []automata.StartKind{automata.StartNone, automata.StartOfData, automata.StartAllInput}
+	checked := 0
+	for _, m0 := range matchSets {
+		for _, m1 := range matchSets {
+			for _, st0 := range startKinds {
+				for _, st1 := range startKinds {
+					if st0 == automata.StartNone && st1 == automata.StartNone {
+						continue // no start state: invalid
+					}
+					for rep := 1; rep < 4; rep++ { // at least one report state
+						for edges := 0; edges < 16; edges++ {
+							a := automata.NewAutomaton()
+							s0 := automata.State{Match: automata.Symbols(m0...), Start: st0,
+								Report: rep&1 != 0, ReportCode: 1}
+							s1 := automata.State{Match: automata.Symbols(m1...), Start: st1,
+								Report: rep&2 != 0, ReportCode: 2}
+							a.AddState(s0)
+							a.AddState(s1)
+							if edges&1 != 0 {
+								a.AddEdge(0, 0)
+							}
+							if edges&2 != 0 {
+								a.AddEdge(0, 1)
+							}
+							if edges&4 != 0 {
+								a.AddEdge(1, 0)
+							}
+							if edges&8 != 0 {
+								a.AddEdge(1, 1)
+							}
+							a.Normalize()
+							checkExhaustive(t, a, inputs)
+							checked++
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Logf("verified %d automata × %d inputs × 4 transformations", checked, len(inputs))
+}
+
+func checkExhaustive(t *testing.T, a *automata.Automaton, inputs [][]byte) {
+	t.Helper()
+	variants := make(map[string]*automata.UnitAutomaton, 4)
+	for _, rate := range []int{1, 2, 4} {
+		ua, err := ToRate(a, rate)
+		if err != nil {
+			t.Fatalf("ToRate(%d): %v", rate, err)
+		}
+		variants[rateLabel(rate)] = ua
+	}
+	bin := ToBinary(a)
+	Minimize(bin)
+	variants["binary"] = bin
+	for name, ua := range variants {
+		for _, in := range inputs {
+			if err := EquivalentOnInput(a, ua, in); err != nil {
+				t.Fatalf("%s: %v (automaton: %+v)", name, err, a.States)
+			}
+		}
+	}
+}
+
+func rateLabel(r int) string {
+	return map[int]string{1: "rate1", 2: "rate2", 4: "rate4"}[r]
+}

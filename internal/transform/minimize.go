@@ -1,0 +1,229 @@
+package transform
+
+import (
+	"encoding/binary"
+
+	"sunder/internal/automata"
+)
+
+// Minimize shrinks a unit automaton by alternating two sound merge passes
+// until a fixed point, then pruning unreachable states. It returns the
+// number of states removed.
+//
+// Suffix pass: states with identical behaviour signatures — equal match
+// vectors, start kinds, report lists and successor sets — are
+// indistinguishable going forward and merge. Merging deduplicates their
+// predecessors' successor lists, which can expose further merges.
+//
+// Prefix (co-activation) pass: states with identical match vectors, start
+// kinds and predecessor sets receive the same enable signal every cycle and
+// therefore are always active together; they merge into one state carrying
+// the union of their successors and reports. This is the sharing FlexAmata
+// exploits in Figure 3, where the first six bits of symbols A and B merge.
+//
+// Merging two predecessor-less start states can join two previously
+// independent patterns into one connected component. Sunder's interconnect
+// hosts a component within one four-PU cluster (1024 states), so such
+// merges are refused when they would grow a component past that capacity —
+// a capacity-aware compilation heuristic that trades a little sharing for
+// mappability.
+func Minimize(a *automata.UnitAutomaton) int {
+	total := a.PruneUnreachable()
+	for {
+		merged := mergePass(a) + prefixMergePass(a) + unionMergePass(a)
+		if merged == 0 {
+			break
+		}
+		total += merged
+	}
+	return total
+}
+
+// componentCap mirrors mapping.StatesPerCluster: the largest connected
+// component the interconnect can host.
+const componentCap = 1024
+
+// prefixMergePass performs one round of co-activation merging and returns
+// the number of states removed. Merges between predecessor-less states are
+// capped so no connected component grows beyond componentCap (see Minimize).
+func prefixMergePass(a *automata.UnitAutomaton) int {
+	a.Normalize()
+	preds := make([][]automata.StateID, len(a.States))
+	for i := range a.States {
+		for _, t := range a.States[i].Succ {
+			preds[t] = append(preds[t], automata.StateID(i))
+		}
+	}
+	comps := newSizedUnionFind(a)
+	canon := make(map[string][]automata.StateID, len(a.States))
+	remap := make([]automata.StateID, len(a.States))
+	reps := make([]automata.StateID, 0, len(a.States))
+	merged := make(map[automata.StateID][]automata.StateID)
+	repID := make(map[automata.StateID]automata.StateID) // old rep state -> new id
+	var buf []byte
+	for i := range a.States {
+		s := &a.States[i]
+		buf = buf[:0]
+		buf = append(buf, byte(s.Start))
+		for _, m := range s.Match {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(m))
+		}
+		for _, p := range preds[i] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+		}
+		k := string(buf)
+		placed := false
+		for _, rep := range canon[k] {
+			// States with predecessors share a component with them
+			// already; only predecessor-less merges can join two
+			// components, and those must respect the cluster cap.
+			if len(preds[i]) == 0 && !comps.sameSet(rep, automata.StateID(i)) &&
+				comps.size(rep)+comps.size(automata.StateID(i)) > componentCap {
+				continue
+			}
+			id := repID[rep]
+			remap[i] = id
+			merged[id] = append(merged[id], automata.StateID(i))
+			comps.union(rep, automata.StateID(i))
+			placed = true
+			break
+		}
+		if placed {
+			continue
+		}
+		id := automata.StateID(len(reps))
+		canon[k] = append(canon[k], automata.StateID(i))
+		repID[automata.StateID(i)] = id
+		remap[i] = id
+		reps = append(reps, automata.StateID(i))
+	}
+	removed := len(a.States) - len(reps)
+	if removed == 0 {
+		return 0
+	}
+	out := make([]automata.UnitState, len(reps))
+	for newID, oldID := range reps {
+		s := a.States[oldID]
+		succ := append([]automata.StateID(nil), s.Succ...)
+		reports := append([]automata.Report(nil), s.Reports...)
+		for _, other := range merged[automata.StateID(newID)] {
+			succ = append(succ, a.States[other].Succ...)
+			reports = append(reports, a.States[other].Reports...)
+		}
+		for j, t := range succ {
+			succ[j] = remap[t]
+		}
+		s.Succ = succ
+		s.Reports = reports
+		out[newID] = s
+	}
+	a.States = out
+	a.Normalize()
+	return removed
+}
+
+// mergePass performs one round of signature-based merging and returns the
+// number of states removed.
+func mergePass(a *automata.UnitAutomaton) int {
+	a.Normalize()
+	canon := make(map[string]automata.StateID, len(a.States))
+	remap := make([]automata.StateID, len(a.States))
+	reps := make([]automata.StateID, 0, len(a.States))
+	var buf []byte
+	for i := range a.States {
+		buf = signature(buf[:0], &a.States[i])
+		k := string(buf)
+		if id, ok := canon[k]; ok {
+			remap[i] = id
+			continue
+		}
+		id := automata.StateID(len(reps))
+		canon[k] = id
+		remap[i] = id
+		reps = append(reps, automata.StateID(i))
+	}
+	removed := len(a.States) - len(reps)
+	if removed == 0 {
+		return 0
+	}
+	out := make([]automata.UnitState, len(reps))
+	for newID, oldID := range reps {
+		s := a.States[oldID]
+		succ := make([]automata.StateID, len(s.Succ))
+		for j, t := range s.Succ {
+			succ[j] = remap[t]
+		}
+		s.Succ = succ
+		out[newID] = s
+	}
+	a.States = out
+	a.Normalize()
+	return removed
+}
+
+// sizedUnionFind tracks connected-component membership and sizes during a
+// merge pass.
+type sizedUnionFind struct {
+	parent []int32
+	sz     []int32
+}
+
+func newSizedUnionFind(a *automata.UnitAutomaton) *sizedUnionFind {
+	u := &sizedUnionFind{
+		parent: make([]int32, len(a.States)),
+		sz:     make([]int32, len(a.States)),
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.sz[i] = 1
+	}
+	for i := range a.States {
+		for _, t := range a.States[i].Succ {
+			u.union(automata.StateID(i), t)
+		}
+	}
+	return u
+}
+
+func (u *sizedUnionFind) find(x automata.StateID) int32 {
+	r := int32(x)
+	for u.parent[r] != r {
+		u.parent[r] = u.parent[u.parent[r]]
+		r = u.parent[r]
+	}
+	return r
+}
+
+func (u *sizedUnionFind) sameSet(a, b automata.StateID) bool { return u.find(a) == u.find(b) }
+
+func (u *sizedUnionFind) size(x automata.StateID) int32 { return u.sz[u.find(x)] }
+
+func (u *sizedUnionFind) union(a, b automata.StateID) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.sz[ra] < u.sz[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.sz[ra] += u.sz[rb]
+}
+
+// signature encodes the merge key of a state into buf.
+func signature(buf []byte, s *automata.UnitState) []byte {
+	buf = append(buf, byte(s.Start))
+	for _, m := range s.Match {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(m))
+	}
+	buf = append(buf, byte(len(s.Reports)))
+	for _, r := range s.Reports {
+		buf = append(buf, r.Offset)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Code))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Origin))
+	}
+	for _, t := range s.Succ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+	}
+	return buf
+}

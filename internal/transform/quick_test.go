@@ -1,0 +1,174 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sunder/internal/automata"
+)
+
+// randomAutomaton builds a random homogeneous NFA from a seed: random
+// class shapes (singletons, ranges, scattered, complements), random start
+// kinds, cycles, fan-out, and multiple report codes.
+func randomAutomaton(seed int64) *automata.Automaton {
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(12) + 2
+	a := automata.NewAutomaton()
+	for i := 0; i < n; i++ {
+		var match [4]uint64
+		switch rng.Intn(4) {
+		case 0: // singleton
+			b := rng.Intn(256)
+			match[b/64] |= 1 << (uint(b) % 64)
+		case 1: // range
+			lo := rng.Intn(200)
+			hi := lo + rng.Intn(40) + 1
+			for b := lo; b <= hi; b++ {
+				match[b/64] |= 1 << (uint(b) % 64)
+			}
+		case 2: // scattered
+			for k := 0; k < rng.Intn(8)+1; k++ {
+				b := rng.Intn(256)
+				match[b/64] |= 1 << (uint(b) % 64)
+			}
+		case 3: // complement of a small set
+			for w := range match {
+				match[w] = ^uint64(0)
+			}
+			for k := 0; k < rng.Intn(4)+1; k++ {
+				b := rng.Intn(256)
+				match[b/64] &^= 1 << (uint(b) % 64)
+			}
+		}
+		s := automata.State{Match: match}
+		if i == 0 || rng.Intn(4) == 0 {
+			if rng.Intn(3) == 0 {
+				s.Start = automata.StartOfData
+			} else {
+				s.Start = automata.StartAllInput
+			}
+		}
+		if rng.Intn(3) == 0 {
+			s.Report = true
+			s.ReportCode = int32(rng.Intn(5))
+		}
+		a.AddState(s)
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < rng.Intn(4); k++ {
+			a.AddEdge(automata.StateID(i), automata.StateID(rng.Intn(n)))
+		}
+	}
+	a.Normalize()
+	if a.NumReportStates() == 0 {
+		a.States[n-1].Report = true
+	}
+	return a
+}
+
+// TestQuickTransformEquivalence is the package's fuzz-grade property test:
+// for random automata and random inputs, every transformation stage is
+// report-equivalent to the original.
+func TestQuickTransformEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomAutomaton(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		inputs := make([][]byte, 4)
+		for i := range inputs {
+			in := make([]byte, rng.Intn(40)+1)
+			for j := range in {
+				// Mix bytes likely to hit the random classes.
+				if rng.Intn(3) == 0 {
+					in[j] = byte(rng.Intn(256))
+				} else {
+					in[j] = byte('a' + rng.Intn(26))
+				}
+			}
+			inputs[i] = in
+		}
+		for _, rate := range []int{1, 2, 4} {
+			ua, err := ToRate(a, rate)
+			if err != nil {
+				t.Logf("seed %d rate %d: %v", seed, rate, err)
+				return false
+			}
+			for _, in := range inputs {
+				if err := EquivalentOnInput(a, ua, in); err != nil {
+					t.Logf("seed %d rate %d: %v", seed, rate, err)
+					return false
+				}
+			}
+		}
+		bin := ToBinary(a)
+		Minimize(bin)
+		for _, in := range inputs {
+			if err := EquivalentOnInput(a, bin, in); err != nil {
+				t.Logf("seed %d binary: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinimizeSound: minimization never changes behaviour and never
+// grows the automaton.
+func TestQuickMinimizeSound(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomAutomaton(seed)
+		ua := ToNibble(a)
+		before := ua.NumStates()
+		Minimize(ua)
+		if ua.NumStates() > before {
+			return false
+		}
+		if err := ua.Validate(); err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x7ace))
+		in := make([]byte, rng.Intn(50)+1)
+		for j := range in {
+			in[j] = byte(rng.Intn(256))
+		}
+		return EquivalentOnInput(a, ua, in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStrideIdempotentReports: striding twice equals ToRate(4)
+// behaviourally.
+func TestQuickStrideIdempotentReports(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomAutomaton(seed)
+		viaToRate, err := ToRate(a, 4)
+		if err != nil {
+			return false
+		}
+		step1 := ToNibble(a)
+		step2, err := Stride2(step1)
+		if err != nil {
+			return false
+		}
+		step4, err := Stride2(step2)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0xbeef))
+		in := make([]byte, rng.Intn(30)+1)
+		for j := range in {
+			in[j] = byte(rng.Intn(256))
+		}
+		// Both must match the original (hence each other).
+		return EquivalentOnInput(a, viaToRate, in) == nil &&
+			EquivalentOnInput(a, step4, in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,362 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"sunder/internal/automata"
+	"sunder/internal/funcsim"
+	"sunder/internal/regex"
+)
+
+// patterns exercised by the differential equivalence tests. They cover
+// literals, classes, alternation, loops, don't-cares, anchors and multiple
+// report codes.
+var patterns = [][]regex.Pattern{
+	{{Expr: `abc`, Code: 1}},
+	{{Expr: `a`, Code: 1}},
+	{{Expr: `aa`, Code: 1}},
+	{{Expr: `^ab`, Code: 1}},
+	{{Expr: `a.c`, Code: 1}},
+	{{Expr: `[a-d]x`, Code: 1}},
+	{{Expr: `ab*c`, Code: 1}},
+	{{Expr: `(ab)+`, Code: 1}},
+	{{Expr: `a(b|c)d`, Code: 1}},
+	{{Expr: `ab|cd|ef`, Code: 1}},
+	{{Expr: `[^a]b`, Code: 1}},
+	{{Expr: `a[bc]{2,3}d`, Code: 1}},
+	{{Expr: `abc`, Code: 1}, {Expr: `bcd`, Code: 2}},
+	{{Expr: `aaa`, Code: 1}, {Expr: `a`, Code: 2}},
+	{{Expr: `a.*b`, Code: 1}},
+	{{Expr: `\x00\xff`, Code: 1}},
+	{{Expr: `abcd`, Code: 1}, {Expr: `^xy`, Code: 2}, {Expr: `d[ef]`, Code: 3}},
+}
+
+func randomInput(rng *rand.Rand, n int) []byte {
+	alphabet := []byte("abcdefxy")
+	out := make([]byte, n)
+	for i := range out {
+		// Mostly small alphabet, occasionally arbitrary bytes.
+		if rng.Intn(10) == 0 {
+			out[i] = byte(rng.Intn(256))
+		} else {
+			out[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+	}
+	return out
+}
+
+// checkAllRates verifies the whole transformation pipeline on one automaton
+// and a batch of random inputs.
+func checkAllRates(t *testing.T, name string, a *automata.Automaton, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([][]byte, 0, 8)
+	for i := 0; i < 8; i++ {
+		inputs = append(inputs, randomInput(rng, rng.Intn(64)+1))
+	}
+	// Odd lengths matter: they exercise padding at rates 2 and 4.
+	inputs = append(inputs, []byte("a"), []byte("abc"), []byte("abcde"))
+
+	variants := map[string]*automata.UnitAutomaton{}
+	variants["nibble"] = ToNibble(a)
+	variants["binary"] = ToBinary(a)
+	min := ToNibble(a)
+	Minimize(min)
+	variants["nibble-min"] = min
+	for _, rate := range []int{2, 4} {
+		ua, err := ToRate(a, rate)
+		if err != nil {
+			t.Fatalf("%s: ToRate(%d): %v", name, rate, err)
+		}
+		variants[rateName(rate)] = ua
+	}
+	for vn, ua := range variants {
+		if err := ua.Validate(); err != nil {
+			t.Fatalf("%s/%s: invalid automaton: %v", name, vn, err)
+		}
+		for _, input := range inputs {
+			if err := EquivalentOnInput(a, ua, input); err != nil {
+				t.Fatalf("%s/%s: %v", name, vn, err)
+			}
+		}
+	}
+}
+
+func rateName(r int) string {
+	return map[int]string{2: "rate2", 4: "rate4"}[r]
+}
+
+func TestEquivalenceAcrossPatterns(t *testing.T) {
+	for i, ps := range patterns {
+		set, err := regex.CompileSet(ps)
+		if err != nil {
+			t.Fatalf("pattern set %d: %v", i, err)
+		}
+		checkAllRates(t, ps[0].Expr, set, int64(i+1))
+	}
+}
+
+// TestEquivalenceRandomAutomata fuzzes the transformations with randomly
+// wired homogeneous NFAs, which exercise structures (dense fan-out, cycles,
+// multiple starts) that regex compilation rarely produces.
+func TestEquivalenceRandomAutomata(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		n := rng.Intn(10) + 2
+		a := automata.NewAutomaton()
+		for i := 0; i < n; i++ {
+			var match [4]uint64
+			// Random symbol sets biased toward small alphabets.
+			for k := 0; k < rng.Intn(6)+1; k++ {
+				b := int('a') + rng.Intn(8)
+				match[b/64] |= 1 << (uint(b) % 64)
+			}
+			s := automata.State{Match: match}
+			if i == 0 || rng.Intn(4) == 0 {
+				if rng.Intn(3) == 0 {
+					s.Start = automata.StartOfData
+				} else {
+					s.Start = automata.StartAllInput
+				}
+			}
+			if rng.Intn(3) == 0 {
+				s.Report = true
+				s.ReportCode = int32(i)
+			}
+			a.AddState(s)
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < rng.Intn(3)+1; k++ {
+				a.AddEdge(automata.StateID(i), automata.StateID(rng.Intn(n)))
+			}
+		}
+		a.Normalize()
+		if a.NumReportStates() == 0 {
+			a.States[n-1].Report = true
+		}
+		checkAllRates(t, "random", a, int64(trial+1000))
+	}
+}
+
+func TestToNibbleCounts(t *testing.T) {
+	// A single-symbol state needs exactly one term: 2 states.
+	a := regex.MustCompile(`a`, 0)
+	ua := ToNibble(a)
+	if ua.NumStates() != 2 {
+		t.Errorf("single symbol: %d states, want 2", ua.NumStates())
+	}
+	// A full don't-care is one term (all rows identical): 2 states.
+	a = regex.MustCompile(`.`, 0)
+	ua = ToNibble(a)
+	if ua.NumStates() != 2 {
+		t.Errorf("dot: %d states, want 2", ua.NumStates())
+	}
+	// [a-p] = 0x61..0x70 spans two high nibbles with different rows: 2
+	// terms → 4 states.
+	a = regex.MustCompile(`[a-p]`, 0)
+	ua = ToNibble(a)
+	if ua.NumStates() != 4 {
+		t.Errorf("[a-p]: %d states, want 4", ua.NumStates())
+	}
+}
+
+func TestGroupedCoverBeatsNaive(t *testing.T) {
+	a := regex.MustCompile(`[a-z][0-9A-Za-z]`, 0)
+	grouped := ToNibble(a)
+	naive := ToNibbleNaive(a)
+	if grouped.NumStates() >= naive.NumStates() {
+		t.Errorf("grouped cover %d states, naive %d: grouping should win",
+			grouped.NumStates(), naive.NumStates())
+	}
+	// Both must still be correct.
+	for _, in := range []string{"az", "a0", "zZ", "m5x", "09"} {
+		if err := EquivalentOnInput(a, naive, []byte(in)); err != nil {
+			t.Errorf("naive: %v", err)
+		}
+		if err := EquivalentOnInput(a, grouped, []byte(in)); err != nil {
+			t.Errorf("grouped: %v", err)
+		}
+	}
+}
+
+func TestMinimizeMergesIdenticalBranches(t *testing.T) {
+	// Two structurally identical branches (same origin and code) must
+	// collapse via the suffix pass.
+	ua := automata.NewUnitAutomaton(4, 1, 2)
+	for branch := 0; branch < 2; branch++ {
+		head := ua.AddState(automata.UnitState{
+			Match: [automata.MaxRate]automata.UnitSet{1 << 6},
+			Start: automata.StartAllInput,
+		})
+		tail := ua.AddState(automata.UnitState{
+			Match:   [automata.MaxRate]automata.UnitSet{1 << 1},
+			Reports: []automata.Report{{Offset: 0, Code: 1, Origin: 7}},
+		})
+		ua.States[head].Succ = []automata.StateID{tail}
+	}
+	removed := Minimize(ua)
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2", removed)
+	}
+	res := funcsim.RunUnits(ua, []funcsim.Unit{6, 1})
+	if res.Reports != 1 {
+		t.Errorf("reports = %d, want 1", res.Reports)
+	}
+}
+
+func TestMinimizePrefixMergesSharedPrefixes(t *testing.T) {
+	// Two patterns sharing a prefix but with distinct report points: the
+	// co-activation pass must merge the shared prefix states even though
+	// their suffixes (and report origins) differ.
+	set, err := regex.CompileSet([]regex.Pattern{
+		{Expr: `abcdex`, Code: 1},
+		{Expr: `abcdey`, Code: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua := ToNibble(set)
+	before := ua.NumStates()
+	removed := Minimize(ua)
+	// The "abcde" prefix is 10 nibble states per pattern; all 10 must
+	// merge across the two patterns.
+	if removed < 10 {
+		t.Errorf("removed = %d (before = %d), want >= 10", removed, before)
+	}
+	for _, in := range []string{"abcdex", "abcdey", "zzabcdexabcdey", "abcdez"} {
+		if err := EquivalentOnInput(set, ua, []byte(in)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestMinimizeKeepsDistinctCodes(t *testing.T) {
+	// Same structure, different report codes: must NOT merge the report
+	// states.
+	set, err := regex.CompileSet([]regex.Pattern{
+		{Expr: `ab`, Code: 1},
+		{Expr: `ab`, Code: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua := ToNibble(set)
+	Minimize(ua)
+	res := funcsim.RunUnits(ua, funcsim.BytesToUnits([]byte("ab"), 4))
+	if res.Reports != 2 {
+		t.Errorf("reports = %d, want 2 (both codes)", res.Reports)
+	}
+}
+
+func TestStride2RateLimit(t *testing.T) {
+	a := regex.MustCompile(`ab`, 0)
+	ua, err := ToRate(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stride2(ua); err == nil {
+		t.Error("striding beyond MaxRate accepted")
+	}
+	if _, err := ToRate(a, 3); err == nil {
+		t.Error("ToRate(3) accepted")
+	}
+}
+
+func TestStrideRates(t *testing.T) {
+	a := regex.MustCompile(`abcd`, 0)
+	for _, rate := range []int{1, 2, 4} {
+		ua, err := ToRate(a, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ua.Rate != rate {
+			t.Errorf("rate = %d, want %d", ua.Rate, rate)
+		}
+		if ua.BitsPerCycle() != 4*rate {
+			t.Errorf("bits/cycle = %d", ua.BitsPerCycle())
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	set, err := regex.CompileSet([]regex.Pattern{
+		{Expr: `a[f-k]c|xy`, Code: 3},
+		{Expr: `q+r`, Code: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := ToRate(set, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := ToRate(set, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.NumStates() != first.NumStates() || again.NumEdges() != first.NumEdges() {
+			t.Fatalf("nondeterministic: %d/%d states, %d/%d edges",
+				again.NumStates(), first.NumStates(), again.NumEdges(), first.NumEdges())
+		}
+		for s := range again.States {
+			if again.States[s].Match != first.States[s].Match {
+				t.Fatalf("state %d match differs between runs", s)
+			}
+		}
+	}
+}
+
+func TestBinaryProcessesBits(t *testing.T) {
+	a := regex.MustCompile(`ab`, 0)
+	ua := ToBinary(a)
+	if ua.UnitBits != 1 || ua.SymbolUnits != 8 {
+		t.Fatalf("binary automaton shape: %d bits, %d units/symbol", ua.UnitBits, ua.SymbolUnits)
+	}
+	// 'a' = 0x61 and 'b' = 0x62 share the first 6 bits; the per-state DAG
+	// cannot share across states, but within a state sibling merging must
+	// keep the bit chain at 8 states for a single symbol.
+	single := ToBinary(regex.MustCompile(`a`, 0))
+	if single.NumStates() != 8 {
+		t.Errorf("single-symbol binary chain = %d states, want 8", single.NumStates())
+	}
+	// A don't-care byte merges both branches at every level: still 8.
+	dot := ToBinary(regex.MustCompile(`.`, 0))
+	if dot.NumStates() != 8 {
+		t.Errorf("dot binary = %d states, want 8", dot.NumStates())
+	}
+}
+
+// TestFigure3Example reproduces the paper's Figure 3: the language A|BC with
+// A=0x41, B=0x42, C=0x43. The 1-bit form merges the shared 6-bit prefix of
+// A and B.
+func TestFigure3Example(t *testing.T) {
+	set, err := regex.CompileSet([]regex.Pattern{
+		{Expr: `A|BC`, Code: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := ToBinary(set)
+	Minimize(bin)
+	// Unminimized per-state chains would be 3*8 = 24 bit-states; prefix
+	// sharing must do better.
+	if bin.NumStates() >= 24 {
+		t.Errorf("binary form not minimized: %d states", bin.NumStates())
+	}
+	for _, in := range []string{"A", "BC", "BA", "xBCA", "B"} {
+		if err := EquivalentOnInput(set, bin, []byte(in)); err != nil {
+			t.Errorf("binary: %v", err)
+		}
+	}
+	four, err := ToRate(set, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"A", "BC", "xxBC", "ABCA"} {
+		if err := EquivalentOnInput(set, four, []byte(in)); err != nil {
+			t.Errorf("16-bit: %v", err)
+		}
+	}
+}

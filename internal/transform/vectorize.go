@@ -1,0 +1,101 @@
+package transform
+
+import (
+	"encoding/binary"
+
+	"sunder/internal/automata"
+)
+
+// unionMergePass implements the "vectorized" compression at the heart of
+// Impala-style striding: two states that agree on start kind, predecessor
+// set, successor set and reports, and whose match vectors differ in exactly
+// one position, are parallel alternatives — activating either has identical
+// consequences — so they merge into one state whose match at that position
+// is the union. This is what keeps the strided state counts near the
+// paper's Table 3 levels: striding creates families of pair states
+// (q, q2a), (q, q2b), ... that differ only in the second half of their
+// vector and share everything else.
+//
+// Soundness: equal predecessors and start kind mean both states receive the
+// same enable signal every cycle; equal successors and reports mean an
+// activation has the same effect. The union therefore accepts exactly the
+// union of the two original languages with no cross products.
+//
+// The pass returns the number of states removed.
+func unionMergePass(a *automata.UnitAutomaton) int {
+	removedTotal := 0
+	for p := 0; p < a.Rate; p++ {
+		removedTotal += unionMergeAt(a, p)
+	}
+	return removedTotal
+}
+
+// unionMergeAt merges along position p.
+func unionMergeAt(a *automata.UnitAutomaton, p int) int {
+	a.Normalize()
+	preds := make([][]automata.StateID, len(a.States))
+	for i := range a.States {
+		for _, t := range a.States[i].Succ {
+			preds[t] = append(preds[t], automata.StateID(i))
+		}
+	}
+	canon := make(map[string]automata.StateID, len(a.States))
+	remap := make([]automata.StateID, len(a.States))
+	reps := make([]automata.StateID, 0, len(a.States))
+	var buf []byte
+	for i := range a.States {
+		s := &a.States[i]
+		buf = buf[:0]
+		buf = append(buf, byte(s.Start))
+		for q := 0; q < automata.MaxRate; q++ {
+			if q == p {
+				continue
+			}
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(s.Match[q]))
+		}
+		buf = append(buf, byte(len(s.Reports)))
+		for _, r := range s.Reports {
+			buf = append(buf, r.Offset)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Code))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Origin))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Succ)))
+		for _, t := range s.Succ {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(preds[i])))
+		for _, q := range preds[i] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(q))
+		}
+		k := string(buf)
+		if id, ok := canon[k]; ok {
+			remap[i] = id
+			// Fold this state's position-p match into the
+			// representative.
+			rep := reps[id]
+			a.States[rep].Match[p] |= s.Match[p]
+			continue
+		}
+		id := automata.StateID(len(reps))
+		canon[k] = id
+		remap[i] = id
+		reps = append(reps, automata.StateID(i))
+	}
+	removed := len(a.States) - len(reps)
+	if removed == 0 {
+		return 0
+	}
+	out := make([]automata.UnitState, len(reps))
+	for newID, oldID := range reps {
+		s := a.States[oldID]
+		succ := make([]automata.StateID, len(s.Succ))
+		for j, t := range s.Succ {
+			succ[j] = remap[t]
+		}
+		s.Succ = succ
+		out[newID] = s
+	}
+	a.States = out
+	a.Normalize()
+	return removed
+}

@@ -1,0 +1,163 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sunder/internal/automata"
+)
+
+// wideChain builds a wide automaton matching the symbol sequence, reporting
+// at the end.
+func wideChain(seq ...uint16) *automata.WideAutomaton {
+	a := automata.NewWideAutomaton()
+	var prev automata.StateID = -1
+	for i, sym := range seq {
+		s := automata.WideState{Match: []uint16{sym}}
+		if i == 0 {
+			s.Start = automata.StartAllInput
+		}
+		if i == len(seq)-1 {
+			s.Report = true
+			s.ReportCode = 1
+		}
+		id := a.AddState(s)
+		if prev >= 0 {
+			a.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	return a
+}
+
+func TestWideToNibbleChain(t *testing.T) {
+	a := wideChain(0xABCD, 0x0001)
+	ua := WideToNibble(a)
+	if err := ua.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ua.SymbolUnits != 4 {
+		t.Errorf("symbol units = %d", ua.SymbolUnits)
+	}
+	// One symbol = 4 nibble states; two symbols = 8.
+	if ua.NumStates() != 8 {
+		t.Errorf("states = %d, want 8", ua.NumStates())
+	}
+	if err := WideEquivalentOnInput(a, ua, []uint16{0x1111, 0xABCD, 0x0001, 0xABCD}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWideSiblingMerge(t *testing.T) {
+	// Symbols 0x1230 and 0x2230 share the suffix 0x230: the top-level
+	// nibbles {1,2} must merge into one state, giving 4 states total
+	// instead of 8.
+	a := automata.NewWideAutomaton()
+	a.AddState(automata.WideState{
+		Match:  []uint16{0x1230, 0x2230},
+		Start:  automata.StartAllInput,
+		Report: true,
+	})
+	ua := WideToNibble(a)
+	if ua.NumStates() != 4 {
+		t.Errorf("states = %d, want 4 (merged siblings)", ua.NumStates())
+	}
+	for _, sym := range []uint16{0x1230, 0x2230, 0x3230, 0x1231} {
+		if err := WideEquivalentOnInput(a, ua, []uint16{sym}); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestWideToRateOneSymbolPerCycle(t *testing.T) {
+	a := wideChain(0x1234, 0x5678, 0x9ABC)
+	ua, err := WideToRate(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua.Rate != 4 || ua.BitsPerCycle() != 16 {
+		t.Fatalf("rate %d, bits/cycle %d", ua.Rate, ua.BitsPerCycle())
+	}
+	input := []uint16{0x0000, 0x1234, 0x5678, 0x9ABC, 0x1234}
+	if err := WideEquivalentOnInput(a, ua, input); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWideToRateRejectsBadRate(t *testing.T) {
+	if _, err := WideToRate(wideChain(1), 3); err == nil {
+		t.Error("rate 3 accepted")
+	}
+}
+
+// TestQuickWideEquivalence fuzzes random wide automata (sparse symbol
+// sets, cycles, anchors) through every rate.
+func TestQuickWideEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Small symbol universe so random inputs hit matches.
+		universe := make([]uint16, 12)
+		for i := range universe {
+			universe[i] = uint16(rng.Intn(1 << 16))
+		}
+		n := rng.Intn(8) + 2
+		a := automata.NewWideAutomaton()
+		for i := 0; i < n; i++ {
+			var match []uint16
+			for k := 0; k < rng.Intn(3)+1; k++ {
+				match = append(match, universe[rng.Intn(len(universe))])
+			}
+			s := automata.WideState{Match: match}
+			if i == 0 || rng.Intn(4) == 0 {
+				if rng.Intn(3) == 0 {
+					s.Start = automata.StartOfData
+				} else {
+					s.Start = automata.StartAllInput
+				}
+			}
+			if rng.Intn(3) == 0 {
+				s.Report = true
+				s.ReportCode = int32(i)
+			}
+			a.AddState(s)
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < rng.Intn(3); k++ {
+				a.AddEdge(automata.StateID(i), automata.StateID(rng.Intn(n)))
+			}
+		}
+		a.Normalize()
+		reports := 0
+		for i := range a.States {
+			if a.States[i].Report {
+				reports++
+			}
+		}
+		if reports == 0 {
+			a.States[n-1].Report = true
+		}
+		if err := a.Validate(); err != nil {
+			return false
+		}
+		input := make([]uint16, rng.Intn(30)+1)
+		for i := range input {
+			input[i] = universe[rng.Intn(len(universe))]
+		}
+		for _, rate := range []int{1, 2, 4} {
+			ua, err := WideToRate(a, rate)
+			if err != nil {
+				t.Logf("seed %d rate %d: %v", seed, rate, err)
+				return false
+			}
+			if err := WideEquivalentOnInput(a, ua, input); err != nil {
+				t.Logf("seed %d rate %d: %v", seed, rate, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

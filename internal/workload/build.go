@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"sunder/internal/automata"
+	"sunder/internal/bitvec"
+)
+
+// Direct homogeneous-NFA builders. Workload generation constructs thousands
+// of patterns; building the states directly (rather than printing and
+// re-parsing regex strings) keeps generation fast and byte-exact.
+
+// appendLiteral adds an unanchored literal pattern to a: a chain of
+// single-symbol states reporting at the last one.
+func appendLiteral(a *automata.Automaton, lit []byte, code int32) {
+	appendChain(a, symbolChain(lit), code)
+}
+
+// symbolChain converts a literal to a slice of single-symbol sets.
+func symbolChain(lit []byte) []bitvec.V256 {
+	out := make([]bitvec.V256, len(lit))
+	for i, b := range lit {
+		out[i] = automata.Symbol(b)
+	}
+	return out
+}
+
+// appendChain adds an unanchored pattern matching the given class sequence.
+func appendChain(a *automata.Automaton, classes []bitvec.V256, code int32) {
+	var prev automata.StateID = -1
+	for i, cls := range classes {
+		s := automata.State{Match: cls}
+		if i == 0 {
+			s.Start = automata.StartAllInput
+		}
+		if i == len(classes)-1 {
+			s.Report = true
+			s.ReportCode = code
+		}
+		id := a.AddState(s)
+		if prev >= 0 {
+			a.AddEdge(prev, id)
+		}
+		prev = id
+	}
+}
+
+// appendDotstar adds the pattern lit1.*lit2 (Glushkov form: a don't-care
+// state with a self-loop bridges the two literals).
+func appendDotstar(a *automata.Automaton, lit1, lit2 []byte, code int32) {
+	var prev automata.StateID = -1
+	for i, b := range lit1 {
+		s := automata.State{Match: automata.Symbol(b)}
+		if i == 0 {
+			s.Start = automata.StartAllInput
+		}
+		id := a.AddState(s)
+		if prev >= 0 {
+			a.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	dot := a.AddState(automata.State{Match: automata.AllSymbols()})
+	a.AddEdge(prev, dot)
+	a.AddEdge(dot, dot)
+	var first automata.StateID = -1
+	p := dot
+	for i, b := range lit2 {
+		s := automata.State{Match: automata.Symbol(b)}
+		if i == len(lit2)-1 {
+			s.Report = true
+			s.ReportCode = code
+		}
+		id := a.AddState(s)
+		if first < 0 {
+			first = id
+		}
+		a.AddEdge(p, id)
+		p = id
+	}
+	// lit1's last state can also jump straight into lit2 (".*" may be
+	// empty).
+	a.AddEdge(prev, first)
+}
+
+// appendSubsequence adds the SPM-style subsequence pattern
+// i1.*i2.*...*ik.*trigger: once every item has been seen in order, every
+// occurrence of the trigger byte reports. This is the structure that makes
+// SPM's reporting dense and bursty (Section 3).
+func appendSubsequence(a *automata.Automaton, items []byte, trigger byte, code int32) {
+	var prevItem, prevDot automata.StateID = -1, -1
+	for i, it := range items {
+		s := automata.State{Match: automata.Symbol(it)}
+		if i == 0 {
+			s.Start = automata.StartAllInput
+		}
+		id := a.AddState(s)
+		if prevItem >= 0 {
+			a.AddEdge(prevItem, id)
+			a.AddEdge(prevDot, id)
+		}
+		dot := a.AddState(automata.State{Match: automata.AllSymbols()})
+		a.AddEdge(id, dot)
+		a.AddEdge(dot, dot)
+		prevItem, prevDot = id, dot
+	}
+	t := a.AddState(automata.State{Match: automata.Symbol(trigger), Report: true, ReportCode: code})
+	a.AddEdge(prevItem, t)
+	a.AddEdge(prevDot, t)
+}
+
+// appendClassPattern adds a chain whose positions are the given classes,
+// useful for range-heavy (Ranges, RandomForest) and alphabet-class
+// (Protomata) benchmarks.
+func appendClassPattern(a *automata.Automaton, classes []bitvec.V256, code int32) {
+	appendChain(a, classes, code)
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sunder/internal/automata"
+)
+
+// File-based suite export/import. ANMLZoo distributes each benchmark as an
+// ANML automata network plus a binary input stamp; this writes the
+// generated stand-ins in the same layout (<name>.anml + <name>.input), so
+// they can be fed to external tools (VASim loads this ANML subset
+// directly) and reloaded without regeneration.
+
+// Save writes the workload into dir as <Name>.anml and <Name>.input.
+func (w *Workload) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	anmlPath := filepath.Join(dir, w.Spec.Name+".anml")
+	f, err := os.Create(anmlPath)
+	if err != nil {
+		return err
+	}
+	if err := automata.WriteANML(f, w.Automaton, w.Spec.Name); err != nil {
+		f.Close()
+		return fmt.Errorf("workload: writing %s: %w", anmlPath, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, w.Spec.Name+".input"), w.Input, 0o644)
+}
+
+// Load reads a previously saved workload. The Spec is looked up by name so
+// paper statistics stay attached; unknown names get a bare Spec.
+func Load(dir, name string) (*Workload, error) {
+	f, err := os.Open(filepath.Join(dir, name+".anml"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := automata.ReadANML(f)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading %s.anml: %w", name, err)
+	}
+	input, err := os.ReadFile(filepath.Join(dir, name+".input"))
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{Automaton: a, Input: input}
+	for _, s := range specs {
+		if s.Name == name {
+			w.Spec = s
+			break
+		}
+	}
+	if w.Spec.Name == "" {
+		w.Spec = Spec{Name: name}
+	}
+	return w, nil
+}
+
+// SaveAll generates and writes every benchmark at the given scale.
+func SaveAll(dir string, scale float64, inputLen int) error {
+	for _, s := range specs {
+		w, err := Get(s.Name, scale, inputLen)
+		if err != nil {
+			return err
+		}
+		if err := w.Save(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+
+	"sunder/internal/funcsim"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := MustGet("Bro217", 0.01, 4000)
+	if err := w.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir, "Bro217")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.Name != "Bro217" || back.Spec.PaperStates != w.Spec.PaperStates {
+		t.Errorf("spec not reattached: %+v", back.Spec)
+	}
+	if back.Automaton.NumStates() != w.Automaton.NumStates() ||
+		back.Automaton.NumEdges() != w.Automaton.NumEdges() {
+		t.Fatalf("automaton round trip: %d/%d states, %d/%d edges",
+			back.Automaton.NumStates(), w.Automaton.NumStates(),
+			back.Automaton.NumEdges(), w.Automaton.NumEdges())
+	}
+	if string(back.Input) != string(w.Input) {
+		t.Fatal("input round trip mismatch")
+	}
+	// Behavioural identity: same reports on the same input.
+	a := funcsim.NewByteSimulator(w.Automaton).Run(w.Input, funcsim.Options{})
+	b := funcsim.NewByteSimulator(back.Automaton).Run(back.Input, funcsim.Options{})
+	if a.Reports != b.Reports || a.ReportCycles != b.ReportCycles {
+		t.Errorf("reloaded behaviour differs: %d/%d reports", a.Reports, b.Reports)
+	}
+}
+
+func TestLoadUnknownName(t *testing.T) {
+	dir := t.TempDir()
+	w := MustGet("TCP", 0.01, 2000)
+	w.Spec.Name = "Custom"
+	if err := w.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir, "Custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.Name != "Custom" || back.Spec.PaperStates != 0 {
+		t.Errorf("bare spec expected, got %+v", back.Spec)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(t.TempDir(), "nope"); err == nil {
+		t.Error("missing workload loaded")
+	}
+}
+
+func TestSaveAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	if err := SaveAll(dir, 0.005, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		if _, err := Load(dir, name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

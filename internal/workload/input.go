@@ -1,0 +1,97 @@
+package workload
+
+import "math/rand"
+
+// Input construction. Three disjoint byte alphabets keep the dynamics
+// controllable:
+//
+//   - background: uppercase letters, digits, space, newline — the noise
+//     stream (and the alphabet "hot" patterns deliberately match);
+//   - plants: lowercase letters — the alphabet of planted match literals,
+//     so matches happen exactly when the schedule plants them;
+//   - cold: 0xC0..0xFE — the alphabet of ballast patterns that must never
+//     match.
+var backgroundAlphabet = func() []byte {
+	var out []byte
+	for b := byte('A'); b <= 'Z'; b++ {
+		out = append(out, b)
+	}
+	for b := byte('0'); b <= '9'; b++ {
+		out = append(out, b)
+	}
+	return append(out, ' ', '\n')
+}()
+
+// randBackground fills dst with background noise.
+func randBackground(rng *rand.Rand, dst []byte) {
+	for i := range dst {
+		dst[i] = backgroundAlphabet[rng.Intn(len(backgroundAlphabet))]
+	}
+}
+
+// randPlantLiteral returns a random lowercase literal of length n.
+func randPlantLiteral(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte('a' + rng.Intn(26))
+	}
+	return out
+}
+
+// randColdLiteral returns a literal over the never-matching cold alphabet.
+func randColdLiteral(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(0xC0 + rng.Intn(0x3F))
+	}
+	return out
+}
+
+// inputPlan schedules planted literals into a background stream.
+type inputPlan struct {
+	// rotation literals are planted round-robin every period bytes.
+	rotation [][]byte
+	period   int
+	// total, if positive, overrides period: exactly total plants are
+	// distributed evenly across the input.
+	total int
+}
+
+// build renders an input stream of length n.
+func (p *inputPlan) build(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	randBackground(rng, out)
+	if len(p.rotation) == 0 {
+		return out
+	}
+	place := func(pos, k int) {
+		lit := p.rotation[k%len(p.rotation)]
+		if pos+len(lit) <= n {
+			copy(out[pos:], lit)
+		}
+	}
+	if p.total > 0 {
+		stride := n / p.total
+		if stride < 1 {
+			stride = 1
+		}
+		for k := 0; k < p.total; k++ {
+			place(k*stride, k)
+		}
+		return out
+	}
+	if p.period <= 0 {
+		return out
+	}
+	k := 0
+	for pos := p.period; pos < n; {
+		place(pos, k)
+		adv := p.period
+		if l := len(p.rotation[k%len(p.rotation)]) + 1; adv < l {
+			adv = l
+		}
+		pos += adv
+		k++
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"sunder/internal/funcsim"
+)
+
+func TestHammingMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		L := rng.Intn(6) + 4
+		d := rng.Intn(2) + 1
+		q := randPlantLiteral(rng, L)
+		a, err := BuildHamming(q, d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Input: noise plus planted exact and near matches.
+		input := randPlantLiteral(rng, 40)
+		copy(input[5:], q)
+		near := append([]byte(nil), q...)
+		near[rng.Intn(L)] = byte('a' + rng.Intn(26))
+		copy(input[20:], near)
+		want := hammingOracle(q, d, input)
+		res := funcsim.RunBytes(a, input)
+		got := make([]bool, len(input))
+		for _, ev := range res.Events {
+			got[ev.Cycle] = true
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("q=%q d=%d input=%q pos %d: got %v want %v", q, d, input, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLevenshteinMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		L := rng.Intn(5) + 4
+		d := rng.Intn(2) + 1
+		q := randPlantLiteral(rng, L)
+		a, err := BuildLevenshtein(q, d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input := randPlantLiteral(rng, 36)
+		copy(input[4:], q)
+		// Plant a deletion variant.
+		del := append([]byte(nil), q[:L/2]...)
+		del = append(del, q[L/2+1:]...)
+		copy(input[18:], del)
+		want := levenshteinOracle(q, d, input)
+		res := funcsim.RunBytes(a, input)
+		got := make([]bool, len(input))
+		for _, ev := range res.Events {
+			got[ev.Cycle] = true
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("q=%q d=%d input=%q pos %d: got %v want %v", q, d, input, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMeshBuilderErrors(t *testing.T) {
+	if _, err := BuildHamming(nil, 1, 0); err == nil {
+		t.Error("empty Hamming pattern accepted")
+	}
+	if _, err := BuildHamming([]byte("abc"), 3, 0); err == nil {
+		t.Error("distance >= length accepted")
+	}
+	if _, err := BuildLevenshtein(nil, 1, 0); err == nil {
+		t.Error("empty Levenshtein pattern accepted")
+	}
+	if _, err := BuildLevenshtein([]byte("ab"), 2, 0); err == nil {
+		t.Error("distance >= length accepted")
+	}
+}

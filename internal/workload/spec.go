@@ -1,0 +1,205 @@
+// Package workload provides synthetic stand-ins for the 19 ANMLZoo and
+// Regex benchmarks the paper evaluates (Table 1). The original suites ship
+// proprietary ANML files and 1MB input stamps that are not redistributable
+// here, so each benchmark is replaced by a generator that reproduces the
+// published *static* structure (state count, report-state fraction, family)
+// and *dynamic* reporting behaviour (reports per cycle, reports per report
+// cycle, report-cycle percentage) of Table 1. All dynamic numbers in the
+// reproduction's tables are measured by simulating the generated automata
+// on the generated inputs, never asserted.
+//
+// Scaling: generators accept a scale factor in (0,1] applied to state
+// counts, and an input length. Tests and default benchmarks run reduced
+// (Scale≈0.02, tens of kilobytes); `cmd/sunder-bench -full` reproduces the
+// paper's 1MB/full-size setting. Burst sizes (simultaneous reports) are
+// capped at one third of the scaled report-state count so that dense
+// benchmarks such as SPM keep their bursty character at small scales.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sunder/internal/automata"
+)
+
+// Family classifies a benchmark as in ANMLZoo.
+type Family string
+
+// Benchmark families of Table 1.
+const (
+	FamilyRegex  Family = "Regex"
+	FamilyMesh   Family = "Mesh"
+	FamilyWidget Family = "Widget"
+)
+
+// Spec describes one benchmark: its published Table 1 statistics and the
+// generator parameters that reproduce them.
+type Spec struct {
+	Name   string
+	Family Family
+
+	// Published static structure (full scale).
+	PaperStates       int
+	PaperReportStates int
+
+	// Published dynamic behaviour on the 1MB input.
+	PaperReports      int64
+	PaperReportCycles int64
+
+	// gen builds the workload at the requested scale.
+	gen func(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload
+}
+
+// PaperReportCycleFraction returns the published report-cycle percentage
+// (per 1,000,000 input symbols).
+func (s Spec) PaperReportCycleFraction() float64 {
+	return float64(s.PaperReportCycles) / 1e6
+}
+
+// PaperBurst returns the published reports per report cycle.
+func (s Spec) PaperBurst() float64 {
+	if s.PaperReportCycles == 0 {
+		return 0
+	}
+	return float64(s.PaperReports) / float64(s.PaperReportCycles)
+}
+
+// Workload is a generated benchmark instance: an automaton and the input
+// stream to run it on.
+type Workload struct {
+	Spec      Spec
+	Automaton *automata.Automaton
+	Input     []byte
+}
+
+// DefaultScale is the reduced scale used by tests and default benches.
+const DefaultScale = 0.02
+
+// DefaultInputLen is the reduced input length used by tests and default
+// benches.
+const DefaultInputLen = 20000
+
+// specs lists the 19 benchmarks of Table 1 in paper order.
+var specs = []Spec{
+	{Name: "Brill", Family: FamilyRegex, PaperStates: 42658, PaperReportStates: 1962,
+		PaperReports: 1092388, PaperReportCycles: 118814, gen: genBrill},
+	{Name: "Bro217", Family: FamilyRegex, PaperStates: 2312, PaperReportStates: 187,
+		PaperReports: 17219, PaperReportCycles: 17210, gen: genBro217},
+	{Name: "Dotstar03", Family: FamilyRegex, PaperStates: 12144, PaperReportStates: 300,
+		PaperReports: 1, PaperReportCycles: 1, gen: genDotstar(0.3)},
+	{Name: "Dotstar06", Family: FamilyRegex, PaperStates: 12640, PaperReportStates: 300,
+		PaperReports: 2, PaperReportCycles: 2, gen: genDotstar(0.6)},
+	{Name: "Dotstar09", Family: FamilyRegex, PaperStates: 12431, PaperReportStates: 300,
+		PaperReports: 2, PaperReportCycles: 2, gen: genDotstar(0.9)},
+	{Name: "ExactMatch", Family: FamilyRegex, PaperStates: 12439, PaperReportStates: 297,
+		PaperReports: 35, PaperReportCycles: 35, gen: genExactMatch},
+	{Name: "PowerEN", Family: FamilyRegex, PaperStates: 40513, PaperReportStates: 3456,
+		PaperReports: 4304, PaperReportCycles: 4303, gen: genPowerEN},
+	{Name: "Protomata", Family: FamilyRegex, PaperStates: 42009, PaperReportStates: 2365,
+		PaperReports: 127413, PaperReportCycles: 105722, gen: genProtomata},
+	{Name: "Ranges05", Family: FamilyRegex, PaperStates: 12621, PaperReportStates: 299,
+		PaperReports: 39, PaperReportCycles: 38, gen: genRanges(0.5)},
+	{Name: "Ranges1", Family: FamilyRegex, PaperStates: 12464, PaperReportStates: 297,
+		PaperReports: 26, PaperReportCycles: 26, gen: genRanges(1.0)},
+	{Name: "Snort", Family: FamilyRegex, PaperStates: 66466, PaperReportStates: 4166,
+		PaperReports: 1710495, PaperReportCycles: 995011, gen: genSnort},
+	{Name: "TCP", Family: FamilyRegex, PaperStates: 19704, PaperReportStates: 767,
+		PaperReports: 103415, PaperReportCycles: 103198, gen: genTCP},
+	{Name: "ClamAV", Family: FamilyRegex, PaperStates: 49538, PaperReportStates: 515,
+		PaperReports: 0, PaperReportCycles: 0, gen: genClamAV},
+	{Name: "Hamming", Family: FamilyMesh, PaperStates: 11346, PaperReportStates: 186,
+		PaperReports: 2, PaperReportCycles: 2, gen: genHamming},
+	{Name: "Levenshtein", Family: FamilyMesh, PaperStates: 2784, PaperReportStates: 96,
+		PaperReports: 4, PaperReportCycles: 4, gen: genLevenshtein},
+	{Name: "Fermi", Family: FamilyWidget, PaperStates: 40783, PaperReportStates: 2399,
+		PaperReports: 96127, PaperReportCycles: 13444, gen: genFermi},
+	{Name: "RandomForest", Family: FamilyWidget, PaperStates: 33220, PaperReportStates: 1661,
+		PaperReports: 21310, PaperReportCycles: 3322, gen: genRandomForest},
+	{Name: "SPM", Family: FamilyWidget, PaperStates: 100500, PaperReportStates: 5025,
+		PaperReports: 47304453, PaperReportCycles: 33933, gen: genSPM},
+	{Name: "EntityResolution", Family: FamilyWidget, PaperStates: 95136, PaperReportStates: 1000,
+		PaperReports: 37628, PaperReportCycles: 28612, gen: genEntityResolution},
+}
+
+// All returns the specs of every benchmark in paper order.
+func All() []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// Names returns every benchmark name in paper order.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Get generates the named benchmark at the given scale and input length.
+// Generation is deterministic: the same arguments yield the same workload.
+func Get(name string, scale float64, inputLen int) (*Workload, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("workload: scale %v out of range (0,1]", scale)
+	}
+	if inputLen <= 0 {
+		return nil, fmt.Errorf("workload: input length %d must be positive", inputLen)
+	}
+	for _, s := range specs {
+		if s.Name != name {
+			continue
+		}
+		rng := rand.New(rand.NewSource(seedFor(name)))
+		w := s.gen(s, rng, scale, inputLen)
+		w.Spec = s
+		w.Automaton.Normalize()
+		if err := w.Automaton.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: generator for %s produced invalid automaton: %w", name, err)
+		}
+		return w, nil
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, Names())
+}
+
+// MustGet is Get but panics on error.
+func MustGet(name string, scale float64, inputLen int) *Workload {
+	w, err := Get(name, scale, inputLen)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// seedFor derives a stable per-benchmark seed from its name.
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// scaled applies the scale factor with a floor of 1.
+func scaled(n int, scale float64) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// burstScaled caps a published burst size at one third of the scaled
+// report-state count (see package comment).
+func burstScaled(paperBurst float64, reportStates int) int {
+	b := int(paperBurst + 0.5)
+	if b < 1 {
+		b = 1
+	}
+	if cap := reportStates / 3; cap >= 1 && b > cap {
+		b = cap
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"math/rand"
+
+	"sunder/internal/automata"
+)
+
+// genSPM reproduces sequential pattern mining's reporting behaviour, the
+// densest in Table 1: SPM patterns are subsequence queries (item, any gap,
+// item, any gap, ..., count-trigger), so once the stream has exhibited a
+// pattern's items in order, the pattern's ".*" states stay active forever
+// and every occurrence of the trigger symbol completes it. A large group of
+// patterns shares one trigger, so each trigger byte produces a burst of
+// simultaneous reports — the paper measures 1394 reports every ~30 cycles.
+//
+// The generated workload has one hot group (shared trigger '!', planted
+// every ~29 bytes) and cold patterns with never-occurring triggers; items
+// come from the background alphabet so the hot group warms up within a few
+// hundred input bytes.
+func genSPM(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
+	a := automata.NewAutomaton()
+	rs := scaled(s.PaperReportStates, scale)
+	burst := burstScaled(s.PaperBurst(), rs)
+	// States per pattern: k items + k gaps + 1 trigger = 2k+1.
+	statesPerRS := s.PaperStates / s.PaperReportStates
+	items := (statesPerRS - 1) / 2
+	if items < 1 {
+		items = 1
+	}
+	const hotTrigger = '!'
+	for i := 0; i < rs; i++ {
+		seq := make([]byte, items)
+		for j := range seq {
+			seq[j] = backgroundAlphabet[rng.Intn(len(backgroundAlphabet))]
+		}
+		trigger := byte(hotTrigger)
+		if i >= burst {
+			trigger = byte(0xC0 + rng.Intn(0x3F)) // cold: never occurs
+		}
+		appendSubsequence(a, seq, trigger, int32(i+1))
+	}
+	period := 29
+	if s.PaperReportCycles > 0 {
+		period = int(1e6/float64(s.PaperReportCycles) + 0.5)
+	}
+	plan := inputPlan{rotation: [][]byte{{hotTrigger}}, period: period}
+	return &Workload{Automaton: a, Input: plan.build(rng, inputLen)}
+}

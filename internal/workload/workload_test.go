@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"sunder/internal/funcsim"
+)
+
+const (
+	testScale = 0.01
+	testInput = 8000
+)
+
+func TestAllBenchmarksGenerate(t *testing.T) {
+	for _, spec := range All() {
+		w, err := Get(spec.Name, testScale, testInput)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if w.Automaton.NumStates() == 0 {
+			t.Errorf("%s: empty automaton", spec.Name)
+		}
+		if len(w.Input) != testInput {
+			t.Errorf("%s: input length %d", spec.Name, len(w.Input))
+		}
+		if err := w.Automaton.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if w.Automaton.NumReportStates() == 0 {
+			t.Errorf("%s: no report states", spec.Name)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	for _, name := range []string{"Brill", "SPM", "Hamming"} {
+		a := MustGet(name, testScale, testInput)
+		b := MustGet(name, testScale, testInput)
+		if a.Automaton.NumStates() != b.Automaton.NumStates() {
+			t.Errorf("%s: nondeterministic state count", name)
+		}
+		if string(a.Input) != string(b.Input) {
+			t.Errorf("%s: nondeterministic input", name)
+		}
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	if _, err := Get("NoSuch", 0.1, 100); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Get("Brill", 0, 100); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Get("Brill", 2, 100); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	if _, err := Get("Brill", 0.1, 0); err == nil {
+		t.Error("zero input accepted")
+	}
+}
+
+// TestDynamicBehaviourClasses checks each benchmark lands in its paper
+// behaviour class when simulated: silent, sparse-frequent, dense-bursty,
+// hot. The exact numbers are recorded by Table 1's experiment; here we pin
+// the qualitative shape so generator regressions are caught.
+func TestDynamicBehaviourClasses(t *testing.T) {
+	type bounds struct {
+		rcMin, rcMax       float64 // report-cycle fraction
+		burstMin, burstMax float64 // reports per report cycle
+	}
+	silent := bounds{0, 0.005, 0, 3}
+	classes := map[string]bounds{
+		"Brill":            {0.02, 0.30, 4, 15},
+		"Bro217":           {0.005, 0.10, 0.9, 2.5},
+		"Dotstar03":        silent,
+		"Dotstar06":        silent,
+		"Dotstar09":        silent,
+		"ExactMatch":       silent,
+		"PowerEN":          {0.0005, 0.05, 0.9, 2.5},
+		"Protomata":        {0.02, 0.35, 0.9, 3},
+		"Ranges05":         silent,
+		"Ranges1":          silent,
+		"Snort":            {0.80, 1.0, 1.2, 2.5},
+		"TCP":              {0.02, 0.30, 0.9, 2.5},
+		"ClamAV":           {0, 0, 0, 0},
+		"Hamming":          silent,
+		"Levenshtein":      silent,
+		"Fermi":            {0.002, 0.06, 3, 12},
+		"RandomForest":     {0.0005, 0.02, 3, 12},
+		"SPM":              {0.01, 0.10, 5, 50},
+		"EntityResolution": {0.005, 0.12, 0.9, 3},
+	}
+	for _, spec := range All() {
+		b, ok := classes[spec.Name]
+		if !ok {
+			t.Fatalf("no bounds for %s", spec.Name)
+		}
+		w := MustGet(spec.Name, testScale, testInput)
+		sim := funcsim.NewByteSimulator(w.Automaton)
+		res := sim.Run(w.Input, funcsim.Options{})
+		rc := res.ReportCycleFraction()
+		burst := res.ReportsPerReportCycle()
+		t.Logf("%-18s states=%5d rs=%4d rc=%.4f burst=%.2f reports=%d",
+			spec.Name, w.Automaton.NumStates(), w.Automaton.NumReportStates(), rc, burst, res.Reports)
+		if rc < b.rcMin || rc > b.rcMax {
+			t.Errorf("%s: report-cycle fraction %.4f outside [%.4f, %.4f]",
+				spec.Name, rc, b.rcMin, b.rcMax)
+		}
+		if res.ReportCycles > 0 && (burst < b.burstMin || burst > b.burstMax) {
+			t.Errorf("%s: burst %.2f outside [%.2f, %.2f]", spec.Name, burst, b.burstMin, b.burstMax)
+		}
+		if spec.PaperReports == 0 && res.Reports != 0 {
+			t.Errorf("%s: expected silence, got %d reports", spec.Name, res.Reports)
+		}
+	}
+}
+
+func TestStaticStructureNearPaper(t *testing.T) {
+	for _, spec := range All() {
+		w := MustGet(spec.Name, 0.02, 4000)
+		states := w.Automaton.NumStates()
+		target := int(float64(spec.PaperStates) * 0.02)
+		// Generators trade exact state counts for dynamic fidelity;
+		// require the right order of magnitude.
+		if states < target/4 || states > target*4 {
+			t.Errorf("%s: %d states, scaled paper target %d", spec.Name, states, target)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sunder
+
+import (
+	"sunder/internal/automata"
+	"sunder/internal/funcsim"
+)
+
+// Stream scans input incrementally — the deployment mode of network
+// intrusion detection, where packets arrive one at a time and matches must
+// surface immediately. It implements io.Writer; matches are delivered to
+// the OnMatch callback as they occur.
+type Stream struct {
+	eng     *Engine
+	onMatch func(Match)
+	// pending buffers input units until a full vector is available.
+	pending []funcsim.Unit
+	scratch []automata.StateID
+	seen    map[streamKey]bool
+	bytesIn int64
+	closed  bool
+}
+
+type streamKey struct {
+	offset uint8
+	origin int32
+}
+
+// NewStream resets the engine and returns a streaming scanner. onMatch may
+// be nil if only the final Stats are of interest.
+func (e *Engine) NewStream(onMatch func(Match)) *Stream {
+	e.machine.Reset()
+	return &Stream{eng: e, onMatch: onMatch, seen: make(map[streamKey]bool)}
+}
+
+// Write feeds more input. It never fails; the signature satisfies
+// io.Writer.
+func (s *Stream) Write(p []byte) (int, error) {
+	if s.closed {
+		panic("sunder: write to closed Stream")
+	}
+	s.pending = append(s.pending, funcsim.BytesToUnits(p, 4)...)
+	s.bytesIn += int64(len(p))
+	s.consume()
+	return len(p), nil
+}
+
+// consume executes all complete vectors in the pending buffer.
+func (s *Stream) consume() {
+	rate := s.eng.machine.Config().Rate
+	off := 0
+	for off+rate <= len(s.pending) {
+		s.step(s.pending[off : off+rate])
+		off += rate
+	}
+	s.pending = append(s.pending[:0], s.pending[off:]...)
+}
+
+func (s *Stream) step(vec []funcsim.Unit) {
+	cycle := s.eng.machine.KernelCycles()
+	s.scratch = s.eng.machine.Step(vec, s.scratch[:0])
+	if len(s.scratch) == 0 || s.onMatch == nil {
+		return
+	}
+	clear(s.seen)
+	rate := int64(s.eng.machine.Config().Rate)
+	for _, id := range s.scratch {
+		for _, r := range s.eng.nibble.States[id].Reports {
+			k := streamKey{offset: r.Offset, origin: r.Origin}
+			if s.seen[k] {
+				continue
+			}
+			s.seen[k] = true
+			unit := cycle*rate + int64(r.Offset)
+			s.onMatch(Match{
+				Position: unit / int64(s.eng.nibble.SymbolUnits),
+				Code:     r.Code,
+			})
+		}
+	}
+}
+
+// Close pads and executes the final partial vector (matches ending on the
+// last input bytes are still found) and returns the device statistics.
+// The stream must not be written to afterwards.
+func (s *Stream) Close() Stats {
+	if !s.closed {
+		if len(s.pending) > 0 {
+			rate := s.eng.machine.Config().Rate
+			s.pending = funcsim.PadUnits(s.pending, rate)
+			s.consume()
+		}
+		s.closed = true
+	}
+	m := s.eng.machine
+	return Stats{
+		KernelCycles: m.KernelCycles(),
+		StallCycles:  m.StallCycles(),
+		Flushes:      m.Flushes(),
+	}
+}
+
+// BytesIn returns the number of input bytes consumed so far.
+func (s *Stream) BytesIn() int64 { return s.bytesIn }

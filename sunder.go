@@ -1,0 +1,301 @@
+// Package sunder is a software reproduction of the Sunder in-SRAM pattern
+// matching accelerator (Sadredini et al., MICRO 2021): a reconfigurable-
+// rate automata processor with an in-place, memory-mapped reporting
+// architecture.
+//
+// The package compiles rule sets (regular expressions or ANML automata)
+// through the full Sunder pipeline — Glushkov NFA construction, FlexAmata-
+// style nibble transformation, vectorized temporal striding to the chosen
+// processing rate, placement onto 256×256 subarray processing units — and
+// executes them on a bit-faithful architectural simulator that models state
+// matching, the crossbar interconnect, and the in-subarray report region
+// with its stalls, flushes, FIFO drain and summarization.
+//
+// Quick start:
+//
+//	eng, err := sunder.Compile([]sunder.Pattern{
+//		{Expr: `GET /[a-z]+`, Code: 1},
+//		{Expr: `\x00\x00EXPLOIT`, Code: 2},
+//	}, sunder.DefaultOptions())
+//	...
+//	res, err := eng.Scan(packet)
+//	for _, m := range res.Matches {
+//		fmt.Printf("rule %d matched ending at byte %d\n", m.Code, m.Position)
+//	}
+package sunder
+
+import (
+	"fmt"
+	"io"
+
+	"sunder/internal/automata"
+	"sunder/internal/core"
+	"sunder/internal/funcsim"
+	"sunder/internal/hardware"
+	"sunder/internal/mapping"
+	"sunder/internal/regex"
+	"sunder/internal/transform"
+)
+
+// Pattern is one rule: a regular expression and the code its matches carry.
+//
+// Supported syntax: literals, ".", character classes, the escapes \d \D \w
+// \W \s \S \n \t \r \xHH, grouping, alternation, "*", "+", "?", "{m,n}",
+// a leading "(?i)" case-insensitivity flag, and a leading "^" anchor.
+// Patterns that can match the empty string are rejected.
+type Pattern struct {
+	Expr string
+	Code int32
+}
+
+// Options configures compilation and the simulated device.
+type Options struct {
+	// Rate is the symbol processing rate in nibbles per cycle: 1, 2 or 4
+	// (4-, 8- or 16-bit symbols). Higher rates raise throughput at the
+	// cost of more states (Table 3 of the paper).
+	Rate int
+	// ReportColumns is the per-subarray report-state budget m (default
+	// 12). It is raised automatically if a rule set needs more.
+	ReportColumns int
+	// MetadataBits is the report-entry cycle-counter width n (default
+	// 20); longer inputs write stride markers automatically.
+	MetadataBits int
+	// FIFO enables the FIFO drain strategy: the host continuously reads
+	// report entries during execution, eliminating almost all stalls.
+	FIFO bool
+	// SummarizeOnFull replaces region flushes with in-place 16-row NOR
+	// summarization for applications that only need "has this rule
+	// fired" information.
+	SummarizeOnFull bool
+}
+
+// DefaultOptions returns the paper's default configuration: 16-bit
+// processing with the FIFO drain strategy.
+func DefaultOptions() Options {
+	return Options{Rate: 4, ReportColumns: 12, MetadataBits: 20, FIFO: true}
+}
+
+// Match is one rule match.
+type Match struct {
+	// Position is the byte offset of the last byte of the match.
+	Position int64
+	// Code is the matched pattern's code.
+	Code int32
+}
+
+// Stats reports device behaviour for a scan.
+type Stats struct {
+	// KernelCycles is the number of productive device cycles.
+	KernelCycles int64
+	// StallCycles is the cycles lost to reporting (flushes, overflow
+	// waits, summarization).
+	StallCycles int64
+	// Flushes counts whole-region flushes (or FIFO overflow events).
+	Flushes int64
+	// Reports and ReportCycles mirror the paper's Table 1 metrics.
+	Reports      int64
+	ReportCycles int64
+}
+
+// Overhead returns the reporting slowdown (kernel+stall)/kernel.
+func (s Stats) Overhead() float64 {
+	if s.KernelCycles == 0 {
+		return 1
+	}
+	return float64(s.KernelCycles+s.StallCycles) / float64(s.KernelCycles)
+}
+
+// ScanResult holds the matches and statistics of one scan.
+type ScanResult struct {
+	Matches []Match
+	Stats   Stats
+}
+
+// Engine is a compiled rule set configured on the simulated device.
+type Engine struct {
+	opts    Options
+	byteNFA *automata.Automaton
+	nibble  *automata.UnitAutomaton
+	machine *core.Machine
+}
+
+// Compile builds an Engine from a pattern set.
+func Compile(patterns []Pattern, opts Options) (*Engine, error) {
+	ps := make([]regex.Pattern, len(patterns))
+	for i, p := range patterns {
+		ps[i] = regex.Pattern{Expr: p.Expr, Code: p.Code}
+	}
+	nfa, err := regex.CompileSet(ps)
+	if err != nil {
+		return nil, err
+	}
+	return fromByteNFA(nfa, opts)
+}
+
+// CompileANML builds an Engine from an ANML automata network (the Micron
+// AP / ANMLZoo interchange format; STE subset).
+func CompileANML(r io.Reader, opts Options) (*Engine, error) {
+	nfa, err := automata.ReadANML(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromByteNFA(nfa, opts)
+}
+
+func fromByteNFA(nfa *automata.Automaton, opts Options) (*Engine, error) {
+	if opts.Rate == 0 {
+		opts.Rate = 4
+	}
+	ua, err := transform.ToRate(nfa, opts.Rate)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(opts.Rate)
+	if opts.ReportColumns > 0 {
+		cfg.ReportColumns = opts.ReportColumns
+	}
+	if opts.MetadataBits > 0 {
+		cfg.MetadataBits = opts.MetadataBits
+	}
+	cfg.FIFO = opts.FIFO
+	cfg.SummarizeOnFull = opts.SummarizeOnFull
+	budget, err := mapping.AutoReportColumns(ua, cfg.ReportColumns)
+	if err != nil {
+		return nil, fmt.Errorf("sunder: rule set does not fit the device: %w", err)
+	}
+	cfg.ReportColumns = budget
+	place, err := mapping.Place(ua, cfg.ReportColumns)
+	if err != nil {
+		return nil, fmt.Errorf("sunder: rule set does not fit the device: %w", err)
+	}
+	m, err := core.Configure(ua, place, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m}, nil
+}
+
+// Scan resets the engine and runs input through the device, returning every
+// match (the byte position where an occurrence ends, with its rule code)
+// and the device statistics.
+func (e *Engine) Scan(input []byte) (*ScanResult, error) {
+	e.machine.Reset()
+	units := funcsim.BytesToUnits(input, 4)
+	res := e.machine.Run(units, core.RunOptions{RecordEvents: true})
+	out := &ScanResult{
+		Stats: Stats{
+			KernelCycles: res.KernelCycles,
+			StallCycles:  res.StallCycles,
+			Flushes:      res.Flushes,
+			Reports:      res.Reports,
+			ReportCycles: res.ReportCycles,
+		},
+	}
+	for _, ev := range res.Events {
+		out.Matches = append(out.Matches, Match{
+			Position: ev.Unit / int64(e.nibble.SymbolUnits),
+			Code:     ev.Code,
+		})
+	}
+	return out, nil
+}
+
+// Summarize returns, per rule code, whether the rule has fired since the
+// engine's last summarize/reset — the in-hardware report summarization of
+// Section 5.1.2 (it stalls matching for a few cycles and clears the report
+// region).
+func (e *Engine) Summarize() map[int32]bool {
+	out := make(map[int32]bool)
+	for s := range e.machine.Summarize() {
+		for _, r := range e.nibble.States[s].Reports {
+			out[r.Code] = true
+		}
+	}
+	return out
+}
+
+// Verify cross-checks the architectural simulator against the functional
+// simulator and the original byte automaton on the given input, returning
+// an error on any divergence. It exists for validation and tests.
+func (e *Engine) Verify(input []byte) error {
+	return transform.EquivalentOnInput(e.byteNFA, e.nibble, input)
+}
+
+// Info describes the compiled configuration.
+type Info struct {
+	// Rate is the configured nibbles/cycle; BitsPerCycle = 4×Rate.
+	Rate int
+	// ByteStates is the state count of the original 8-bit automaton;
+	// DeviceStates is after nibble transformation and striding.
+	ByteStates   int
+	DeviceStates int
+	// PUs is the number of 256-state processing units configured.
+	PUs int
+	// ReportColumns is the per-PU report budget actually used.
+	ReportColumns int
+	// RegionCapacity is the per-PU report-entry capacity.
+	RegionCapacity int
+}
+
+// ReportRecord is one decoded entry of the device's report region: the
+// cycle it was written (reconstructed across stride markers) and the rule
+// codes that fired.
+type ReportRecord struct {
+	// Position is the byte offset of the last byte processed in the
+	// reporting cycle.
+	Position int64
+	// Codes are the rule codes recorded in the entry.
+	Codes []int32
+}
+
+// ReadReports decodes the report regions of every processing unit — the
+// paper's "easy access mechanism": collecting reports is just reading
+// memory rows back. It reflects entries still resident in the regions, so
+// it is meaningful for engines compiled without the FIFO drain (the host
+// owns the read pointer there); with FIFO enabled the host has already
+// consumed drained entries.
+func (e *Engine) ReadReports() []ReportRecord {
+	var out []ReportRecord
+	rate := int64(e.machine.Config().Rate)
+	symbolUnits := int64(e.nibble.SymbolUnits)
+	for pu := 0; pu < e.machine.NumPUs(); pu++ {
+		for _, rec := range e.machine.ReadReports(pu) {
+			r := ReportRecord{
+				// The entry's cycle covers rate units; report at the
+				// last symbol of the cycle.
+				Position: (rec.Cycle*rate + rate - 1) / symbolUnits,
+			}
+			seen := map[int32]bool{}
+			for _, s := range rec.States {
+				for _, rep := range e.nibble.States[s].Reports {
+					if !seen[rep.Code] {
+						seen[rep.Code] = true
+						r.Codes = append(r.Codes, rep.Code)
+					}
+				}
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Info returns the engine's compiled configuration.
+func (e *Engine) Info() Info {
+	return Info{
+		Rate:           e.opts.Rate,
+		ByteStates:     e.byteNFA.NumStates(),
+		DeviceStates:   e.nibble.NumStates(),
+		PUs:            e.machine.NumPUs(),
+		ReportColumns:  e.machine.Config().ReportColumns,
+		RegionCapacity: e.machine.Config().RegionCapacity(),
+	}
+}
+
+// ThroughputGbps estimates the device's sustained input throughput in
+// Gbit/s: the Sunder operating frequency (3.6 GHz at 14nm, Table 5) times
+// the configured bits per cycle, divided by the given reporting overhead
+// (use ScanResult.Stats.Overhead(), or 1 for the stall-free bound).
+func (e *Engine) ThroughputGbps(overhead float64) float64 {
+	return hardware.ThroughputAtRate(4*e.opts.Rate, overhead)
+}

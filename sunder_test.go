@@ -1,0 +1,326 @@
+package sunder
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompileAndScan(t *testing.T) {
+	eng, err := Compile([]Pattern{
+		{Expr: `abc`, Code: 1},
+		{Expr: `b[cd]e`, Code: 2},
+	}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Scan([]byte("xxabcxbdexx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %+v", res.Matches)
+	}
+	if res.Matches[0].Code != 1 || res.Matches[0].Position != 4 {
+		t.Errorf("first match = %+v", res.Matches[0])
+	}
+	if res.Matches[1].Code != 2 || res.Matches[1].Position != 8 {
+		t.Errorf("second match = %+v", res.Matches[1])
+	}
+	if res.Stats.Reports != 2 || res.Stats.Overhead() != 1.0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestScanIsRepeatable(t *testing.T) {
+	eng, err := Compile([]Pattern{{Expr: `ab`, Code: 9}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := eng.Scan([]byte("abab"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 2 {
+			t.Fatalf("run %d: matches = %+v", i, res.Matches)
+		}
+	}
+}
+
+func TestAllRates(t *testing.T) {
+	for _, rate := range []int{1, 2, 4} {
+		opts := DefaultOptions()
+		opts.Rate = rate
+		eng, err := Compile([]Pattern{{Expr: `hello`, Code: 1}}, opts)
+		if err != nil {
+			t.Fatalf("rate %d: %v", rate, err)
+		}
+		res, err := eng.Scan([]byte("say hello twice, hello"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 2 {
+			t.Errorf("rate %d: matches = %+v", rate, res.Matches)
+		}
+		if eng.Info().Rate != rate {
+			t.Errorf("Info rate = %d", eng.Info().Rate)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile([]Pattern{{Expr: `(`, Code: 1}}, DefaultOptions()); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if _, err := Compile(nil, DefaultOptions()); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := CompileANML(strings.NewReader("<not-anml/>"), DefaultOptions()); err == nil {
+		t.Error("bad ANML accepted")
+	}
+	// A single connected pattern that cannot fit a cluster must be
+	// rejected with a device-fit error. (Striding splits an unanchored
+	// chain into two disjoint alignment tracks, so the chain must exceed
+	// two clusters' worth of states to be genuinely unmappable.)
+	long := strings.Repeat("abcdefghijklmnopqrstuvwxyz", 96)
+	if _, err := Compile([]Pattern{{Expr: long, Code: 1}}, DefaultOptions()); err == nil {
+		t.Error("oversized rule set accepted")
+	}
+	// Zero-value options default the rate.
+	eng, err := Compile([]Pattern{{Expr: `ab`, Code: 1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Info().Rate != 4 {
+		t.Errorf("default rate = %d", eng.Info().Rate)
+	}
+}
+
+func TestStatsOverheadZero(t *testing.T) {
+	if (Stats{}).Overhead() != 1.0 {
+		t.Error("zero-cycle overhead not 1")
+	}
+}
+
+func TestCompileANML(t *testing.T) {
+	src := `<automata-network id="n">
+  <state-transition-element id="q0" symbol-set="[ab]" start="all-input">
+    <activate-on-match element="q1"/>
+  </state-transition-element>
+  <state-transition-element id="q1" symbol-set="[c]">
+    <report-on-match reportcode="7"/>
+  </state-transition-element>
+</automata-network>`
+	eng, err := CompileANML(strings.NewReader(src), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Scan([]byte("xacxbc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 || res.Matches[0].Code != 7 {
+		t.Errorf("matches = %+v", res.Matches)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FIFO = false // summaries read the region; keep the host out
+	eng, err := Compile([]Pattern{
+		{Expr: `aa`, Code: 1},
+		{Expr: `zz`, Code: 2},
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Scan([]byte("xaax")); err != nil {
+		t.Fatal(err)
+	}
+	got := eng.Summarize()
+	if !got[1] || got[2] {
+		t.Errorf("summary = %v", got)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	eng, err := Compile([]Pattern{{Expr: `a(b|c)+d`, Code: 1}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"abcd", "xxacbcbd", "ad", "abd"} {
+		if err := eng.Verify([]byte(in)); err != nil {
+			t.Errorf("Verify(%q): %v", in, err)
+		}
+	}
+}
+
+func TestInfo(t *testing.T) {
+	eng, err := Compile([]Pattern{{Expr: `abcd`, Code: 1}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := eng.Info()
+	if info.ByteStates != 4 || info.DeviceStates <= 0 || info.PUs != 1 {
+		t.Errorf("info = %+v", info)
+	}
+	if info.RegionCapacity != 1536 {
+		t.Errorf("capacity = %d", info.RegionCapacity)
+	}
+}
+
+func TestStreamMatchesScan(t *testing.T) {
+	patterns := []Pattern{{Expr: `abc`, Code: 1}, {Expr: `cab`, Code: 2}}
+	eng, err := Compile(patterns, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("zabcabzcabcz")
+	want, err := eng.Scan(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Match
+	st := eng.NewStream(func(m Match) { got = append(got, m) })
+	// Feed in awkward chunk sizes, including splits inside matches.
+	for i := 0; i < len(input); {
+		n := 1 + i%3
+		if i+n > len(input) {
+			n = len(input) - i
+		}
+		if _, err := st.Write(input[i : i+n]); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+	}
+	st.Close()
+	if len(got) != len(want.Matches) {
+		t.Fatalf("stream matches %+v, scan matches %+v", got, want.Matches)
+	}
+	for i := range got {
+		if got[i] != want.Matches[i] {
+			t.Errorf("match %d: stream %+v vs scan %+v", i, got[i], want.Matches[i])
+		}
+	}
+	if st.BytesIn() != int64(len(input)) {
+		t.Errorf("BytesIn = %d", st.BytesIn())
+	}
+}
+
+func TestStreamTailMatch(t *testing.T) {
+	eng, err := Compile([]Pattern{{Expr: `ab`, Code: 1}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	st := eng.NewStream(func(m Match) { got = append(got, m) })
+	st.Write([]byte("xab")) // 3 bytes = 6 nibbles; rate 4 leaves a tail
+	stats := st.Close()
+	if len(got) != 1 || got[0].Position != 2 {
+		t.Errorf("tail match = %+v", got)
+	}
+	if stats.KernelCycles == 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestStreamWriteAfterClosePanics(t *testing.T) {
+	eng, _ := Compile([]Pattern{{Expr: `ab`, Code: 1}}, DefaultOptions())
+	st := eng.NewStream(nil)
+	st.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("write after close did not panic")
+		}
+	}()
+	st.Write([]byte("x"))
+}
+
+func TestThroughputGbps(t *testing.T) {
+	eng, err := Compile([]Pattern{{Expr: `ab`, Code: 1}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := eng.ThroughputGbps(1.0)
+	// 16 bits/cycle at ~3.6 GHz ≈ 57.7 Gbit/s.
+	if full < 55 || full > 60 {
+		t.Errorf("ThroughputGbps(1) = %v", full)
+	}
+	if eng.ThroughputGbps(2.0) >= full {
+		t.Error("overhead did not reduce throughput")
+	}
+	if eng.ThroughputGbps(0.5) != full {
+		t.Error("overhead below 1 not clamped")
+	}
+	opts := DefaultOptions()
+	opts.Rate = 1
+	slow, err := Compile([]Pattern{{Expr: `ab`, Code: 1}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.ThroughputGbps(1.0)*4 != full {
+		t.Errorf("rate scaling wrong: %v vs %v", slow.ThroughputGbps(1.0), full)
+	}
+}
+
+func TestReadReports(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FIFO = false // leave entries resident in the region
+	eng, err := Compile([]Pattern{{Expr: `ab`, Code: 5}, {Expr: `cd`, Code: 6}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Scan([]byte("abxxcdxxab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := eng.ReadReports()
+	if len(recs) != 3 {
+		t.Fatalf("records = %+v", recs)
+	}
+	// Every scan match position must appear in some decoded record whose
+	// codes include the match code (record positions are cycle-granular:
+	// the last byte of the reporting cycle).
+	for _, m := range res.Matches {
+		found := false
+		for _, r := range recs {
+			if r.Position >= m.Position && r.Position <= m.Position+1 {
+				for _, c := range r.Codes {
+					if c == m.Code {
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("match %+v not found in decoded records %+v", m, recs)
+		}
+	}
+}
+
+// Property: on random inputs, the engine agrees with its own reference
+// check (functional simulator vs byte automaton vs machine).
+func TestQuickEngineEquivalence(t *testing.T) {
+	eng, err := Compile([]Pattern{
+		{Expr: `ab*c`, Code: 1},
+		{Expr: `cc`, Code: 2},
+	}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		input := make([]byte, n)
+		for i := range input {
+			input[i] = byte("abcx"[rng.Intn(4)])
+		}
+		return eng.Verify(input) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
