@@ -17,6 +17,7 @@ import (
 	"sunder/internal/exp"
 	"sunder/internal/funcsim"
 	"sunder/internal/mapping"
+	"sunder/internal/telemetry"
 	"sunder/internal/transform"
 	"sunder/internal/workload"
 )
@@ -273,6 +274,38 @@ func BenchmarkEngineScan(b *testing.B) {
 		if _, err := eng.Scan(input); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the telemetry hooks on
+// the machine hot path in its three modes: detached (the default; the
+// guard branch only), counters attached, and counters plus event tracing.
+// "off" must stay within noise of BenchmarkMachineSnort.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	w := workload.MustGet("Snort", benchOpts.Scale, benchOpts.InputLen)
+	units := funcsim.BytesToUnits(w.Input, 4)
+	for _, mode := range []string{"off", "counters", "trace"} {
+		b.Run(mode, func(b *testing.B) {
+			m := mustMachine(b, w, core.DefaultConfig(4))
+			var col *telemetry.Collector
+			switch mode {
+			case "counters":
+				col = telemetry.NewCollector()
+			case "trace":
+				col = telemetry.NewCollector()
+				col.EnableTrace(0)
+			}
+			m.AttachTelemetry(col)
+			b.SetBytes(int64(len(w.Input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				if col != nil {
+					col.Reset()
+				}
+				m.Run(units, core.RunOptions{})
+			}
+		})
 	}
 }
 

@@ -4,6 +4,8 @@ package sunder
 // run a fast invocation, checking for the expected output markers.
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -62,6 +64,37 @@ func TestCLISmoke(t *testing.T) {
 		}
 	}
 
+	// Observability flags: -metrics dumps device counters, -trace writes a
+	// valid Chrome trace_event file, -cpuprofile/-memprofile write profiles.
+	tracePath := filepath.Join(dir, "trace.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	out = run(t, sim, "-benchmark", "Bro217", "-scale", "0.01", "-input", "4000",
+		"-metrics", "-trace", tracePath, "-cpuprofile", cpuPath, "-memprofile", memPath)
+	for _, want := range []string{"device counters:", "device_kernel_cycles", `pu_flushes{pu="0"}`, "wrote", "trace events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sunder-sim -metrics/-trace missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-trace output not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("-trace output has no events")
+	}
+	for _, path := range []string{cpuPath, memPath} {
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", path, err)
+		}
+	}
+
 	bench := buildTool(t, dir, "sunder/cmd/sunder-bench")
 	out = run(t, bench, "-table", "5")
 	if !strings.Contains(out, "Table 5") || !strings.Contains(out, "AP (50nm)") {
@@ -70,6 +103,12 @@ func TestCLISmoke(t *testing.T) {
 	out = run(t, bench, "-fig", "9")
 	if !strings.Contains(out, "Figure 9") {
 		t.Errorf("sunder-bench -fig 9:\n%s", out)
+	}
+	out = run(t, bench, "-table", "4", "-scale", "0.01", "-input", "2000", "-metrics")
+	for _, want := range []string{"Table 4", "device counters:", "device_kernel_cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sunder-bench -metrics missing %q:\n%s", want, out)
+		}
 	}
 
 	gen := buildTool(t, dir, "sunder/cmd/sunder-gen")

@@ -9,6 +9,7 @@
 //	sunder-bench -fig 10         # one figure (8,9,10)
 //	sunder-bench -ablations      # ablation studies only
 //	sunder-bench -scale 0.05 -input 50000
+//	sunder-bench -table 4 -metrics -trace /tmp/t4.json -cpuprofile cpu.out
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"log"
 	"os"
 
+	"sunder/internal/cliutil"
 	"sunder/internal/exp"
 )
 
@@ -32,8 +34,15 @@ func main() {
 		scale      = flag.Float64("scale", 0, "override benchmark scale (0,1]")
 		inputLen   = flag.Int("input", 0, "override input length in bytes")
 		jsonOut    = flag.Bool("json", false, "emit every table and figure as JSON instead of text")
+		telFlags   = cliutil.RegisterTelemetryFlags()
+		profiles   = cliutil.ProfileFlags()
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	opts := exp.DefaultOptions()
 	if *full {
@@ -45,8 +54,22 @@ func main() {
 	if *inputLen > 0 {
 		opts.InputLen = *inputLen
 	}
+	// The collector aggregates device counters and trace events across
+	// every machine the selected experiments build.
+	col := telFlags.Collector()
+	opts.Telemetry = col
 
 	out := os.Stdout
+	// finish emits any requested telemetry and finalizes profiles; it runs
+	// on every success path (JSON mode returns early).
+	finish := func() {
+		if err := telFlags.Emit(out, col); err != nil {
+			log.Fatal(err)
+		}
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *jsonOut {
 		n := 160000
 		if *full {
@@ -59,6 +82,7 @@ func main() {
 		if err := res.WriteJSON(out); err != nil {
 			log.Fatal(err)
 		}
+		finish()
 		return
 	}
 	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions
@@ -166,4 +190,5 @@ func main() {
 		}
 		exp.FprintWideStudy(out, wide)
 	}
+	finish()
 }

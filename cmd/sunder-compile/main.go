@@ -8,6 +8,7 @@
 //	sunder-compile -anml rules.anml -rate 2
 //	sunder-compile -demo            # the paper's Figure 3 walkthrough
 //	sunder-compile -pattern abc -dot /tmp/stages
+//	sunder-compile -anml big.anml -cpuprofile cpu.out
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"path/filepath"
 
 	"sunder/internal/automata"
+	"sunder/internal/cliutil"
 	"sunder/internal/mapping"
 	"sunder/internal/regex"
 	"sunder/internal/transform"
@@ -37,9 +39,20 @@ func main() {
 		rate     = flag.Int("rate", 4, "target processing rate in nibbles/cycle (1,2,4)")
 		dotDir   = flag.String("dot", "", "write Graphviz DOT files for each stage into this directory")
 		demo     = flag.Bool("demo", false, "run the Figure 3 walkthrough (language A|BC)")
+		profiles = cliutil.ProfileFlags()
 	)
 	flag.Var(&patterns, "pattern", "pattern to compile (repeatable)")
 	flag.Parse()
+
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	if *demo {
 		figure3()

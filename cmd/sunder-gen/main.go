@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 
+	"sunder/internal/cliutil"
 	"sunder/internal/workload"
 )
 
@@ -25,8 +26,19 @@ func main() {
 		name     = flag.String("benchmark", "", "generate one benchmark (default: all)")
 		scale    = flag.Float64("scale", workload.DefaultScale, "benchmark scale (0,1]")
 		inputLen = flag.Int("input", workload.DefaultInputLen, "input length in bytes")
+		profiles = cliutil.ProfileFlags()
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	if *name != "" {
 		w, err := workload.Get(*name, *scale, *inputLen)

@@ -6,6 +6,8 @@
 //
 //	sunder-sim -benchmark Snort
 //	sunder-sim -benchmark SPM -rate 2 -fifo=false -scale 0.05 -input 100000
+//	sunder-sim -benchmark Snort -trace /tmp/t.json -metrics
+//	sunder-sim -benchmark Snort -cpuprofile cpu.out -memprofile mem.out
 //	sunder-sim -list
 package main
 
@@ -13,11 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"sunder"
 	"sunder/internal/automata"
+	"sunder/internal/cliutil"
 	"sunder/internal/core"
 	"sunder/internal/funcsim"
-	"sunder/internal/hardware"
 	"sunder/internal/mapping"
 	"sunder/internal/report"
 	"sunder/internal/transform"
@@ -35,6 +39,8 @@ func main() {
 		rate      = flag.Int("rate", 4, "processing rate in nibbles/cycle (1,2,4)")
 		fifo      = flag.Bool("fifo", true, "enable the FIFO report drain")
 		summarize = flag.Bool("summarize", false, "summarize on full instead of flushing")
+		telFlags  = cliutil.RegisterTelemetryFlags()
+		profiles  = cliutil.ProfileFlags()
 	)
 	flag.Parse()
 
@@ -44,6 +50,11 @@ func main() {
 				s.Name, s.Family, s.PaperStates, s.PaperReportStates)
 		}
 		return
+	}
+
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	w, err := workload.Get(*name, *scale, *inputLen)
@@ -93,13 +104,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	col := telFlags.Collector()
+	m.AttachTelemetry(col)
 	mres := m.Run(funcsim.BytesToUnits(w.Input, 4), core.RunOptions{})
 	fmt.Printf("\nSunder @ %d-bit/cycle (FIFO=%v, summarize=%v): %d states on %d PUs (m=%d)\n",
 		4**rate, *fifo, *summarize, ua.NumStates(), m.NumPUs(), cfg.ReportColumns)
-	fmt.Printf("  %d kernel cycles + %d stall cycles: overhead %.4fx, %d flushes, %d summaries\n",
-		mres.KernelCycles, mres.StallCycles, mres.Overhead(), mres.Flushes, mres.Summaries)
-	fmt.Printf("  modeled throughput %.1f Gbit/s; measured energy %.2f pJ/byte (%d report writes)\n",
-		hardware.ThroughputAtRate(4**rate, mres.Overhead()), m.EnergyPerByte(), m.Energy().ReportWrites)
+	stats := sunder.Stats{
+		KernelCycles: mres.KernelCycles,
+		StallCycles:  mres.StallCycles,
+		Flushes:      mres.Flushes,
+		Reports:      mres.Reports,
+		ReportCycles: mres.ReportCycles,
+	}
+	if err := stats.WriteText(os.Stdout, 4**rate); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d summaries; measured energy %.2f pJ/byte (%d report writes)\n",
+		mres.Summaries, m.EnergyPerByte(), m.Energy().ReportWrites)
 
 	apo := ap.Result()
 	rado := rad.Result()
@@ -110,4 +131,11 @@ func main() {
 		"AP", apo.Overhead(res.Cycles), apo.Flushes, float64(apo.OffloadedBits)/8192)
 	fmt.Printf("  %-12s overhead %8.2fx  (%d flushes, %.1f KB offloaded)\n",
 		"AP+RAD", rado.Overhead(res.Cycles), rado.Flushes, float64(rado.OffloadedBits)/8192)
+
+	if err := telFlags.Emit(os.Stdout, col); err != nil {
+		log.Fatal(err)
+	}
+	if err := stopProfiles(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,128 @@
+// Package cliutil holds the observability flag plumbing shared by the
+// cmd/ binaries: runtime/pprof capture (-cpuprofile/-memprofile) and
+// device-telemetry emission (-metrics/-trace).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"sunder/internal/telemetry"
+)
+
+// Profiles carries the -cpuprofile/-memprofile flag values.
+type Profiles struct {
+	CPU string
+	Mem string
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on the default flag
+// set. Call Start after flag.Parse.
+func ProfileFlags() *Profiles {
+	p := &Profiles{}
+	flag.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling if requested and returns a function that
+// finalizes both profiles; call it (or defer it) on the success path.
+func (p *Profiles) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// TelemetryFlags carries the -metrics/-trace flag values.
+type TelemetryFlags struct {
+	Metrics bool
+	Trace   string
+}
+
+// RegisterTelemetryFlags registers -metrics and -trace on the default
+// flag set.
+func RegisterTelemetryFlags() *TelemetryFlags {
+	t := &TelemetryFlags{}
+	flag.BoolVar(&t.Metrics, "metrics", false, "print device counters (per-PU and aggregate) after the run")
+	flag.StringVar(&t.Trace, "trace", "", "write a Chrome trace_event JSON file of device events to this path")
+	return t
+}
+
+// Enabled reports whether any telemetry output was requested.
+func (t *TelemetryFlags) Enabled() bool { return t.Metrics || t.Trace != "" }
+
+// Collector builds a collector matching the requested outputs, or nil if
+// none were requested.
+func (t *TelemetryFlags) Collector() *telemetry.Collector {
+	if !t.Enabled() {
+		return nil
+	}
+	col := telemetry.NewCollector()
+	if t.Trace != "" {
+		col.EnableTrace(0)
+	}
+	return col
+}
+
+// Emit writes the requested outputs: the metrics dump to w and the
+// Chrome trace to the -trace path. A nil collector is a no-op.
+func (t *TelemetryFlags) Emit(w io.Writer, col *telemetry.Collector) error {
+	if col == nil {
+		return nil
+	}
+	if t.Metrics {
+		fmt.Fprintf(w, "\ndevice counters:\n")
+		if err := col.WriteMetrics(w); err != nil {
+			return err
+		}
+	}
+	if t.Trace != "" {
+		tr := col.Tracer()
+		f, err := os.Create(t.Trace)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %d trace events to %s (%d dropped); load in chrome://tracing or Perfetto\n",
+			len(tr.Events()), t.Trace, tr.Dropped())
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"sunder/internal/bitvec"
 	"sunder/internal/funcsim"
 	"sunder/internal/mapping"
+	"sunder/internal/telemetry"
 )
 
 // Machine is a configured Sunder device: a set of processing units holding
@@ -25,6 +26,9 @@ type Machine struct {
 	drainCredit  int64
 	drainRR      int
 	energy       EnergyCounters
+	// tel is the attached telemetry sink; nil (the default) disables all
+	// instrumentation at the cost of one branch per site.
+	tel *telemetrySink
 
 	// mode and configImage implement Normal Mode (see normalmode.go).
 	mode        Mode
@@ -159,6 +163,10 @@ func (m *Machine) Reset() {
 		u.lastStride = 0
 		u.flushes = 0
 		u.summaries = 0
+		u.reportEntries = 0
+		u.strideMarkers = 0
+		u.stallCycles = 0
+		u.peakOccupied = 0
 	}
 	m.kernelCycles = 0
 	m.stallCycles = 0
@@ -236,6 +244,9 @@ func (m *Machine) Step(vec []funcsim.Unit, dst []automata.StateID) []automata.St
 		})
 	}
 	m.kernelCycles++
+	if m.tel != nil {
+		m.tel.kernelCycles.Inc()
+	}
 	return dst
 }
 
@@ -277,31 +288,46 @@ func (m *Machine) storeReport(i int, rep bitvec.V256, cycle int64, stalled *bool
 		}
 		u.writeReportEntry(m.cfg, bitvec.V256{}, chunk)
 		m.energy.ReportWrites++
+		u.strideMarkers++
 		u.lastStride = cur + chunk
+		if m.tel != nil {
+			m.tel.puMarkers.Inc(i)
+			m.tel.event(telemetry.EventStrideMarker, cycle, 0, i, u.occupied)
+		}
 	}
 	// The loop exits immediately after an ensureSpace that wrote nothing,
 	// so one free slot is guaranteed for the data entry.
 	u.writeReportEntry(m.cfg, rep, cycle&mask)
 	m.energy.ReportWrites++
+	u.reportEntries++
 	u.lastStride = stride
+	if m.tel != nil {
+		m.tel.puEntries.Inc(i)
+		m.tel.occupancy.Observe(int64(u.occupied))
+		m.tel.event(telemetry.EventReportWrite, cycle, 0, i, u.occupied)
+	}
 }
 
 // ensureSpace guarantees one free entry slot in PU i's region, performing
 // the configured full-region action (flush, forced drain, or
-// summarization) and accounting its stall.
+// summarization) and accounting its stall. The stall window is shared by
+// every region filling in the same cycle and charged to the first full
+// PU, so the per-PU stallCycles fields sum to the aggregate exactly.
 func (m *Machine) ensureSpace(i int, stalled *bool) {
 	u := &m.pus[i]
 	if u.occupied < m.cfg.RegionCapacity() {
 		return
 	}
+	var charged int64
+	var kind telemetry.EventKind
 	switch {
 	case m.cfg.SummarizeOnFull:
 		batches := u.summarize(m.cfg)
 		u.clearRegion(m.cfg)
 		u.summaries++
+		kind = telemetry.EventSummarize
 		if !*stalled {
-			m.stallCycles += int64(batches * m.cfg.SummarizeStallCycles)
-			*stalled = true
+			charged = int64(batches * m.cfg.SummarizeStallCycles)
 		}
 	case m.cfg.FIFO:
 		// Overflow: wait for the drain to free one entry. Concurrent
@@ -309,9 +335,9 @@ func (m *Machine) ensureSpace(i int, stalled *bool) {
 		u.occupied--
 		u.flushes++
 		m.energy.ExportedBits += int64(m.cfg.EntryBits())
+		kind = telemetry.EventOverflow
 		if !*stalled {
-			m.stallCycles += int64((m.cfg.EntryBits() + m.cfg.ExportBitsPerCycle - 1) / m.cfg.ExportBitsPerCycle)
-			*stalled = true
+			charged = int64((m.cfg.EntryBits() + m.cfg.ExportBitsPerCycle - 1) / m.cfg.ExportBitsPerCycle)
 		}
 	default:
 		// Whole-region flush; all full PUs flush in the same stall
@@ -319,11 +345,28 @@ func (m *Machine) ensureSpace(i int, stalled *bool) {
 		u.clearRegion(m.cfg)
 		u.flushes++
 		m.energy.ExportedBits += int64(m.cfg.ReportRows() * ColsPerSubarray)
+		kind = telemetry.EventFlush
 		if !*stalled {
 			bits := m.cfg.ReportRows() * ColsPerSubarray
-			m.stallCycles += int64((bits + m.cfg.ExportBitsPerCycle - 1) / m.cfg.ExportBitsPerCycle)
-			*stalled = true
+			charged = int64((bits + m.cfg.ExportBitsPerCycle - 1) / m.cfg.ExportBitsPerCycle)
 		}
+	}
+	if charged > 0 {
+		m.stallCycles += charged
+		u.stallCycles += charged
+		*stalled = true
+	}
+	if m.tel != nil {
+		if kind == telemetry.EventSummarize {
+			m.tel.puSummaries.Inc(i)
+		} else {
+			m.tel.puFlushes.Inc(i)
+		}
+		if charged > 0 {
+			m.tel.stallCycles.Add(charged)
+			m.tel.puStalls.Add(i, charged)
+		}
+		m.tel.event(kind, m.kernelCycles, charged, i, u.occupied)
 	}
 }
 
@@ -353,6 +396,9 @@ func (m *Machine) drain() {
 		m.drainCredit -= entry
 		m.energy.ExportedBits += entry
 		m.drainRR = (target + 1) % len(m.pus)
+		if m.tel != nil {
+			m.tel.drained.Inc()
+		}
 	}
 }
 
@@ -363,12 +409,13 @@ func (m *Machine) drain() {
 // cleared afterwards.
 func (m *Machine) Summarize() map[automata.StateID]bool {
 	out := make(map[automata.StateID]bool)
-	maxBatches := 0
+	maxBatches, maxPU := 0, 0
 	for i := range m.pus {
 		u := &m.pus[i]
 		batches := u.summarize(m.cfg)
 		if batches > maxBatches {
 			maxBatches = batches
+			maxPU = i
 		}
 		u.summary.ForEach(func(col int) {
 			if s := m.place.StateAt[i][col]; s >= 0 {
@@ -378,8 +425,24 @@ func (m *Machine) Summarize() map[automata.StateID]bool {
 		u.summary = bitvec.V256{}
 		u.clearRegion(m.cfg)
 		u.summaries++
+		if m.tel != nil {
+			m.tel.puSummaries.Inc(i)
+		}
 	}
-	m.stallCycles += int64(maxBatches * m.cfg.SummarizeStallCycles)
+	// All PUs summarize in parallel; the stall window is the longest
+	// batch chain, attributed to the PU that needed it.
+	charged := int64(maxBatches * m.cfg.SummarizeStallCycles)
+	m.stallCycles += charged
+	if len(m.pus) > 0 {
+		m.pus[maxPU].stallCycles += charged
+	}
+	if m.tel != nil {
+		if charged > 0 {
+			m.tel.stallCycles.Add(charged)
+			m.tel.puStalls.Add(maxPU, charged)
+		}
+		m.tel.event(telemetry.EventSummarize, m.kernelCycles, charged, maxPU, 0)
+	}
 	return out
 }
 

@@ -44,8 +44,16 @@ type pu struct {
 	// summarize" bits when summarization is used.
 	summary bitvec.V256
 
-	flushes   int64
-	summaries int64
+	// Per-PU statistics. flushes counts whole-region flushes (or FIFO
+	// overflow waits); the rest feed Machine.PerPU and the telemetry
+	// layer. They are updated only on the report path, so they stay off
+	// the per-cycle hot path.
+	flushes       int64
+	summaries     int64
+	reportEntries int64 // data entries written
+	strideMarkers int64 // stride-marker entries written
+	stallCycles   int64 // stall cycles attributed to this PU's region
+	peakOccupied  int   // high-water mark of region occupancy
 }
 
 // matchVector reads the subarray through Port 2: one row per nibble group
@@ -100,6 +108,9 @@ func (p *pu) writeReportEntry(cfg Config, reportBits bitvec.V256, meta int64) {
 		p.counter = 0
 	}
 	p.occupied++
+	if p.occupied > p.peakOccupied {
+		p.peakOccupied = p.occupied
+	}
 }
 
 // clearRegion resets the report region after a flush or summarization.

@@ -79,6 +79,10 @@ func (m *Machine) Run(units []funcsim.Unit, opts RunOptions) *Result {
 		if nrep > res.MaxReportsPerCycle {
 			res.MaxReportsPerCycle = nrep
 		}
+		if m.tel != nil {
+			m.tel.reportCycles.Inc()
+			m.tel.reports.Add(int64(nrep))
+		}
 	}
 	res.KernelCycles = m.kernelCycles
 	res.StallCycles = m.stallCycles

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sunder/internal/funcsim"
+	"sunder/internal/regex"
+	"sunder/internal/telemetry"
+)
+
+// denseLoad builds a machine whose single pattern reports on every input
+// byte — the densest reporting load, guaranteed to overflow the region —
+// plus an input long enough for several full-region events.
+func denseLoad(t *testing.T, mut func(*Config)) (*Machine, []funcsim.Unit) {
+	t.Helper()
+	cfg := DefaultConfig(4)
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, _ := build(t, []regex.Pattern{{Expr: `a`, Code: 1}}, cfg)
+	n := (cfg.RegionCapacity() + 2) * 2 * 3
+	input := make([]byte, n)
+	for i := range input {
+		input[i] = 'a'
+	}
+	return m, funcsim.BytesToUnits(input, 4)
+}
+
+// TestPerPUSumsMatchAggregates checks the core invariant behind the
+// -metrics dump: per-PU statistics sum to the machine aggregates, for all
+// three full-region strategies.
+func TestPerPUSumsMatchAggregates(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"flush", func(c *Config) { c.FIFO = false }},
+		// With the default 128-bit export bandwidth a single PU's FIFO
+		// never overflows; throttle the drain so overflow waits occur.
+		{"fifo", func(c *Config) { c.FIFO = true; c.ExportBitsPerCycle = 8 }},
+		{"summarize", func(c *Config) { c.FIFO = false; c.SummarizeOnFull = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, units := denseLoad(t, tc.mut)
+			res := m.Run(units, RunOptions{})
+
+			var flushes, summaries, stalls, entries int64
+			for _, pu := range m.PerPU() {
+				flushes += pu.Flushes
+				summaries += pu.Summaries
+				stalls += pu.StallCycles
+				entries += pu.ReportEntries
+				if pu.PeakOccupancy < pu.Occupancy {
+					t.Errorf("peak occupancy %d below current %d", pu.PeakOccupancy, pu.Occupancy)
+				}
+			}
+			if flushes != m.Flushes() || flushes != res.Flushes {
+				t.Errorf("per-PU flushes %d != aggregate %d/%d", flushes, m.Flushes(), res.Flushes)
+			}
+			if summaries != m.Summaries() {
+				t.Errorf("per-PU summaries %d != aggregate %d", summaries, m.Summaries())
+			}
+			if stalls != m.StallCycles() || stalls != res.StallCycles {
+				t.Errorf("per-PU stalls %d != aggregate %d/%d", stalls, m.StallCycles(), res.StallCycles)
+			}
+			if res.StallCycles == 0 {
+				t.Error("dense load did not stall; the test is not exercising full-region events")
+			}
+			if entries == 0 {
+				t.Error("no report entries recorded")
+			}
+		})
+	}
+}
+
+// TestAttachedTelemetryMatchesMachine runs the same input with and
+// without a collector attached and checks that (a) results are identical
+// and (b) the registry counters equal the machine aggregates.
+func TestAttachedTelemetryMatchesMachine(t *testing.T) {
+	m, units := denseLoad(t, func(c *Config) { c.FIFO = true; c.ExportBitsPerCycle = 8 })
+	base := m.Run(units, RunOptions{})
+
+	col := telemetry.NewCollector()
+	tr := col.EnableTrace(0)
+	m.AttachTelemetry(col)
+	m.Reset()
+	res := m.Run(units, RunOptions{})
+
+	if base.KernelCycles != res.KernelCycles || base.StallCycles != res.StallCycles ||
+		base.Flushes != res.Flushes || base.Reports != res.Reports ||
+		base.ReportCycles != res.ReportCycles {
+		t.Fatalf("telemetry changed results:\nbase %+v\nwith %+v", base, res)
+	}
+	check := func(name string, got, want int64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	check(MetricKernelCycles, col.Counter(MetricKernelCycles).Load(), res.KernelCycles)
+	check(MetricStallCycles, col.Counter(MetricStallCycles).Load(), res.StallCycles)
+	check(MetricReports, col.Counter(MetricReports).Load(), res.Reports)
+	check(MetricReportCycles, col.Counter(MetricReportCycles).Load(), res.ReportCycles)
+	check(MetricPUFlushes+"_total", col.CounterVec(MetricPUFlushes, m.NumPUs()).Sum(), res.Flushes)
+	check(MetricPUStallCycles+"_total", col.CounterVec(MetricPUStallCycles, m.NumPUs()).Sum(), res.StallCycles)
+
+	var entries int64
+	for _, pu := range m.PerPU() {
+		entries += pu.ReportEntries
+	}
+	check(MetricPUEntries+"_total", col.CounterVec(MetricPUEntries, m.NumPUs()).Sum(), entries)
+	if h := col.Histogram(MetricOccupancy, nil); h.Count() != entries {
+		t.Errorf("occupancy observations %d != report entries %d", h.Count(), entries)
+	}
+
+	// The trace must contain report writes and overflow events with
+	// cycle timestamps inside the run.
+	var writes, overflows int
+	for _, ev := range tr.Events() {
+		if ev.Cycle < 0 || ev.Cycle >= res.KernelCycles {
+			t.Fatalf("event cycle %d outside run of %d cycles", ev.Cycle, res.KernelCycles)
+		}
+		switch ev.Kind {
+		case telemetry.EventReportWrite:
+			writes++
+		case telemetry.EventOverflow:
+			overflows++
+		}
+	}
+	if writes == 0 {
+		t.Error("trace has no report_write events")
+	}
+	if overflows == 0 && res.Flushes > 0 {
+		t.Errorf("machine counted %d overflows but trace has none", res.Flushes)
+	}
+
+	// Detach restores the disabled path: counters stop moving.
+	m.AttachTelemetry(nil)
+	m.Reset()
+	m.Run(units, RunOptions{})
+	check("after detach "+MetricKernelCycles, col.Counter(MetricKernelCycles).Load(), res.KernelCycles)
+
+	// The metrics dump exposes per-PU lines plus the _total sums.
+	var buf bytes.Buffer
+	if err := col.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{MetricKernelCycles, MetricPUFlushes + `{pu="0"}`, MetricPUFlushes + "_total", MetricOccupancy + "_bucket"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}
+
+// TestSummarizeAttributesStalls checks that host-requested summarization
+// keeps the per-PU stall attribution invariant.
+func TestSummarizeAttributesStalls(t *testing.T) {
+	m, units := denseLoad(t, nil)
+	m.Run(units, RunOptions{})
+	before := m.StallCycles()
+	m.Summarize()
+	if m.StallCycles() == before {
+		t.Fatal("Summarize added no stall cycles")
+	}
+	var stalls int64
+	for _, pu := range m.PerPU() {
+		stalls += pu.StallCycles
+	}
+	if stalls != m.StallCycles() {
+		t.Errorf("per-PU stalls %d != aggregate %d after Summarize", stalls, m.StallCycles())
+	}
+}

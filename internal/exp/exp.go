@@ -11,6 +11,7 @@ import (
 
 	"sunder/internal/core"
 	"sunder/internal/mapping"
+	"sunder/internal/telemetry"
 	"sunder/internal/transform"
 	"sunder/internal/workload"
 )
@@ -22,6 +23,11 @@ type Options struct {
 	Scale float64
 	// InputLen is the input stream length in bytes.
 	InputLen int
+	// Telemetry, when non-nil, is attached to every machine the
+	// experiment runners build, aggregating device counters and trace
+	// events across all simulated workloads (per-PU labels then refer to
+	// each machine's own PU indices).
+	Telemetry *telemetry.Collector
 }
 
 // DefaultOptions returns the reduced-scale configuration used by tests and
@@ -42,6 +48,12 @@ func FullOptions() Options {
 // feasible one, as m is a configuration parameter), and configures a
 // machine.
 func buildMachine(w *workload.Workload, rate int, cfg core.Config) (*core.Machine, error) {
+	return buildMachineTel(w, rate, cfg, nil)
+}
+
+// buildMachineTel is buildMachine plus an optional telemetry collector
+// attached to the configured machine.
+func buildMachineTel(w *workload.Workload, rate int, cfg core.Config, tel *telemetry.Collector) (*core.Machine, error) {
 	ua, err := transform.ToRate(w.Automaton, rate)
 	if err != nil {
 		return nil, fmt.Errorf("%s: transform: %w", w.Spec.Name, err)
@@ -58,6 +70,9 @@ func buildMachine(w *workload.Workload, rate int, cfg core.Config) (*core.Machin
 	mach, err := core.Configure(ua, place, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: configure: %w", w.Spec.Name, err)
+	}
+	if tel != nil {
+		mach.AttachTelemetry(tel)
 	}
 	return mach, nil
 }

@@ -61,7 +61,7 @@ func HotColdStudy(opts Options, names []string, capacityFrac float64) ([]HotCold
 		// Sunder: run the restricted automaton (boundary states are
 		// report states now) on the machine.
 		hwWorkload := &workload.Workload{Spec: w.Spec, Automaton: split.Hardware, Input: eval}
-		m, err := buildMachine(hwWorkload, 4, core.DefaultConfig(4))
+		m, err := buildMachineTel(hwWorkload, 4, core.DefaultConfig(4), opts.Telemetry)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// EventKind classifies one traced device event.
+type EventKind uint8
+
+const (
+	// EventReportWrite is one report entry written into a PU's report
+	// region through Port 1.
+	EventReportWrite EventKind = iota
+	// EventStrideMarker is an all-zero entry carrying a cycle-stride
+	// delta (Section 7.1).
+	EventStrideMarker
+	// EventFlush is a whole-region flush (non-FIFO full-region action).
+	EventFlush
+	// EventOverflow is a FIFO overflow: the region filled faster than
+	// the continuous drain and matching waited for one entry.
+	EventOverflow
+	// EventSummarize is an in-place 16-row NOR summarization of the
+	// region (on-full or host-requested).
+	EventSummarize
+)
+
+// String returns the event kind's stable wire name.
+func (k EventKind) String() string {
+	switch k {
+	case EventReportWrite:
+		return "report_write"
+	case EventStrideMarker:
+		return "stride_marker"
+	case EventFlush:
+		return "flush"
+	case EventOverflow:
+		return "fifo_overflow"
+	case EventSummarize:
+		return "summarize"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one traced device event. Cycle is the kernel-cycle timestamp;
+// Stall is the stall duration in cycles charged for the event (0 for
+// report writes and for events sharing another PU's stall window); Occ is
+// the PU's report-region occupancy after the event.
+type Event struct {
+	Cycle int64
+	Stall int64
+	PU    int32
+	Occ   int32
+	Kind  EventKind
+}
+
+// DefaultTraceCapacity bounds a tracer's buffered events (~24 MB).
+const DefaultTraceCapacity = 1 << 20
+
+// Tracer buffers device events up to a fixed capacity, counting drops
+// beyond it. It is single-writer, like the Machine that feeds it;
+// snapshots (Events, the Write* methods) must not race with recording.
+type Tracer struct {
+	events  []Event
+	cap     int
+	dropped int64
+}
+
+// NewTracer returns a tracer retaining up to capacity events
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Record buffers one event, or counts it dropped when full.
+func (t *Tracer) Record(ev Event) {
+	if len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Events returns the buffered events (not a copy).
+func (t *Tracer) Events() []Event { return t.events }
+
+// Dropped returns the number of events discarded after the buffer filled.
+func (t *Tracer) Dropped() int64 { return t.dropped }
+
+// Reset drops all buffered events and the drop count.
+func (t *Tracer) Reset() {
+	t.events = t.events[:0]
+	t.dropped = 0
+}
+
+// WriteJSONL writes one JSON object per event:
+//
+//	{"cycle":184,"pu":3,"kind":"flush","stall":27,"occ":0}
+//
+// The fields are flat and stable so the stream is directly loadable into
+// jq / pandas for stall-timeline analysis.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.events {
+		if _, err := fmt.Fprintf(bw, "{\"cycle\":%d,\"pu\":%d,\"kind\":%q,\"stall\":%d,\"occ\":%d}\n",
+			ev.Cycle, ev.PU, ev.Kind.String(), ev.Stall, ev.Occ); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace writes the buffered events in the Chrome trace_event
+// JSON format, loadable in chrome://tracing and Perfetto. Each PU maps to
+// a thread (tid); one trace microsecond equals one device cycle. Events
+// with a stall duration render as complete ("X") slices spanning their
+// stall window; report writes and stride markers render as instant ("i")
+// events; region occupancy renders as per-PU counter ("C") tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(bw, format, args...)
+		return err
+	}
+	// Name the process and each PU thread that appears in the trace.
+	if err := emit(`{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"sunder device"}}`); err != nil {
+		return err
+	}
+	seenPU := map[int32]bool{}
+	for _, ev := range t.events {
+		if !seenPU[ev.PU] {
+			seenPU[ev.PU] = true
+			if err := emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"PU %d"}}`,
+				ev.PU, ev.PU); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case ev.Stall > 0:
+			err = emit(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"cycle":%d,"stall_cycles":%d,"occupancy":%d}}`,
+				ev.PU, ev.Cycle, ev.Stall, ev.Kind.String(), ev.Cycle, ev.Stall, ev.Occ)
+		default:
+			err = emit(`{"ph":"i","pid":0,"tid":%d,"ts":%d,"s":"t","name":%q,"args":{"cycle":%d,"occupancy":%d}}`,
+				ev.PU, ev.Cycle, ev.Kind.String(), ev.Cycle, ev.Occ)
+		}
+		if err != nil {
+			return err
+		}
+		if ev.Kind == EventReportWrite || ev.Kind == EventFlush || ev.Kind == EventOverflow || ev.Kind == EventSummarize {
+			if err := emit(`{"ph":"C","pid":0,"tid":%d,"ts":%d,"name":"occupancy PU %d","args":{"entries":%d}}`,
+				ev.PU, ev.Cycle, ev.PU, ev.Occ); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,28 @@
+package sunder
+
+import (
+	"fmt"
+	"io"
+
+	"sunder/internal/hardware"
+)
+
+// String returns a one-line summary of the scan statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d kernel + %d stall cycles (overhead %.4fx), %d reports in %d report cycles, %d flushes",
+		s.KernelCycles, s.StallCycles, s.Overhead(), s.Reports, s.ReportCycles, s.Flushes)
+}
+
+// WriteText writes a multi-line rendering of the statistics, including
+// the reporting overhead and the modeled device throughput at the given
+// processing width (bits per cycle, i.e. 4×Rate; see
+// Engine.ThroughputGbps).
+func (s Stats) WriteText(w io.Writer, bitsPerCycle int) error {
+	_, err := fmt.Fprintf(w,
+		"  %d kernel cycles + %d stall cycles: overhead %.4fx, %d flushes\n"+
+			"  %d reports in %d report cycles; modeled throughput %.1f Gbit/s\n",
+		s.KernelCycles, s.StallCycles, s.Overhead(), s.Flushes,
+		s.Reports, s.ReportCycles,
+		hardware.ThroughputAtRate(bitsPerCycle, s.Overhead()))
+	return err
+}

@@ -18,6 +18,10 @@ type Stream struct {
 	seen    map[streamKey]bool
 	bytesIn int64
 	closed  bool
+	// reports / reportCycles accumulate the same per-cycle deduplicated
+	// counts as Engine.Scan, so Close returns identical Stats.
+	reports      int64
+	reportCycles int64
 }
 
 type streamKey struct {
@@ -58,7 +62,7 @@ func (s *Stream) consume() {
 func (s *Stream) step(vec []funcsim.Unit) {
 	cycle := s.eng.machine.KernelCycles()
 	s.scratch = s.eng.machine.Step(vec, s.scratch[:0])
-	if len(s.scratch) == 0 || s.onMatch == nil {
+	if len(s.scratch) == 0 {
 		return
 	}
 	clear(s.seen)
@@ -70,6 +74,10 @@ func (s *Stream) step(vec []funcsim.Unit) {
 				continue
 			}
 			s.seen[k] = true
+			s.reports++
+			if s.onMatch == nil {
+				continue
+			}
 			unit := cycle*rate + int64(r.Offset)
 			s.onMatch(Match{
 				Position: unit / int64(s.eng.nibble.SymbolUnits),
@@ -77,6 +85,7 @@ func (s *Stream) step(vec []funcsim.Unit) {
 			})
 		}
 	}
+	s.reportCycles++
 }
 
 // Close pads and executes the final partial vector (matches ending on the
@@ -96,6 +105,8 @@ func (s *Stream) Close() Stats {
 		KernelCycles: m.KernelCycles(),
 		StallCycles:  m.StallCycles(),
 		Flushes:      m.Flushes(),
+		Reports:      s.reports,
+		ReportCycles: s.reportCycles,
 	}
 }
 

@@ -1,0 +1,137 @@
+package sunder
+
+// Streaming-equivalence regression tests: a Stream must produce exactly
+// the matches AND the statistics of a batch Engine.Scan on the same
+// input, regardless of how the input is chunked (ISSUE 1 satellite; the
+// Stats part regressed when Stream.Close dropped Reports/ReportCycles).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// streamInput builds a mixed input with matches at known and random
+// places, dense enough to produce several report cycles.
+func streamInput(n int, rng *rand.Rand) []byte {
+	input := make([]byte, n)
+	for i := range input {
+		input[i] = byte('a' + rng.Intn(20))
+	}
+	words := []string{"needle", "abab", "xyzzy"}
+	for i := 0; i+8 < n; i += 37 + rng.Intn(64) {
+		copy(input[i:], words[rng.Intn(len(words))])
+	}
+	return input
+}
+
+func streamPatterns() []Pattern {
+	return []Pattern{
+		{Expr: `needle`, Code: 1},
+		{Expr: `(ab)+`, Code: 2},
+		{Expr: `xyz+y`, Code: 3},
+	}
+}
+
+// feedAndClose writes input to a new stream in the given chunk sizes and
+// returns the collected matches and final stats.
+func feedAndClose(t *testing.T, eng *Engine, input []byte, next func(remaining int) int) ([]Match, Stats) {
+	t.Helper()
+	var got []Match
+	st := eng.NewStream(func(m Match) { got = append(got, m) })
+	for off := 0; off < len(input); {
+		n := next(len(input) - off)
+		if n < 1 {
+			n = 1
+		}
+		if off+n > len(input) {
+			n = len(input) - off
+		}
+		if _, err := st.Write(input[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	stats := st.Close()
+	if st.BytesIn() != int64(len(input)) {
+		t.Fatalf("BytesIn = %d, want %d", st.BytesIn(), len(input))
+	}
+	return got, stats
+}
+
+func checkStreamEquivalence(t *testing.T, opts Options, chunker func(remaining int) int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	eng, err := Compile(streamPatterns(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := streamInput(4096, rng)
+	want, err := eng.Scan(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.Reports == 0 || len(want.Matches) == 0 {
+		t.Fatal("test input produced no matches; equivalence check is vacuous")
+	}
+
+	got, stats := feedAndClose(t, eng, input, chunker)
+	if len(got) != len(want.Matches) {
+		t.Fatalf("stream found %d matches, scan found %d", len(got), len(want.Matches))
+	}
+	for i := range got {
+		if got[i] != want.Matches[i] {
+			t.Errorf("match %d: stream %+v vs scan %+v", i, got[i], want.Matches[i])
+		}
+	}
+	if stats != want.Stats {
+		t.Errorf("stream stats %+v != scan stats %+v", stats, want.Stats)
+	}
+}
+
+func TestStreamByteAtATimeEqualsScan(t *testing.T) {
+	checkStreamEquivalence(t, DefaultOptions(), func(int) int { return 1 })
+}
+
+func TestStreamRandomChunksEqualsScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checkStreamEquivalence(t, DefaultOptions(), func(int) int { return 1 + rng.Intn(97) })
+}
+
+func TestStreamEquivalenceAcrossConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"rate1", Options{Rate: 1, FIFO: true}},
+		{"rate2", Options{Rate: 2, FIFO: true}},
+		{"rate4-noFIFO", Options{Rate: 4, FIFO: false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkStreamEquivalence(t, tc.opts, func(int) int { return 1 + rng.Intn(13) })
+		})
+	}
+}
+
+// TestStreamStatsWithoutCallback: stats must be identical whether or not
+// an OnMatch callback is installed (counting used to be skipped with a
+// nil callback).
+func TestStreamStatsWithoutCallback(t *testing.T) {
+	eng, err := Compile(streamPatterns(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := streamInput(2048, rand.New(rand.NewSource(3)))
+	want, err := eng.Scan(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.NewStream(nil)
+	if _, err := st.Write(input); err != nil {
+		t.Fatal(err)
+	}
+	if stats := st.Close(); stats != want.Stats {
+		t.Errorf("nil-callback stream stats %+v != scan stats %+v", stats, want.Stats)
+	}
+}

@@ -109,6 +109,9 @@ func (s Stats) Overhead() float64 {
 type ScanResult struct {
 	Matches []Match
 	Stats   Stats
+	// PerPU breaks the device activity down by processing unit; summing
+	// a field across it reproduces the corresponding Stats aggregate.
+	PerPU []PUStats
 }
 
 // Engine is a compiled rule set configured on the simulated device.
@@ -190,6 +193,7 @@ func (e *Engine) Scan(input []byte) (*ScanResult, error) {
 			Reports:      res.Reports,
 			ReportCycles: res.ReportCycles,
 		},
+		PerPU: e.PerPU(),
 	}
 	for _, ev := range res.Events {
 		out.Matches = append(out.Matches, Match{

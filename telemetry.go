@@ -1,0 +1,138 @@
+package sunder
+
+import (
+	"io"
+
+	"sunder/internal/telemetry"
+)
+
+// TelemetryOptions configures a Telemetry instance.
+type TelemetryOptions struct {
+	// Trace enables cycle-level event tracing (report writes, stride
+	// markers, flushes, FIFO overflows, summarizations). Without it only
+	// counters and histograms are collected.
+	Trace bool
+	// TraceCapacity caps the number of buffered trace events; events
+	// beyond it are counted as dropped. 0 selects the default (1M).
+	TraceCapacity int
+}
+
+// Telemetry is a device observability collector: per-PU counters, a
+// report-region occupancy histogram and (optionally) a cycle-level event
+// trace. Attach it to an Engine with SetTelemetry; it accumulates across
+// scans until Reset. Counters may be snapshotted concurrently with a
+// running scan; trace emission must not race with one.
+type Telemetry struct {
+	col *telemetry.Collector
+}
+
+// NewTelemetry returns an empty collector.
+func NewTelemetry(opts TelemetryOptions) *Telemetry {
+	col := telemetry.NewCollector()
+	if opts.Trace {
+		col.EnableTrace(opts.TraceCapacity)
+	}
+	return &Telemetry{col: col}
+}
+
+// SetTelemetry attaches a collector to the engine's device; subsequent
+// scans feed it. Passing nil detaches, restoring the zero-overhead
+// disabled path (a single branch per instrumented site).
+func (e *Engine) SetTelemetry(t *Telemetry) {
+	if t == nil {
+		e.machine.AttachTelemetry(nil)
+		return
+	}
+	e.machine.AttachTelemetry(t.col)
+}
+
+// Reset zeroes all counters and drops buffered trace events.
+func (t *Telemetry) Reset() { t.col.Reset() }
+
+// WriteMetrics writes a flat text snapshot of every counter and
+// histogram: aggregate device counters (device_kernel_cycles,
+// device_stall_cycles, …), per-PU families with {pu="N"} labels and a
+// *_total sum line each, and the report-region occupancy histogram.
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	return t.col.WriteMetrics(w)
+}
+
+// WriteChromeTrace writes the buffered event trace in Chrome trace_event
+// JSON format, loadable in chrome://tracing or Perfetto: each PU is a
+// thread, one trace microsecond is one device cycle, stall-causing
+// events render as duration slices and report writes as instants, with
+// per-PU occupancy counter tracks. Returns nil output errors only;
+// without tracing enabled it writes an empty trace.
+func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
+	tr := t.col.Tracer()
+	if tr == nil {
+		tr = telemetry.NewTracer(1)
+	}
+	return tr.WriteChromeTrace(w)
+}
+
+// WriteTraceJSONL writes the buffered event trace as one JSON object per
+// line ({"cycle":…,"pu":…,"kind":…,"stall":…,"occ":…}).
+func (t *Telemetry) WriteTraceJSONL(w io.Writer) error {
+	tr := t.col.Tracer()
+	if tr == nil {
+		return nil
+	}
+	return tr.WriteJSONL(w)
+}
+
+// TraceEvents returns the number of buffered trace events and the number
+// dropped after the buffer filled.
+func (t *Telemetry) TraceEvents() (buffered int, dropped int64) {
+	tr := t.col.Tracer()
+	if tr == nil {
+		return 0, 0
+	}
+	return len(tr.Events()), tr.Dropped()
+}
+
+// PUStats is the per-processing-unit breakdown of a scan's device
+// activity. It is always collected (the counters move only on the
+// reporting path), independent of SetTelemetry.
+type PUStats struct {
+	// PU is the processing-unit index.
+	PU int
+	// ReportEntries is the number of report entries written into this
+	// PU's region; StrideMarkers counts the all-zero cycle-stride
+	// entries among the region writes.
+	ReportEntries int64
+	StrideMarkers int64
+	// Flushes counts whole-region flushes (or FIFO overflow waits);
+	// Summaries counts in-place summarizations.
+	Flushes   int64
+	Summaries int64
+	// StallCycles is the stall time attributed to this PU's region.
+	// Regions filling in the same cycle share one stall window, charged
+	// to the first full PU, so these sum exactly to Stats.StallCycles.
+	StallCycles int64
+	// PeakOccupancy is the region's entry high-water mark; Occupancy is
+	// the entry count still resident at the end of the scan.
+	PeakOccupancy int
+	Occupancy     int
+}
+
+// PerPU returns the per-PU device statistics accumulated since the last
+// Reset/Scan. Summing any field across the slice reproduces the
+// corresponding aggregate in Stats.
+func (e *Engine) PerPU() []PUStats {
+	per := e.machine.PerPU()
+	out := make([]PUStats, len(per))
+	for i, p := range per {
+		out[i] = PUStats{
+			PU:            i,
+			ReportEntries: p.ReportEntries,
+			StrideMarkers: p.StrideMarkers,
+			Flushes:       p.Flushes,
+			Summaries:     p.Summaries,
+			StallCycles:   p.StallCycles,
+			PeakOccupancy: p.PeakOccupancy,
+			Occupancy:     p.Occupancy,
+		}
+	}
+	return out
+}
