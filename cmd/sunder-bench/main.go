@@ -8,6 +8,7 @@
 //	sunder-bench -table 4        # one table (1,2,3,4,5)
 //	sunder-bench -fig 10         # one figure (8,9,10)
 //	sunder-bench -ablations      # ablation studies only
+//	sunder-bench -faults match=1e-4,report=1e-4,stuck=2,seed=1
 //	sunder-bench -scale 0.05 -input 50000
 //	sunder-bench -table 4 -metrics -trace /tmp/t4.json -cpuprofile cpu.out
 package main
@@ -35,6 +36,7 @@ func main() {
 		inputLen   = flag.Int("input", 0, "override input length in bytes")
 		jsonOut    = flag.Bool("json", false, "emit every table and figure as JSON instead of text")
 		telFlags   = cliutil.RegisterTelemetryFlags()
+		faultFlags = cliutil.RegisterFaultFlags()
 		profiles   = cliutil.ProfileFlags()
 	)
 	flag.Parse()
@@ -85,7 +87,9 @@ func main() {
 		finish()
 		return
 	}
-	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions
+	// The fault study runs only when a policy is given (like -ablations,
+	// it is excluded from the default everything run).
+	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled()
 
 	var t4 []exp.Table4Row
 	needT4 := runAll || *table == 4 || *fig == 8
@@ -166,6 +170,18 @@ func main() {
 			log.Fatal(err)
 		}
 		exp.FprintAblationCover(out, cover)
+		fmt.Fprintln(out)
+	}
+	if faultFlags.Enabled() {
+		pol, err := faultFlags.Policy()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := exp.FaultStudy(opts, []string{"Snort", "ExactMatch", "SPM", "Protomata"}, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintFaultStudy(out, rows, pol)
 		fmt.Fprintln(out)
 	}
 	if runAll || *extensions {

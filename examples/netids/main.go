@@ -37,12 +37,15 @@ func main() {
 
 	// Stream synthetic traffic: benign requests with injected attacks.
 	alerts := 0
-	stream := eng.NewStream(func(m sunder.Match) {
+	stream, err := eng.NewStream(func(m sunder.Match) {
 		alerts++
 		if alerts <= 10 {
 			fmt.Printf("ALERT rule %d at byte offset %d\n", m.Code, m.Position)
 		}
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(42))
 	for pkt := 0; pkt < 200; pkt++ {
 		stream.Write(packet(rng, pkt))

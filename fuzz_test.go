@@ -1,0 +1,77 @@
+package sunder
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile fuzzes the full front end: the regex parser must reject or
+// accept any expression without panicking, and when a pattern compiles and
+// maps onto the device, the engine must agree with its own reference check
+// (functional simulator vs byte automaton vs machine) on arbitrary input.
+func FuzzCompile(f *testing.F) {
+	f.Add(`ab+c`, "xabbcx")
+	f.Add(`a(b|c)*d`, "abcbcd")
+	f.Add(`[0-9a-f]{2,4}`, "deadbeef")
+	f.Add(`\x00\xff`, "\x00\xff")
+	f.Add(`(`, "unbalanced")
+	f.Add(`a{1000000}`, "aaaa")
+	f.Add(`.`, "\x00")
+	f.Fuzz(func(t *testing.T, expr string, input string) {
+		if len(expr) > 64 || len(input) > 256 {
+			t.Skip("cap work per case")
+		}
+		eng, err := Compile([]Pattern{{Expr: expr, Code: 1}}, DefaultOptions())
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if err := eng.Verify([]byte(input)); err != nil {
+			t.Fatalf("Verify(%q) after Compile(%q): %v", input, expr, err)
+		}
+	})
+}
+
+// FuzzStream fuzzes the incremental front end: chunked streaming must
+// produce exactly the matches of a batch scan of the same bytes.
+func FuzzStream(f *testing.F) {
+	f.Add("xabbczzx", uint8(3))
+	f.Add(strings.Repeat("abz", 40), uint8(1))
+	f.Add("", uint8(7))
+	f.Fuzz(func(t *testing.T, input string, chunk uint8) {
+		if len(input) > 512 {
+			t.Skip("cap work per case")
+		}
+		n := int(chunk%63) + 1
+		eng, err := Compile([]Pattern{{Expr: `ab+c`, Code: 1}, {Expr: `zz`, Code: 2}}, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.Scan([]byte(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Match
+		st, err := eng.NewStream(func(m Match) { got = append(got, m) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(input); off += n {
+			end := off + n
+			if end > len(input) {
+				end = len(input)
+			}
+			if _, err := st.Write([]byte(input[off:end])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Close()
+		if len(got) != len(want.Matches) {
+			t.Fatalf("stream %d matches, scan %d (input %q, chunk %d)", len(got), len(want.Matches), input, n)
+		}
+		for i := range got {
+			if got[i] != want.Matches[i] {
+				t.Fatalf("match %d: stream %+v, scan %+v", i, got[i], want.Matches[i])
+			}
+		}
+	})
+}

@@ -29,6 +29,9 @@ type Machine struct {
 	// tel is the attached telemetry sink; nil (the default) disables all
 	// instrumentation at the cost of one branch per site.
 	tel *telemetrySink
+	// flt is the attached fault-injection state (see faults.go); nil (the
+	// default) disables the fault surface at the same one-branch cost.
+	flt *faultState
 
 	// mode and configImage implement Normal Mode (see normalmode.go).
 	mode        Mode
@@ -167,6 +170,13 @@ func (m *Machine) Reset() {
 		u.strideMarkers = 0
 		u.stallCycles = 0
 		u.peakOccupied = 0
+		u.consumed = 0
+	}
+	if m.flt != nil {
+		for i := range m.flt.parity {
+			m.flt.parity[i].Reset()
+			m.flt.parityErrs[i] = 0
+		}
 	}
 	m.kernelCycles = 0
 	m.stallCycles = 0
@@ -183,6 +193,9 @@ func (m *Machine) Step(vec []funcsim.Unit, dst []automata.StateID) []automata.St
 	}
 	if len(vec) != m.cfg.Rate {
 		panic(fmt.Sprintf("core: vector length %d != rate %d", len(vec), m.cfg.Rate))
+	}
+	if m.flt != nil {
+		m.flt.hook.BeforeCycle(m, m.kernelCycles)
 	}
 	if m.cfg.FIFO {
 		m.drain()
@@ -287,6 +300,9 @@ func (m *Machine) storeReport(i int, rep bitvec.V256, cycle int64, stalled *bool
 			chunk = mask
 		}
 		u.writeReportEntry(m.cfg, bitvec.V256{}, chunk)
+		if m.flt != nil {
+			m.recordParity(i)
+		}
 		m.energy.ReportWrites++
 		u.strideMarkers++
 		u.lastStride = cur + chunk
@@ -298,6 +314,9 @@ func (m *Machine) storeReport(i int, rep bitvec.V256, cycle int64, stalled *bool
 	// The loop exits immediately after an ensureSpace that wrote nothing,
 	// so one free slot is guaranteed for the data entry.
 	u.writeReportEntry(m.cfg, rep, cycle&mask)
+	if m.flt != nil {
+		m.recordParity(i)
+	}
 	m.energy.ReportWrites++
 	u.reportEntries++
 	u.lastStride = stride
@@ -322,6 +341,9 @@ func (m *Machine) ensureSpace(i int, stalled *bool) {
 	var kind telemetry.EventKind
 	switch {
 	case m.cfg.SummarizeOnFull:
+		if m.flt != nil {
+			m.checkRegionParity(i)
+		}
 		batches := u.summarize(m.cfg)
 		u.clearRegion(m.cfg)
 		u.summaries++
@@ -332,7 +354,12 @@ func (m *Machine) ensureSpace(i int, stalled *bool) {
 	case m.cfg.FIFO:
 		// Overflow: wait for the drain to free one entry. Concurrent
 		// overflows share the wait window.
+		if m.flt != nil {
+			cap := m.cfg.RegionCapacity()
+			m.checkSlotParity(i, (u.counter-u.occupied+cap)%cap)
+		}
 		u.occupied--
+		u.consumed++
 		u.flushes++
 		m.energy.ExportedBits += int64(m.cfg.EntryBits())
 		kind = telemetry.EventOverflow
@@ -342,6 +369,9 @@ func (m *Machine) ensureSpace(i int, stalled *bool) {
 	default:
 		// Whole-region flush; all full PUs flush in the same stall
 		// window since each drains through its own Port 1.
+		if m.flt != nil {
+			m.checkRegionParity(i)
+		}
 		u.clearRegion(m.cfg)
 		u.flushes++
 		m.energy.ExportedBits += int64(m.cfg.ReportRows() * ColsPerSubarray)
@@ -392,7 +422,25 @@ func (m *Machine) drain() {
 			}
 			return
 		}
-		m.pus[target].occupied--
+		if m.flt != nil {
+			// The popped head entry is about to be delivered: verify its
+			// parity, then let the hook decide whether the row is silently
+			// lost in flight. A dropped row still spends the read
+			// bandwidth (timing is unaffected) but is never delivered, so
+			// it does not count as consumed — the audit catches it.
+			u := &m.pus[target]
+			cap := m.cfg.RegionCapacity()
+			m.checkSlotParity(target, (u.counter-u.occupied+cap)%cap)
+			if m.flt.hook.DropDrain(target) {
+				u.occupied--
+			} else {
+				u.occupied--
+				u.consumed++
+			}
+		} else {
+			m.pus[target].occupied--
+			m.pus[target].consumed++
+		}
 		m.drainCredit -= entry
 		m.energy.ExportedBits += entry
 		m.drainRR = (target + 1) % len(m.pus)
@@ -412,6 +460,9 @@ func (m *Machine) Summarize() map[automata.StateID]bool {
 	maxBatches, maxPU := 0, 0
 	for i := range m.pus {
 		u := &m.pus[i]
+		if m.flt != nil {
+			m.checkRegionParity(i)
+		}
 		batches := u.summarize(m.cfg)
 		if batches > maxBatches {
 			maxBatches = batches

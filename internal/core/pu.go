@@ -54,6 +54,10 @@ type pu struct {
 	strideMarkers int64 // stride-marker entries written
 	stallCycles   int64 // stall cycles attributed to this PU's region
 	peakOccupied  int   // high-water mark of region occupancy
+	// consumed counts entries removed from the region through legitimate
+	// paths (drain delivery, overflow wait, flush, summarization); the
+	// write/consume balance is the fault layer's drop-detection audit.
+	consumed int64
 }
 
 // matchVector reads the subarray through Port 2: one row per nibble group
@@ -115,14 +119,30 @@ func (p *pu) writeReportEntry(cfg Config, reportBits bitvec.V256, meta int64) {
 
 // clearRegion resets the report region after a flush or summarization.
 // lastStride is invalidated so the next report re-writes a stride marker,
-// keeping host-side cycle reconstruction correct across flushes.
+// keeping host-side cycle reconstruction correct across flushes. The
+// resident entries count as consumed: a flush exports them and a
+// summarization folds them into the summary vector.
 func (p *pu) clearRegion(cfg Config) {
 	for r := cfg.MatchRows(); r < RowsPerSubarray; r++ {
 		p.rows[r] = bitvec.V256{}
 	}
+	p.consumed += int64(p.occupied)
 	p.counter = 0
 	p.occupied = 0
 	p.lastStride = -1
+}
+
+// entryParity computes the even parity of entry slot's m+n stored bits.
+func (p *pu) entryParity(cfg Config, slot int) bool {
+	row := cfg.MatchRows() + slot/cfg.EntriesPerRow()
+	base := (slot % cfg.EntriesPerRow()) * cfg.EntryBits()
+	par := false
+	for k := 0; k < cfg.EntryBits(); k++ {
+		if p.rows[row].Get(base + k) {
+			par = !par
+		}
+	}
+	return par
 }
 
 // summarize performs the column-wise NOR of the report region through

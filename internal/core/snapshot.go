@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"sunder/internal/bitvec"
+)
+
+// Checkpoint/rewind support for the fault-recovery layer: a Snapshot
+// captures the machine's execution state — active vectors, report regions,
+// the report cursors, cycle and energy accounting — but not its
+// configuration (match rows, crossbar), which is owned by Configure and
+// restored by scrubbing. Restore accepts an optional PU index mapping so a
+// snapshot taken before a quarantine can be replayed onto a reconfigured
+// machine whose states moved to spare PUs.
+
+// puSnapshot is one PU's execution state.
+type puSnapshot struct {
+	active     bitvec.V256
+	region     []bitvec.V256 // rows[MatchRows():]
+	parity     *bitvec.Vector
+	counter    int
+	occupied   int
+	lastStride int64
+	summary    bitvec.V256
+
+	flushes       int64
+	summaries     int64
+	reportEntries int64
+	strideMarkers int64
+	stallCycles   int64
+	peakOccupied  int
+	consumed      int64
+}
+
+// Snapshot is a bounded checkpoint of a machine's execution state.
+type Snapshot struct {
+	kernelCycles int64
+	stallCycles  int64
+	drainCredit  int64
+	drainRR      int
+	energy       EnergyCounters
+	matchRows    int
+	pus          []puSnapshot
+}
+
+// KernelCycles returns the checkpointed kernel-cycle count.
+func (s *Snapshot) KernelCycles() int64 { return s.kernelCycles }
+
+// NumPUs returns the number of PUs captured.
+func (s *Snapshot) NumPUs() int { return len(s.pus) }
+
+// Snapshot captures the machine's current execution state.
+func (m *Machine) Snapshot() *Snapshot {
+	mr := m.cfg.MatchRows()
+	s := &Snapshot{
+		kernelCycles: m.kernelCycles,
+		stallCycles:  m.stallCycles,
+		drainCredit:  m.drainCredit,
+		drainRR:      m.drainRR,
+		energy:       m.energy,
+		matchRows:    mr,
+		pus:          make([]puSnapshot, len(m.pus)),
+	}
+	for i := range m.pus {
+		u := &m.pus[i]
+		ps := &s.pus[i]
+		ps.active = u.active
+		ps.region = make([]bitvec.V256, RowsPerSubarray-mr)
+		copy(ps.region, u.rows[mr:])
+		ps.counter = u.counter
+		ps.occupied = u.occupied
+		ps.lastStride = u.lastStride
+		ps.summary = u.summary
+		ps.flushes = u.flushes
+		ps.summaries = u.summaries
+		ps.reportEntries = u.reportEntries
+		ps.strideMarkers = u.strideMarkers
+		ps.stallCycles = u.stallCycles
+		ps.peakOccupied = u.peakOccupied
+		ps.consumed = u.consumed
+		if m.flt != nil {
+			ps.parity = m.flt.parity[i].Clone()
+		}
+	}
+	return s
+}
+
+// Restore rewinds the machine to a snapshot. puMap, when non-nil, maps the
+// snapshot's PU indices onto the machine's (puMap[old] = new) so a
+// checkpoint taken before a quarantine replays onto the reconfigured
+// machine; PUs not named as a mapping target are reset to an empty state.
+// A nil puMap is the identity. Configuration rows are not restored — run
+// ScrubConfig afterwards if transient configuration faults may be pending.
+func (m *Machine) Restore(s *Snapshot, puMap []int) error {
+	if s.matchRows != m.cfg.MatchRows() {
+		return fmt.Errorf("core: snapshot match geometry %d rows != machine %d", s.matchRows, m.cfg.MatchRows())
+	}
+	if puMap != nil && len(puMap) != len(s.pus) {
+		return fmt.Errorf("core: puMap length %d != snapshot PUs %d", len(puMap), len(s.pus))
+	}
+	if puMap == nil && len(s.pus) != len(m.pus) {
+		return fmt.Errorf("core: snapshot has %d PUs, machine %d (need a puMap)", len(s.pus), len(m.pus))
+	}
+	mapped := make([]int, len(m.pus)) // target -> old snapshot index + 1
+	for old := range s.pus {
+		tgt := old
+		if puMap != nil {
+			tgt = puMap[old]
+		}
+		if tgt < 0 || tgt >= len(m.pus) {
+			return fmt.Errorf("core: puMap[%d] = %d out of range [0,%d)", old, tgt, len(m.pus))
+		}
+		if mapped[tgt] != 0 {
+			return fmt.Errorf("core: puMap maps both %d and %d onto PU %d", mapped[tgt]-1, old, tgt)
+		}
+		mapped[tgt] = old + 1
+	}
+	mr := s.matchRows
+	for tgt := range m.pus {
+		u := &m.pus[tgt]
+		if mapped[tgt] == 0 {
+			// Unmapped (spare or vacated) PU: pristine execution state.
+			u.active = bitvec.V256{}
+			for r := mr; r < RowsPerSubarray; r++ {
+				u.rows[r] = bitvec.V256{}
+			}
+			u.counter, u.occupied, u.lastStride = 0, 0, 0
+			u.summary = bitvec.V256{}
+			u.flushes, u.summaries, u.reportEntries, u.strideMarkers = 0, 0, 0, 0
+			u.stallCycles, u.consumed = 0, 0
+			u.peakOccupied = 0
+			if m.flt != nil {
+				m.flt.parity[tgt].Reset()
+				m.flt.parityErrs[tgt] = 0
+			}
+			continue
+		}
+		ps := &s.pus[mapped[tgt]-1]
+		u.active = ps.active
+		copy(u.rows[mr:], ps.region)
+		u.counter = ps.counter
+		u.occupied = ps.occupied
+		u.lastStride = ps.lastStride
+		u.summary = ps.summary
+		u.flushes = ps.flushes
+		u.summaries = ps.summaries
+		u.reportEntries = ps.reportEntries
+		u.strideMarkers = ps.strideMarkers
+		u.stallCycles = ps.stallCycles
+		u.peakOccupied = ps.peakOccupied
+		u.consumed = ps.consumed
+		if m.flt != nil {
+			if ps.parity != nil {
+				m.flt.parity[tgt].CopyFrom(ps.parity)
+			} else {
+				m.flt.parity[tgt].Reset()
+			}
+			m.flt.parityErrs[tgt] = 0
+		}
+	}
+	m.kernelCycles = s.kernelCycles
+	m.stallCycles = s.stallCycles
+	m.drainCredit = s.drainCredit
+	m.drainRR = 0
+	if s.drainRR < len(m.pus) {
+		m.drainRR = s.drainRR
+	}
+	m.energy = s.energy
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package faults models memory-cell unreliability in the Sunder device and
+// the detection-and-recovery machinery that turns silent corruption into
+// bounded re-execution. Sunder stores configuration (match rows, crossbar
+// switches) and live report data in the same 8T subarrays, so a transient
+// bit flip or a stuck-at defect corrupts matching and reporting in place.
+//
+// The package has two halves:
+//
+//   - Injector: a deterministically seeded fault process implementing
+//     core.FaultHook. It plants stuck-at crossbar defects and, per cycle,
+//     flips match-row bits, corrupts resident report entries, and drops
+//     FIFO drain rows, at configured rates.
+//
+//   - Guard: the recovery layer. It executes input in checkpointed windows;
+//     at every window boundary it scrubs the configuration against the
+//     golden mapping, verifies per-entry report parity, audits the region
+//     write/consume balance, and cross-checks the machine's report stream
+//     and active-state vector against a shadow functional simulator (the
+//     ground truth). On any detection the machine and the shadow rewind to
+//     the last checkpoint and the window re-executes with capped retries
+//     and exponential backoff; a PU implicated across every retry is
+//     quarantined and its cluster's states are remapped onto spare PUs
+//     through internal/mapping.
+//
+// Detection guarantee: any fault that perturbs the machine's architectural
+// behaviour is caught no later than the next window boundary (cross-check
+// divergence), and single-bit configuration or report-entry corruption is
+// caught at that boundary even when behaviourally masked (scrubbing and
+// parity compare stored bits, not behaviour). Detection latency is
+// therefore bounded by Policy.CheckpointInterval cycles.
+package faults
+
+import "fmt"
+
+// Telemetry instrument names registered by the injector and the guard.
+const (
+	// MetricInjected counts fault manifestations: bit flips applied,
+	// stuck-at defects re-asserted after a scrub, and drain rows dropped.
+	MetricInjected = "faults_injected"
+	// MetricDetected counts detected fault manifestations (parity
+	// mismatches, scrub repairs, audit deficits, cross-check divergences).
+	MetricDetected = "faults_detected"
+	// MetricRecoveries counts windows that committed after ≥1 rewind.
+	MetricRecoveries = "recoveries"
+	// MetricQuarantined counts PUs quarantined and remapped to spares.
+	MetricQuarantined = "quarantined_pus"
+)
+
+// Policy configures the fault process and the recovery layer.
+type Policy struct {
+	// Seed makes the whole fault process reproducible: the per-window
+	// injection stream is derived from (Seed, window, retry), so a retry
+	// re-executes under fresh transients while runs remain deterministic.
+	Seed int64
+
+	// MatchFlipRate is the per-cycle probability of one transient bit flip
+	// in a random PU's match rows (state-matching configuration).
+	MatchFlipRate float64
+	// ReportFlipRate is the per-cycle probability of one transient bit
+	// flip in a randomly chosen resident report entry.
+	ReportFlipRate float64
+	// StuckXbarFaults is the number of randomly placed permanent stuck-at
+	// crossbar-switch defects (planted on first contact with the device).
+	StuckXbarFaults int
+	// DrainDropRate is the probability that one FIFO-drained report row is
+	// silently lost before reaching the host.
+	DrainDropRate float64
+
+	// CheckpointInterval is the detection/recovery window in device
+	// cycles: state is checkpointed, and faults detected, at this period.
+	// Default 256.
+	CheckpointInterval int
+	// MaxRetries caps re-executions of one window before the guard
+	// escalates to quarantine. Default 3.
+	MaxRetries int
+	// BackoffCycles is the stall penalty charged for the first retry of a
+	// window, doubling with each further retry (exponential backoff
+	// against correlated upsets). Default 64.
+	BackoffCycles int
+	// SparePUs is the quarantine budget. Relocation is cluster-granular
+	// (states cannot leave their cluster), so each quarantine consumes
+	// mapping.PUsPerCluster spares. Default 8.
+	SparePUs int
+}
+
+// DefaultPolicy returns a policy with the default recovery parameters and
+// no injected faults; set the rates to enable injection.
+func DefaultPolicy() Policy {
+	return Policy{
+		CheckpointInterval: 256,
+		MaxRetries:         3,
+		BackoffCycles:      64,
+		SparePUs:           8,
+	}
+}
+
+// withDefaults fills zero-valued recovery parameters with the defaults.
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.CheckpointInterval <= 0 {
+		p.CheckpointInterval = d.CheckpointInterval
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = d.MaxRetries
+	}
+	if p.BackoffCycles <= 0 {
+		p.BackoffCycles = d.BackoffCycles
+	}
+	if p.SparePUs < 0 {
+		p.SparePUs = 0
+	}
+	return p
+}
+
+// Validate rejects nonsensical rates.
+func (p Policy) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"MatchFlipRate", p.MatchFlipRate},
+		{"ReportFlipRate", p.ReportFlipRate},
+		{"DrainDropRate", p.DrainDropRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %v out of range [0,1]", r.name, r.v)
+		}
+	}
+	if p.StuckXbarFaults < 0 {
+		return fmt.Errorf("faults: StuckXbarFaults %d negative", p.StuckXbarFaults)
+	}
+	return nil
+}
+
+// Counts tallies injected fault manifestations by kind.
+type Counts struct {
+	// MatchFlips and ReportFlips count transient bit flips applied to
+	// match rows and resident report entries.
+	MatchFlips  int64
+	ReportFlips int64
+	// StuckAsserted counts stuck-at defect manifestations: assertions that
+	// actually changed a switch bit (after configuration or a scrub
+	// restored the golden value).
+	StuckAsserted int64
+	// DrainDrops counts FIFO drain rows silently lost.
+	DrainDrops int64
+}
+
+// Total returns the total manifestation count.
+func (c Counts) Total() int64 {
+	return c.MatchFlips + c.ReportFlips + c.StuckAsserted + c.DrainDrops
+}

@@ -1,0 +1,268 @@
+package faults
+
+import (
+	"math/rand"
+
+	"sunder/internal/core"
+	"sunder/internal/telemetry"
+)
+
+// stuckXbar is one permanent stuck-at crossbar-switch defect: the switch
+// (pu, src→dst) reads as `on` regardless of what configuration wrote.
+type stuckXbar struct {
+	pu, src, dst int
+	on           bool
+}
+
+// oneShot is a scheduled single transient fault. Unlike the rate-driven
+// stream it fires exactly once per run — not per attempt — so a rolled-back
+// window retries clean, which is what makes it useful for deterministic
+// detection-coverage tests.
+type oneShot struct {
+	cycle int64
+	// report selects the newest resident report entry at fire time instead
+	// of the explicit (pu,row,col) coordinates.
+	report       bool
+	pu, row, col int
+	fired        bool
+}
+
+// Injector is a deterministically seeded fault process implementing
+// core.FaultHook. Transient faults (match-row flips, report-entry flips,
+// drain drops) are drawn from a stream reseeded per (Seed, window, attempt)
+// by BeginWindow, so a re-executed window sees fresh transients while the
+// whole run stays reproducible; stuck-at defects are planted once and
+// re-assert themselves every cycle.
+//
+// Quarantined PUs receive no injections and no stuck-at assertions —
+// quarantine models power-gating the defective subarray, so its cells are
+// no longer part of the fault surface.
+type Injector struct {
+	pol         Policy
+	rng         *rand.Rand
+	planted     bool
+	stuck       []stuckXbar
+	oneShots    []oneShot
+	quarantined map[int]bool
+	counts      Counts
+	telInjected *telemetry.Counter
+}
+
+// NewInjector builds an injector for the policy's fault rates.
+func NewInjector(pol Policy) (*Injector, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{pol: pol.withDefaults(), quarantined: make(map[int]bool)}
+	in.BeginWindow(0, 0)
+	return in, nil
+}
+
+// Policy returns the injector's (normalized) policy.
+func (in *Injector) Policy() Policy { return in.pol }
+
+// AttachTelemetry registers the faults_injected counter in c. Passing nil
+// detaches.
+func (in *Injector) AttachTelemetry(c *telemetry.Collector) {
+	if c == nil {
+		in.telInjected = nil
+		return
+	}
+	in.telInjected = c.Counter(MetricInjected)
+}
+
+// BeginWindow reseeds the transient-fault stream for one execution attempt
+// of one recovery window. The guard calls this before every (re-)execution;
+// standalone users may call it once and run unrecovered.
+func (in *Injector) BeginWindow(window, attempt int) {
+	in.rng = rand.New(rand.NewSource(mix(in.pol.Seed, int64(window), int64(attempt))))
+}
+
+// PlantStuckXbar adds one explicit stuck-at crossbar defect (used by tests
+// and studies that need a defect at a known location; the policy's
+// StuckXbarFaults places random ones).
+func (in *Injector) PlantStuckXbar(pu, src, dst int, on bool) {
+	in.stuck = append(in.stuck, stuckXbar{pu: pu, src: src, dst: dst, on: on})
+}
+
+// ScheduleMatchFlip arms a one-shot transient flip of the given match-row
+// bit, fired at the given machine cycle. It fires once per run — a
+// rolled-back window retries without it.
+func (in *Injector) ScheduleMatchFlip(cycle int64, pu, row, col int) {
+	in.oneShots = append(in.oneShots, oneShot{cycle: cycle, pu: pu, row: row, col: col})
+}
+
+// ScheduleReportFlip arms a one-shot flip of one bit of the newest resident
+// report entry of the first PU holding one, at the given machine cycle
+// (deferred to the next cycle with a resident entry if none). Fires once
+// per run.
+func (in *Injector) ScheduleReportFlip(cycle int64) {
+	in.oneShots = append(in.oneShots, oneShot{cycle: cycle, report: true})
+}
+
+// Quarantine stops all injection into PU pu (the subarray is power-gated).
+func (in *Injector) Quarantine(pu int) { in.quarantined[pu] = true }
+
+// Quarantined reports whether PU pu is quarantined.
+func (in *Injector) Quarantined(pu int) bool { return in.quarantined[pu] }
+
+// Counts returns the injected-fault tallies so far.
+func (in *Injector) Counts() Counts { return in.counts }
+
+// BeforeCycle implements core.FaultHook: it asserts stuck-at defects and
+// draws this cycle's transient faults.
+func (in *Injector) BeforeCycle(m *core.Machine, cycle int64) {
+	if !in.planted {
+		in.plant(m)
+	}
+	for i := range in.stuck {
+		f := &in.stuck[i]
+		if in.quarantined[f.pu] || f.pu >= m.NumPUs() {
+			continue
+		}
+		// A manifestation is counted only when the assertion changes the
+		// stored bit (configuration or a scrub restored the golden value);
+		// a defect stuck at the value the mapping wanted is benign.
+		if m.XbarBit(f.pu, f.src, f.dst) != f.on {
+			m.SetXbarBit(f.pu, f.src, f.dst, f.on)
+			in.counts.StuckAsserted++
+			if in.telInjected != nil {
+				in.telInjected.Inc()
+			}
+		}
+	}
+	for i := range in.oneShots {
+		f := &in.oneShots[i]
+		if f.fired || cycle < f.cycle {
+			continue
+		}
+		if f.report {
+			pu := -1
+			for p := 0; p < m.NumPUs(); p++ {
+				if !in.quarantined[p] && m.Occupied(p) > 0 {
+					pu = p
+					break
+				}
+			}
+			if pu < 0 {
+				continue // no resident entry yet; defer
+			}
+			cfg := m.Config()
+			capN := cfg.RegionCapacity()
+			slot := (m.RegionCursor(pu) - 1 + capN) % capN
+			m.FlipRowBit(pu,
+				cfg.MatchRows()+slot/cfg.EntriesPerRow(),
+				(slot%cfg.EntriesPerRow())*cfg.EntryBits())
+			in.counts.ReportFlips++
+		} else {
+			f.fired = true
+			if in.quarantined[f.pu] || f.pu >= m.NumPUs() {
+				continue
+			}
+			m.FlipRowBit(f.pu, f.row, f.col)
+			in.counts.MatchFlips++
+		}
+		f.fired = true
+		if in.telInjected != nil {
+			in.telInjected.Inc()
+		}
+	}
+	if in.pol.MatchFlipRate > 0 && in.rng.Float64() < in.pol.MatchFlipRate {
+		if pu := in.pickPU(m, false); pu >= 0 {
+			m.FlipRowBit(pu, in.rng.Intn(m.Config().MatchRows()), in.rng.Intn(core.ColsPerSubarray))
+			in.counts.MatchFlips++
+			if in.telInjected != nil {
+				in.telInjected.Inc()
+			}
+		}
+	}
+	if in.pol.ReportFlipRate > 0 && in.rng.Float64() < in.pol.ReportFlipRate {
+		if pu := in.pickPU(m, true); pu >= 0 {
+			in.flipReportEntry(m, pu)
+		}
+	}
+}
+
+// flipReportEntry flips one bit of a randomly chosen resident report entry
+// of PU pu.
+func (in *Injector) flipReportEntry(m *core.Machine, pu int) {
+	cfg := m.Config()
+	occ := m.Occupied(pu)
+	capN := cfg.RegionCapacity()
+	slot := (m.RegionCursor(pu) - occ + in.rng.Intn(occ) + capN) % capN
+	row := cfg.MatchRows() + slot/cfg.EntriesPerRow()
+	col := (slot%cfg.EntriesPerRow())*cfg.EntryBits() + in.rng.Intn(cfg.EntryBits())
+	m.FlipRowBit(pu, row, col)
+	in.counts.ReportFlips++
+	if in.telInjected != nil {
+		in.telInjected.Inc()
+	}
+}
+
+// DropDrain implements core.FaultHook: it decides whether one FIFO-drained
+// report row is silently lost in flight.
+func (in *Injector) DropDrain(pu int) bool {
+	if in.pol.DrainDropRate <= 0 || in.quarantined[pu] {
+		return false
+	}
+	if in.rng.Float64() >= in.pol.DrainDropRate {
+		return false
+	}
+	in.counts.DrainDrops++
+	if in.telInjected != nil {
+		in.telInjected.Inc()
+	}
+	return true
+}
+
+// plant places the policy's random stuck-at defects on first contact with
+// the device (the geometry is unknown before that). The planting stream is
+// derived from the seed alone, independent of windows and retries.
+func (in *Injector) plant(m *core.Machine) {
+	in.planted = true
+	if in.pol.StuckXbarFaults <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(mix(in.pol.Seed, -1, -1)))
+	for k := 0; k < in.pol.StuckXbarFaults; k++ {
+		in.stuck = append(in.stuck, stuckXbar{
+			pu:  rng.Intn(m.NumPUs()),
+			src: rng.Intn(core.ColsPerSubarray),
+			dst: rng.Intn(core.ColsPerSubarray),
+			on:  rng.Intn(2) == 1,
+		})
+	}
+}
+
+// pickPU chooses a random non-quarantined PU, optionally requiring resident
+// report entries; -1 when no PU qualifies.
+func (in *Injector) pickPU(m *core.Machine, needOccupied bool) int {
+	n := m.NumPUs()
+	if n == 0 {
+		return -1
+	}
+	start := in.rng.Intn(n)
+	for k := 0; k < n; k++ {
+		pu := (start + k) % n
+		if in.quarantined[pu] {
+			continue
+		}
+		if needOccupied && m.Occupied(pu) == 0 {
+			continue
+		}
+		return pu
+	}
+	return -1
+}
+
+// mix is a splitmix64-style hash combining the seed with window/attempt
+// coordinates into an independent stream seed.
+func mix(seed, window, attempt int64) int64 {
+	z := uint64(seed) + uint64(window)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -13,7 +13,11 @@ type Unit int8
 
 // Pad marks input padding appended so the stream length is a multiple of
 // the processing rate. A Pad unit satisfies only "don't care" positions
-// (positions whose unit set is full); it can never extend a real match.
+// (positions whose unit set is full), so a match ending mid-vector still
+// fires through its residual tail. Caveat: a full unit set can also encode
+// a real any-symbol requirement (`.`), so a report whose end unit falls in
+// the padding is phantom — consumers that know the real input length
+// (Engine.Scan/Stream, transform.EquivalentOnInput) filter those.
 const Pad Unit = -1
 
 // BytesToUnits expands a byte stream into a unit stream. For unitBits==4
@@ -129,6 +133,25 @@ func NewUnitSimulator(a *automata.UnitAutomaton) *UnitSimulator {
 func (s *UnitSimulator) Reset() {
 	s.active.Reset()
 	s.cycle = 0
+}
+
+// SimSnapshot captures a UnitSimulator's execution state so the fault-
+// recovery layer can rewind its shadow reference alongside the machine.
+type SimSnapshot struct {
+	active *bitvec.Vector
+	cycle  int64
+}
+
+// Snapshot captures the simulator's current state.
+func (s *UnitSimulator) Snapshot() *SimSnapshot {
+	return &SimSnapshot{active: s.active.Clone(), cycle: s.cycle}
+}
+
+// Restore rewinds the simulator to a snapshot taken from the same
+// simulator (or one built for the same automaton).
+func (s *UnitSimulator) Restore(snap *SimSnapshot) {
+	s.active.CopyFrom(snap.active)
+	s.cycle = snap.cycle
 }
 
 // Active returns the current active-state vector (live view; do not mutate).

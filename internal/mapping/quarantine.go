@@ -1,0 +1,57 @@
+package mapping
+
+import (
+	"fmt"
+)
+
+// Quarantine support: when the fault-recovery layer gives up on a defective
+// PU, its states must move to healthy storage. Because the global switches
+// only join the four PUs of a cluster, a state cannot leave its cluster
+// without breaking edges — so quarantine relocates the failed PU's entire
+// cluster onto a fresh spare cluster appended after the current PUs,
+// preserving every state's intra-cluster offset and column. Intra-PU edges,
+// cluster-local global-switch edges and report-column assignments all
+// remain valid by construction, so the new placement can be fed straight
+// back into core.Configure.
+
+// Quarantine returns a new placement with every state of failedPU's cluster
+// relocated onto a spare cluster, plus puMap translating each old PU index
+// to its new one (identity outside the failed cluster). The original
+// placement is not modified. The failed cluster's PUs remain allocated but
+// empty — they must never be reused, which the caller enforces by tracking
+// its quarantined set.
+func Quarantine(p *Placement, failedPU int) (*Placement, []int, error) {
+	if failedPU < 0 || failedPU >= p.NumPUs {
+		return nil, nil, fmt.Errorf("mapping: quarantine PU %d out of range [0,%d)", failedPU, p.NumPUs)
+	}
+	base := ClusterOf(failedPU) * PUsPerCluster
+	// The spare cluster starts at the next cluster boundary past the
+	// current PU count.
+	spareBase := ((p.NumPUs + PUsPerCluster - 1) / PUsPerCluster) * PUsPerCluster
+	q := &Placement{
+		ReportColumns: p.ReportColumns,
+		NumPUs:        spareBase + PUsPerCluster,
+		Of:            make([]Loc, len(p.Of)),
+	}
+	puMap := make([]int, p.NumPUs)
+	for i := range puMap {
+		puMap[i] = i
+	}
+	for k := 0; k < PUsPerCluster && base+k < p.NumPUs; k++ {
+		puMap[base+k] = spareBase + k
+	}
+	for s, loc := range p.Of {
+		q.Of[s] = Loc{PU: puMap[loc.PU], Col: loc.Col}
+	}
+	q.StateAt = make([][]int32, q.NumPUs)
+	for pu := range q.StateAt {
+		q.StateAt[pu] = make([]int32, StatesPerPU)
+		for c := range q.StateAt[pu] {
+			q.StateAt[pu][c] = -1
+		}
+	}
+	for s, loc := range q.Of {
+		q.StateAt[loc.PU][loc.Col] = int32(s)
+	}
+	return q, puMap, nil
+}

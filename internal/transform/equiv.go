@@ -33,6 +33,12 @@ func EquivalentOnInput(a *automata.Automaton, ua *automata.UnitAutomaton, input 
 	}
 	gotSet := make([]reportAt, 0, len(got.Events))
 	for _, ev := range got.Events {
+		// A report ending inside the pad tail (appended to fill the last
+		// vector) is phantom: a Pad unit satisfies any-unit positions, so a
+		// pattern like `.` can "complete" on padding past the real input.
+		if ev.Unit >= int64(len(units)) {
+			continue
+		}
 		// A unit automaton reports at the final unit of the original
 		// symbol, so integer division recovers the symbol index.
 		gotSet = append(gotSet, reportAt{symbol: ev.Unit / int64(ua.SymbolUnits), origin: ev.Origin, code: ev.Code})

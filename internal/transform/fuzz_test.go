@@ -1,0 +1,46 @@
+package transform
+
+import (
+	"testing"
+
+	"sunder/internal/regex"
+)
+
+// FuzzNibbleTransform is the differential fuzz target for the nibble
+// transformation chain: for any expression the parser accepts, the grouped
+// cover, the naive cover, and the minimized+strided forms must all report
+// exactly what the byte automaton reports on arbitrary input.
+func FuzzNibbleTransform(f *testing.F) {
+	f.Add(`ab+c`, "xabbcx")
+	f.Add(`a(b|c)*d`, "abcbcd")
+	f.Add(`[^x]y{2,3}`, "ayyyb")
+	f.Add(`\x80.`, "\x80\x01")
+	f.Add(`(ab)+`, "ababab")
+	f.Fuzz(func(t *testing.T, expr string, input string) {
+		if len(expr) > 48 || len(input) > 128 {
+			t.Skip("cap work per case")
+		}
+		a, err := regex.Compile(expr, 7)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		in := []byte(input)
+		grouped := ToNibble(a)
+		if err := EquivalentOnInput(a, grouped, in); err != nil {
+			t.Fatalf("grouped cover diverged for %q: %v", expr, err)
+		}
+		naive := ToNibbleNaive(a)
+		if err := EquivalentOnInput(a, naive, in); err != nil {
+			t.Fatalf("naive cover diverged for %q: %v", expr, err)
+		}
+		for _, rate := range []int{2, 4} {
+			ua, err := ToRate(a, rate)
+			if err != nil {
+				t.Fatalf("ToRate(%q, %d): %v", expr, rate, err)
+			}
+			if err := EquivalentOnInput(a, ua, in); err != nil {
+				t.Fatalf("rate-%d form diverged for %q: %v", rate, expr, err)
+			}
+		}
+	})
+}

@@ -113,10 +113,13 @@ func BuildLevenshtein(q []byte, d int, code int32) (*automata.Automaton, error) 
 func meshWorkload(s Spec, rng *rand.Rand, scale float64, inputLen int,
 	build func(q []byte, code int32) (*automata.Automaton, error), mutate func(*rand.Rand, []byte) []byte, patLen int) *Workload {
 
-	// Calibrate widget count from one probe widget.
+	// Calibrate widget count from one probe widget. Widget construction
+	// fails only on invalid (pattern, distance) arguments; patLen and d are
+	// compile-time constants of the generator, so a failure here is a bug
+	// in the generator table, not an input condition — panic with context.
 	probe, err := build(randPlantLiteral(rng, patLen), 0)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("workload: %s probe widget (patLen %d): %v", s.Name, patLen, err))
 	}
 	perRS := probe.NumReportStates()
 	if perRS < 1 {
@@ -132,7 +135,8 @@ func meshWorkload(s Spec, rng *rand.Rand, scale float64, inputLen int,
 		q := randPlantLiteral(rng, patLen)
 		widget, err := build(q, int32(w*10))
 		if err != nil {
-			panic(err)
+			// Same invariant as the probe: constant arguments cannot fail.
+			panic(fmt.Sprintf("workload: %s widget %d (pattern %q): %v", s.Name, w, q, err))
 		}
 		a.Union(widget)
 		if len(plants) < 4 {

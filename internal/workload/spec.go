@@ -163,11 +163,13 @@ func Get(name string, scale float64, inputLen int) (*Workload, error) {
 	return nil, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, Names())
 }
 
-// MustGet is Get but panics on error.
+// MustGet is Get but panics on error. Use it only where the arguments are
+// known-good constants (tests, benches); the panic names the benchmark so
+// a bad constant is attributable.
 func MustGet(name string, scale float64, inputLen int) *Workload {
 	w, err := Get(name, scale, inputLen)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("workload.MustGet(%q, %v, %d): %v", name, scale, inputLen, err))
 	}
 	return w
 }

@@ -1,17 +1,34 @@
 package sunder
 
 import (
+	"errors"
+
 	"sunder/internal/automata"
+	"sunder/internal/faults"
 	"sunder/internal/funcsim"
 )
+
+// ErrClosedStream is returned by Stream.Write after Close.
+var ErrClosedStream = errors.New("sunder: write to closed stream")
 
 // Stream scans input incrementally — the deployment mode of network
 // intrusion detection, where packets arrive one at a time and matches must
 // surface immediately. It implements io.Writer; matches are delivered to
 // the OnMatch callback as they occur.
+//
+// With a fault policy armed on the engine, the stream runs under the
+// recovery guard: matches are delivered when their checkpoint window
+// commits (at most FaultPolicy.CheckpointInterval cycles after they occur),
+// so a consumer never sees a match from device state that is later rolled
+// back. An unrecoverable fault (spare PUs exhausted) surfaces as an error
+// from Write and from Err.
 type Stream struct {
 	eng     *Engine
 	onMatch func(Match)
+	// guard is non-nil when the engine has a fault policy armed; input
+	// then flows through it instead of directly into the machine.
+	guard *faults.Guard
+	err   error
 	// pending buffers input units until a full vector is available.
 	pending []funcsim.Unit
 	scratch []automata.StateID
@@ -30,17 +47,43 @@ type streamKey struct {
 }
 
 // NewStream resets the engine and returns a streaming scanner. onMatch may
-// be nil if only the final Stats are of interest.
-func (e *Engine) NewStream(onMatch func(Match)) *Stream {
+// be nil if only the final Stats are of interest. The returned error is
+// non-nil only when a fault policy is armed and its guard cannot be built.
+func (e *Engine) NewStream(onMatch func(Match)) (*Stream, error) {
+	s := &Stream{eng: e, onMatch: onMatch, seen: make(map[streamKey]bool)}
+	if e.injector != nil {
+		g, err := e.newGuard()
+		if err != nil {
+			return nil, err
+		}
+		g.OnReportCycle(s.emit)
+		s.guard = g
+		return s, nil
+	}
 	e.machine.Reset()
-	return &Stream{eng: e, onMatch: onMatch, seen: make(map[streamKey]bool)}
+	return s, nil
 }
 
-// Write feeds more input. It never fails; the signature satisfies
-// io.Writer.
+// Write feeds more input. It returns ErrClosedStream after Close and the
+// guard's sticky error after an unrecoverable fault; the signature
+// satisfies io.Writer.
 func (s *Stream) Write(p []byte) (int, error) {
 	if s.closed {
-		panic("sunder: write to closed Stream")
+		return 0, ErrClosedStream
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.guard != nil {
+		// Count the bytes before feeding: emit callbacks fired during Feed
+		// compare report units against the fed length to reject phantoms.
+		s.bytesIn += int64(len(p))
+		if err := s.guard.Feed(funcsim.BytesToUnits(p, 4)); err != nil {
+			s.err = err
+			s.eng.adoptGuard(s.guard)
+			return 0, err
+		}
+		return len(p), nil
 	}
 	s.pending = append(s.pending, funcsim.BytesToUnits(p, 4)...)
 	s.bytesIn += int64(len(p))
@@ -65,9 +108,15 @@ func (s *Stream) step(vec []funcsim.Unit) {
 	if len(s.scratch) == 0 {
 		return
 	}
+	s.emit(cycle, s.scratch)
+}
+
+// emit deduplicates one report cycle's states by (offset, origin) — the
+// same per-cycle semantics as Engine.Scan — and delivers the matches.
+func (s *Stream) emit(cycle int64, ids []automata.StateID) {
 	clear(s.seen)
 	rate := int64(s.eng.machine.Config().Rate)
-	for _, id := range s.scratch {
+	for _, id := range ids {
 		for _, r := range s.eng.nibble.States[id].Reports {
 			k := streamKey{offset: r.Offset, origin: r.Origin}
 			if s.seen[k] {
@@ -78,7 +127,12 @@ func (s *Stream) step(vec []funcsim.Unit) {
 			if s.onMatch == nil {
 				continue
 			}
+			// A report ending past the bytes written so far sits in the pad
+			// tail of the final vector — phantom, not a real occurrence.
 			unit := cycle*rate + int64(r.Offset)
+			if unit >= s.bytesIn*int64(s.eng.nibble.SymbolUnits) {
+				continue
+			}
 			s.onMatch(Match{
 				Position: unit / int64(s.eng.nibble.SymbolUnits),
 				Code:     r.Code,
@@ -90,15 +144,22 @@ func (s *Stream) step(vec []funcsim.Unit) {
 
 // Close pads and executes the final partial vector (matches ending on the
 // last input bytes are still found) and returns the device statistics.
-// The stream must not be written to afterwards.
+// Close is idempotent: further calls return the same statistics, and
+// further writes return ErrClosedStream. Under a fault policy, a failure
+// in the final window is reported through Err.
 func (s *Stream) Close() Stats {
 	if !s.closed {
-		if len(s.pending) > 0 {
+		s.closed = true
+		if s.guard != nil {
+			if err := s.guard.Finish(); err != nil {
+				s.err = err
+			}
+			s.eng.adoptGuard(s.guard)
+		} else if len(s.pending) > 0 {
 			rate := s.eng.machine.Config().Rate
 			s.pending = funcsim.PadUnits(s.pending, rate)
 			s.consume()
 		}
-		s.closed = true
 	}
 	m := s.eng.machine
 	return Stats{
@@ -107,6 +168,26 @@ func (s *Stream) Close() Stats {
 		Flushes:      m.Flushes(),
 		Reports:      s.reports,
 		ReportCycles: s.reportCycles,
+	}
+}
+
+// Err returns the error that stopped the stream, if any: an unrecoverable
+// device fault surfaced by the recovery guard.
+func (s *Stream) Err() error { return s.err }
+
+// Faults summarizes the stream's fault activity so far; nil when no fault
+// policy is armed.
+func (s *Stream) Faults() *FaultReport {
+	if s.guard == nil {
+		return nil
+	}
+	fstats := s.guard.Stats()
+	return &FaultReport{
+		Injected:       fstats.Injected.Total(),
+		Detected:       fstats.Detected(),
+		Recoveries:     fstats.Recoveries,
+		QuarantinedPUs: fstats.QuarantinedPUs,
+		Slowdown:       fstats.Slowdown(),
 	}
 }
 

@@ -37,7 +37,10 @@ func streamPatterns() []Pattern {
 func feedAndClose(t *testing.T, eng *Engine, input []byte, next func(remaining int) int) ([]Match, Stats) {
 	t.Helper()
 	var got []Match
-	st := eng.NewStream(func(m Match) { got = append(got, m) })
+	st, err := eng.NewStream(func(m Match) { got = append(got, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	for off := 0; off < len(input); {
 		n := next(len(input) - off)
 		if n < 1 {
@@ -127,7 +130,10 @@ func TestStreamStatsWithoutCallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := eng.NewStream(nil)
+	st, err := eng.NewStream(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := st.Write(input); err != nil {
 		t.Fatal(err)
 	}

@@ -30,6 +30,7 @@ import (
 
 	"sunder/internal/automata"
 	"sunder/internal/core"
+	"sunder/internal/faults"
 	"sunder/internal/funcsim"
 	"sunder/internal/hardware"
 	"sunder/internal/mapping"
@@ -112,6 +113,9 @@ type ScanResult struct {
 	// PerPU breaks the device activity down by processing unit; summing
 	// a field across it reproduces the corresponding Stats aggregate.
 	PerPU []PUStats
+	// Faults summarizes injection/detection/recovery activity; nil unless
+	// a fault policy is armed (see SetFaultPolicy).
+	Faults *FaultReport
 }
 
 // Engine is a compiled rule set configured on the simulated device.
@@ -120,6 +124,11 @@ type Engine struct {
 	byteNFA *automata.Automaton
 	nibble  *automata.UnitAutomaton
 	machine *core.Machine
+	place   *mapping.Placement
+	// faultPol/injector are armed by SetFaultPolicy; with an injector set,
+	// scans run under the fault-recovery guard.
+	faultPol *faults.Policy
+	injector *faults.Injector
 }
 
 // Compile builds an Engine from a pattern set.
@@ -175,13 +184,16 @@ func fromByteNFA(nfa *automata.Automaton, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m}, nil
+	return &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m, place: place}, nil
 }
 
 // Scan resets the engine and runs input through the device, returning every
 // match (the byte position where an occurrence ends, with its rule code)
 // and the device statistics.
 func (e *Engine) Scan(input []byte) (*ScanResult, error) {
+	if e.injector != nil {
+		return e.scanGuarded(funcsim.BytesToUnits(input, 4))
+	}
 	e.machine.Reset()
 	units := funcsim.BytesToUnits(input, 4)
 	res := e.machine.Run(units, core.RunOptions{RecordEvents: true})
@@ -196,6 +208,11 @@ func (e *Engine) Scan(input []byte) (*ScanResult, error) {
 		PerPU: e.PerPU(),
 	}
 	for _, ev := range res.Events {
+		// Drop phantom matches that "end" in the pad tail of the last
+		// vector (a Pad unit satisfies any-symbol positions like `.`).
+		if ev.Unit >= int64(len(units)) {
+			continue
+		}
 		out.Matches = append(out.Matches, Match{
 			Position: ev.Unit / int64(e.nibble.SymbolUnits),
 			Code:     ev.Code,

@@ -184,7 +184,10 @@ func TestStreamMatchesScan(t *testing.T) {
 	}
 
 	var got []Match
-	st := eng.NewStream(func(m Match) { got = append(got, m) })
+	st, err := eng.NewStream(func(m Match) { got = append(got, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Feed in awkward chunk sizes, including splits inside matches.
 	for i := 0; i < len(input); {
 		n := 1 + i%3
@@ -216,7 +219,10 @@ func TestStreamTailMatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []Match
-	st := eng.NewStream(func(m Match) { got = append(got, m) })
+	st, err := eng.NewStream(func(m Match) { got = append(got, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	st.Write([]byte("xab")) // 3 bytes = 6 nibbles; rate 4 leaves a tail
 	stats := st.Close()
 	if len(got) != 1 || got[0].Position != 2 {
@@ -227,16 +233,25 @@ func TestStreamTailMatch(t *testing.T) {
 	}
 }
 
-func TestStreamWriteAfterClosePanics(t *testing.T) {
+func TestStreamWriteAfterClose(t *testing.T) {
 	eng, _ := Compile([]Pattern{{Expr: `ab`, Code: 1}}, DefaultOptions())
-	st := eng.NewStream(nil)
-	st.Close()
-	defer func() {
-		if recover() == nil {
-			t.Error("write after close did not panic")
-		}
-	}()
-	st.Write([]byte("x"))
+	st, err := eng.NewStream(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write([]byte("xab"))
+	first := st.Close()
+	if n, err := st.Write([]byte("x")); err != ErrClosedStream || n != 0 {
+		t.Errorf("write after close: n=%d err=%v, want 0, ErrClosedStream", n, err)
+	}
+	// Close is idempotent: repeated calls return the same statistics and
+	// execute nothing further.
+	if again := st.Close(); again != first {
+		t.Errorf("second Close returned %+v, first %+v", again, first)
+	}
+	if st.BytesIn() != 3 {
+		t.Errorf("BytesIn after rejected write = %d, want 3", st.BytesIn())
+	}
 }
 
 func TestThroughputGbps(t *testing.T) {
