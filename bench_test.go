@@ -10,6 +10,7 @@ package sunder
 // regenerates everything at paper scale.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"sunder/internal/faults"
 	"sunder/internal/funcsim"
 	"sunder/internal/mapping"
+	"sunder/internal/sched"
 	"sunder/internal/telemetry"
 	"sunder/internal/transform"
 	"sunder/internal/workload"
@@ -369,6 +371,99 @@ func BenchmarkFaultOverhead(b *testing.B) {
 				b.Fatal(err)
 			}
 			if _, err := g.Run(units); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Parallel-scan and compile-cache benches (DESIGN.md §4.9).
+
+// BenchmarkScanParallel measures the sharded parallel runner on a mesh
+// workload (bounded dependence window, so it shards) against the
+// sequential machine, across worker counts. On a multi-core host the
+// 8-worker case is the scaling headline; scripts/bench.sh records it.
+func BenchmarkScanParallel(b *testing.B) {
+	w := workload.MustGet("Levenshtein", 0.05, 1<<17)
+	cfg := core.DefaultConfig(4)
+	ua, err := transform.ToRate(w.Automaton, cfg.Rate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := mustMachine(b, w, cfg)
+	units := funcsim.PadUnits(funcsim.BytesToUnits(w.Input, 4), cfg.Rate)
+	b.Run("sequential", func(b *testing.B) {
+		m := proto.Clone()
+		b.SetBytes(int64(len(w.Input)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			m.Run(units, core.RunOptions{})
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(w.Input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched.ParallelRun(proto, ua, units, sched.RunConfig{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineScanParallel is the facade-level counterpart of
+// BenchmarkEngineScan: the same input through ScanParallel.
+func BenchmarkEngineScanParallel(b *testing.B) {
+	eng, err := Compile([]Pattern{
+		{Expr: `needle`, Code: 1},
+		{Expr: `ha+ystack`, Code: 2},
+	}, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := make([]byte, 64*1024)
+	for i := range input {
+		input[i] = byte('a' + i%17)
+	}
+	copy(input[1000:], "needle")
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ScanParallel(input, ScanOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileCache quantifies what the compiled-machine cache saves:
+// a miss pays the full compile/transform/place pipeline, a hit only a
+// machine clone.
+func BenchmarkCompileCache(b *testing.B) {
+	patterns := []Pattern{
+		{Expr: `GET /[a-z]+ HTTP`, Code: 1},
+		{Expr: `a(b|c)+d{2,4}`, Code: 2},
+	}
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ResetCompileCache()
+			if _, err := CompileCached(patterns, DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		ResetCompileCache()
+		if _, err := CompileCached(patterns, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := CompileCached(patterns, DefaultOptions()); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,129 @@
+package sunder
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"sunder/internal/automata"
+	"sunder/internal/core"
+	"sunder/internal/mapping"
+	"sunder/internal/sched"
+)
+
+// DefaultCompileCacheCapacity is the compiled-machine cache's default size
+// in rule sets.
+const DefaultCompileCacheCapacity = 64
+
+// compiledArtifact is everything compilation produces that is immutable
+// and shareable: engines built from a cache hit share these and only clone
+// the machine, skipping regex compilation, nibble transformation, striding
+// and placement entirely.
+type compiledArtifact struct {
+	opts    Options
+	byteNFA *automata.Automaton
+	nibble  *automata.UnitAutomaton
+	place   *mapping.Placement
+	proto   *core.Machine
+}
+
+var compileCache = sched.NewLRU[*compiledArtifact](DefaultCompileCacheCapacity)
+
+// CompileCached is Compile behind a process-wide LRU cache keyed by a
+// content hash of the compiled configuration (every Options field and
+// every pattern's expression and code). Repeated compiles of the same rule
+// set skip the whole compile/mapping pipeline: a hit clones a pristine
+// machine from the cached artifact, which is orders of magnitude cheaper.
+// The returned engine is indistinguishable from a freshly compiled one.
+// Compilation errors are not cached.
+func CompileCached(patterns []Pattern, opts Options) (*Engine, error) {
+	key := compileKey(patterns, opts)
+	if art, ok := compileCache.Get(key); ok {
+		return &Engine{
+			opts:    art.opts,
+			byteNFA: art.byteNFA,
+			nibble:  art.nibble,
+			machine: art.proto.Clone(),
+			proto:   art.proto,
+			place:   art.place,
+		}, nil
+	}
+	eng, err := Compile(patterns, opts)
+	if err != nil {
+		return nil, err
+	}
+	compileCache.Put(key, &compiledArtifact{
+		opts:    eng.opts,
+		byteNFA: eng.byteNFA,
+		nibble:  eng.nibble,
+		place:   eng.place,
+		proto:   eng.proto,
+	})
+	return eng, nil
+}
+
+// compileKey hashes the full compiled configuration. Fields are length-
+// prefixed so distinct pattern lists cannot collide by concatenation, and
+// the Rate default is normalized so Options{} and Options{Rate: 4} share
+// an entry.
+func compileKey(patterns []Pattern, opts Options) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeBool := func(b bool) {
+		if b {
+			writeInt(1)
+		} else {
+			writeInt(0)
+		}
+	}
+	rate := opts.Rate
+	if rate == 0 {
+		rate = 4
+	}
+	writeInt(int64(rate))
+	writeInt(int64(opts.ReportColumns))
+	writeInt(int64(opts.MetadataBits))
+	writeBool(opts.FIFO)
+	writeBool(opts.SummarizeOnFull)
+	writeInt(int64(len(patterns)))
+	for _, p := range patterns {
+		writeInt(int64(len(p.Expr)))
+		h.Write([]byte(p.Expr))
+		writeInt(int64(p.Code))
+	}
+	return string(h.Sum(nil))
+}
+
+// CompileCacheStats snapshots the compiled-machine cache.
+type CompileCacheStats struct {
+	// Hits and Misses count CompileCached lookups since process start.
+	Hits   int64
+	Misses int64
+	// Entries is the number of rule sets currently cached, bounded by
+	// Capacity.
+	Entries  int
+	Capacity int
+}
+
+// CompileCacheInfo returns the cache's current occupancy and hit/miss
+// counts.
+func CompileCacheInfo() CompileCacheStats {
+	hits, misses := compileCache.Stats()
+	return CompileCacheStats{
+		Hits:     hits,
+		Misses:   misses,
+		Entries:  compileCache.Len(),
+		Capacity: compileCache.Capacity(),
+	}
+}
+
+// SetCompileCacheCapacity resizes the compiled-machine cache, evicting
+// least-recently-used entries as needed; n <= 0 clears and disables it.
+func SetCompileCacheCapacity(n int) { compileCache.SetCapacity(n) }
+
+// ResetCompileCache drops every cached compilation (hit/miss counts are
+// kept). Mostly useful in tests and benchmarks.
+func ResetCompileCache() { compileCache.Purge() }

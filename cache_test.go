@@ -1,0 +1,190 @@
+package sunder
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func cachePatterns(tag int) []Pattern {
+	return []Pattern{
+		{Expr: fmt.Sprintf("ab%dc", tag), Code: 1},
+		{Expr: "x[yz]x", Code: 2},
+	}
+}
+
+// TestCompileCachedEquivalence: an engine from a cache hit scans
+// identically to a freshly compiled one.
+func TestCompileCachedEquivalence(t *testing.T) {
+	ResetCompileCache()
+	pats := []Pattern{{Expr: "abca", Code: 1}, {Expr: "b[cd]+a", Code: 2}}
+	fresh, err := Compile(pats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := CompileCached(pats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := CompileCached(pats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("zabcabcday"), 800)
+	want, err := fresh.Scan(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, eng := range map[string]*Engine{"miss": miss, "hit": hit} {
+		got, err := eng.Scan(input)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		sameScan(t, label, got, want)
+		if got.Stats != want.Stats {
+			t.Errorf("%s: Stats = %+v, want %+v", label, got.Stats, want.Stats)
+		}
+		// The cached engine supports the parallel path too.
+		par, err := eng.ScanParallel(input, ScanOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", label, err)
+		}
+		sameScan(t, label+" parallel", par, want)
+	}
+}
+
+// TestCompileCachedStats: hits and misses are counted, distinct rule sets
+// and distinct options occupy distinct entries, and the Rate default is
+// normalized into the key.
+func TestCompileCachedStats(t *testing.T) {
+	ResetCompileCache()
+	before := CompileCacheInfo()
+
+	pats := cachePatterns(0)
+	if _, err := CompileCached(pats, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileCached(pats, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// Options{} and an explicit default rate are the same configuration.
+	o := DefaultOptions()
+	o.Rate = 4
+	if _, err := CompileCached(pats, o); err != nil {
+		t.Fatal(err)
+	}
+	// A different rate is a different machine.
+	o.Rate = 2
+	if _, err := CompileCached(pats, o); err != nil {
+		t.Fatal(err)
+	}
+	// A different rule set is a different entry.
+	if _, err := CompileCached(cachePatterns(1), DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+
+	st := CompileCacheInfo()
+	if hits := st.Hits - before.Hits; hits != 2 {
+		t.Errorf("Hits = %d, want 2", hits)
+	}
+	if misses := st.Misses - before.Misses; misses != 3 {
+		t.Errorf("Misses = %d, want 3", misses)
+	}
+	if st.Entries != 3 {
+		t.Errorf("Entries = %d, want 3", st.Entries)
+	}
+	if st.Capacity != DefaultCompileCacheCapacity {
+		t.Errorf("Capacity = %d, want %d", st.Capacity, DefaultCompileCacheCapacity)
+	}
+}
+
+// TestCompileCachedEviction: capacity bounds the cache, and shrinking it
+// evicts the least recently used rule sets.
+func TestCompileCachedEviction(t *testing.T) {
+	ResetCompileCache()
+	SetCompileCacheCapacity(2)
+	defer SetCompileCacheCapacity(DefaultCompileCacheCapacity)
+
+	for i := 0; i < 4; i++ {
+		if _, err := CompileCached(cachePatterns(i), DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := CompileCacheInfo().Entries; n != 2 {
+		t.Fatalf("Entries = %d, want 2", n)
+	}
+	before := CompileCacheInfo()
+	// Sets 2 and 3 survive; set 0 was evicted and must miss again.
+	if _, err := CompileCached(cachePatterns(3), DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileCached(cachePatterns(0), DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	st := CompileCacheInfo()
+	if hits := st.Hits - before.Hits; hits != 1 {
+		t.Errorf("Hits = %d, want 1", hits)
+	}
+	if misses := st.Misses - before.Misses; misses != 1 {
+		t.Errorf("Misses = %d, want 1", misses)
+	}
+}
+
+// TestCompileCachedErrorNotCached: a failing rule set is recompiled (and
+// fails again) rather than occupying a cache slot.
+func TestCompileCachedErrorNotCached(t *testing.T) {
+	ResetCompileCache()
+	bad := []Pattern{{Expr: "a(b", Code: 1}}
+	if _, err := CompileCached(bad, DefaultOptions()); err == nil {
+		t.Fatal("compile of unbalanced group succeeded")
+	}
+	if n := CompileCacheInfo().Entries; n != 0 {
+		t.Errorf("Entries = %d after failed compile, want 0", n)
+	}
+	if _, err := CompileCached(bad, DefaultOptions()); err == nil {
+		t.Fatal("second compile of unbalanced group succeeded")
+	}
+}
+
+// TestCompileCachedConcurrent hammers the cache from many goroutines over
+// a small working set; every returned engine must scan correctly.
+func TestCompileCachedConcurrent(t *testing.T) {
+	ResetCompileCache()
+	SetCompileCacheCapacity(3) // smaller than the working set: forces races on evict+refill
+	defer SetCompileCacheCapacity(DefaultCompileCacheCapacity)
+
+	input := bytes.Repeat([]byte("ab0cab1cab2cab3cab4c"), 200)
+	wants := make([]*ScanResult, 5)
+	for i := range wants {
+		eng, err := Compile(cachePatterns(i), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wants[i], err = eng.Scan(input); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				set := (g + i) % 5
+				eng, err := CompileCached(cachePatterns(set), DefaultOptions())
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				got, err := eng.Scan(input)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				sameScan(t, fmt.Sprintf("goroutine %d set %d", g, set), got, wants[set])
+			}
+		}(g)
+	}
+	wg.Wait()
+}

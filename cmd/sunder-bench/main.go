@@ -8,6 +8,8 @@
 //	sunder-bench -table 4        # one table (1,2,3,4,5)
 //	sunder-bench -fig 10         # one figure (8,9,10)
 //	sunder-bench -ablations      # ablation studies only
+//	sunder-bench -par            # parallel scaling study (workers vs speedup)
+//	sunder-bench -par -json > BENCH_parallel.json
 //	sunder-bench -faults match=1e-4,report=1e-4,stuck=2,seed=1
 //	sunder-bench -scale 0.05 -input 50000
 //	sunder-bench -table 4 -metrics -trace /tmp/t4.json -cpuprofile cpu.out
@@ -37,6 +39,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit every table and figure as JSON instead of text")
 		telFlags   = cliutil.RegisterTelemetryFlags()
 		faultFlags = cliutil.RegisterFaultFlags()
+		parFlags   = cliutil.RegisterParallelFlags()
 		profiles   = cliutil.ProfileFlags()
 	)
 	flag.Parse()
@@ -72,7 +75,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// The scaling study's benchmark set: mesh and exact-match workloads
+	// that shard, plus one cyclic workload demonstrating the fallback.
+	scalingNames := []string{"Hamming", "Levenshtein", "ExactMatch", "Dotstar03"}
+	scalingWorkers := []int{1, 2, 4, 8}
+	if parFlags.Workers > 0 {
+		scalingWorkers = []int{parFlags.Workers}
+	}
 	if *jsonOut {
+		if parFlags.Enabled() {
+			rows, err := exp.ScalingStudy(opts, scalingNames, scalingWorkers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := &exp.Results{Options: opts, Scaling: rows}
+			if err := res.WriteJSON(out); err != nil {
+				log.Fatal(err)
+			}
+			finish()
+			return
+		}
 		n := 160000
 		if *full {
 			n = 1 << 20
@@ -87,9 +109,10 @@ func main() {
 		finish()
 		return
 	}
-	// The fault study runs only when a policy is given (like -ablations,
-	// it is excluded from the default everything run).
-	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled()
+	// The fault study runs only when a policy is given (like -ablations
+	// and the -par scaling study, it is excluded from the default
+	// everything run).
+	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled() && !parFlags.Enabled()
 
 	var t4 []exp.Table4Row
 	needT4 := runAll || *table == 4 || *fig == 8
@@ -170,6 +193,14 @@ func main() {
 			log.Fatal(err)
 		}
 		exp.FprintAblationCover(out, cover)
+		fmt.Fprintln(out)
+	}
+	if parFlags.Enabled() {
+		rows, err := exp.ScalingStudy(opts, scalingNames, scalingWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintScalingStudy(out, rows)
 		fmt.Fprintln(out)
 	}
 	if faultFlags.Enabled() {

@@ -22,6 +22,7 @@ import (
 	"sunder/internal/cliutil"
 	"sunder/internal/mapping"
 	"sunder/internal/regex"
+	"sunder/internal/sched"
 	"sunder/internal/transform"
 )
 
@@ -111,6 +112,12 @@ func main() {
 		label := fmt.Sprintf("%d-bit (%d nibbles)", 4*ua.Rate, ua.Rate)
 		show(label, ua.NumStates(), ua.NumEdges(), ua.NumReportStates())
 		stages[fmt.Sprintf("rate%d", ua.Rate)] = ua
+	}
+
+	if d, bounded := sched.DependenceCycles(ua); bounded {
+		fmt.Printf("\ndependence window: %d cycle(s) — shardable for parallel scan\n", d)
+	} else {
+		fmt.Printf("\ndependence window: unbounded (cyclic automaton) — parallel scan falls back to sequential\n")
 	}
 
 	if place, err := mapping.Place(ua, 12); err == nil {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	sunder-gen -out ./suite                    # all benchmarks, default scale
+//	sunder-gen -out ./suite -workers 8         # generate benchmarks in parallel
 //	sunder-gen -out ./suite -benchmark Snort -scale 0.1 -input 100000
 package main
 
@@ -15,6 +16,7 @@ import (
 	"log"
 
 	"sunder/internal/cliutil"
+	"sunder/internal/sched"
 	"sunder/internal/workload"
 )
 
@@ -26,6 +28,7 @@ func main() {
 		name     = flag.String("benchmark", "", "generate one benchmark (default: all)")
 		scale    = flag.Float64("scale", workload.DefaultScale, "benchmark scale (0,1]")
 		inputLen = flag.Int("input", workload.DefaultInputLen, "input length in bytes")
+		parFlags = cliutil.RegisterParallelFlags()
 		profiles = cliutil.ProfileFlags()
 	)
 	flag.Parse()
@@ -52,7 +55,29 @@ func main() {
 			*out, *name, w.Automaton.NumStates(), *out, *name, len(w.Input))
 		return
 	}
-	if err := workload.SaveAll(*out, *scale, *inputLen); err != nil {
+	if parFlags.Enabled() {
+		// Benchmark generation is embarrassingly parallel: one pool task
+		// per benchmark, each generating and saving independently.
+		names := workload.Names()
+		errs := make([]error, len(names))
+		pool := sched.NewPool(parFlags.EffectiveWorkers(), len(names))
+		for i, n := range names {
+			i, n := i, n
+			pool.Submit(func(int) {
+				w, err := workload.Get(n, *scale, *inputLen)
+				if err == nil {
+					err = w.Save(*out)
+				}
+				errs[i] = err
+			})
+		}
+		pool.Wait()
+		for _, err := range errs {
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else if err := workload.SaveAll(*out, *scale, *inputLen); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d benchmarks to %s (scale %g, %d-byte inputs)\n",

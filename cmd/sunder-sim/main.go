@@ -6,6 +6,7 @@
 //
 //	sunder-sim -benchmark Snort
 //	sunder-sim -benchmark SPM -rate 2 -fifo=false -scale 0.05 -input 100000
+//	sunder-sim -benchmark Hamming -par -workers 8
 //	sunder-sim -benchmark Snort -trace /tmp/t.json -metrics
 //	sunder-sim -benchmark Snort -faults match=1e-4,report=1e-4,seed=1
 //	sunder-sim -benchmark Snort -cpuprofile cpu.out -memprofile mem.out
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"sunder"
 	"sunder/internal/automata"
@@ -26,6 +28,7 @@ import (
 	"sunder/internal/funcsim"
 	"sunder/internal/mapping"
 	"sunder/internal/report"
+	"sunder/internal/sched"
 	"sunder/internal/transform"
 	"sunder/internal/workload"
 )
@@ -43,6 +46,7 @@ func main() {
 		summarize  = flag.Bool("summarize", false, "summarize on full instead of flushing")
 		telFlags   = cliutil.RegisterTelemetryFlags()
 		faultFlags = cliutil.RegisterFaultFlags()
+		parFlags   = cliutil.RegisterParallelFlags()
 		profiles   = cliutil.ProfileFlags()
 	)
 	flag.Parse()
@@ -134,6 +138,41 @@ func main() {
 		"AP", apo.Overhead(res.Cycles), apo.Flushes, float64(apo.OffloadedBits)/8192)
 	fmt.Printf("  %-12s overhead %8.2fx  (%d flushes, %.1f KB offloaded)\n",
 		"AP+RAD", rado.Overhead(res.Cycles), rado.Flushes, float64(rado.OffloadedBits)/8192)
+
+	if parFlags.Enabled() {
+		workers := parFlags.EffectiveWorkers()
+		units := funcsim.PadUnits(funcsim.BytesToUnits(w.Input, 4), *rate)
+		proto := m.Clone()
+
+		seqM := proto.Clone()
+		t0 := time.Now()
+		seqRes := seqM.Run(units, core.RunOptions{})
+		seqNS := time.Since(t0).Nanoseconds()
+
+		t0 = time.Now()
+		rr := sched.ParallelRun(proto, ua, units, sched.RunConfig{Workers: workers})
+		parNS := time.Since(t0).Nanoseconds()
+		if parNS < 1 {
+			parNS = 1
+		}
+
+		depth, bounded := sched.DependenceCycles(ua)
+		fmt.Printf("\nparallel sharded scan (-workers %d):\n", workers)
+		if bounded {
+			fmt.Printf("  dependence window %d cycles; sharded=%v across %d workers (overlap %d cycles, %d warm-up cycles total)\n",
+				depth, rr.Sharded, rr.Workers, rr.OverlapCycles, rr.WarmupCycles)
+		} else {
+			fmt.Printf("  dependence window unbounded (cyclic automaton): sequential fallback\n")
+		}
+		verdict := "identical to sequential"
+		if rr.Reports != seqRes.Reports || rr.ReportCycles != seqRes.ReportCycles ||
+			rr.MaxReportsPerCycle != seqRes.MaxReportsPerCycle || rr.KernelCycles != seqRes.KernelCycles {
+			verdict = "DIVERGED from sequential"
+		}
+		fmt.Printf("  sequential %.2f ms, parallel %.2f ms: %.2fx speedup (%.1f MB/s simulated); report stream %s\n",
+			float64(seqNS)/1e6, float64(parNS)/1e6, float64(seqNS)/float64(parNS),
+			float64(len(w.Input))/1e6/(float64(parNS)/1e9), verdict)
+	}
 
 	if faultFlags.Enabled() {
 		pol, err := faultFlags.Policy()

@@ -100,6 +100,36 @@ func (t *TelemetryFlags) Collector() *telemetry.Collector {
 	return col
 }
 
+// ParallelFlags carries the -par/-workers flag values for the sharded
+// parallel scan path.
+type ParallelFlags struct {
+	// Par enables the parallel comparison / study.
+	Par bool
+	// Workers is the worker count; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// RegisterParallelFlags registers -par and -workers on the default flag
+// set.
+func RegisterParallelFlags() *ParallelFlags {
+	p := &ParallelFlags{}
+	flag.BoolVar(&p.Par, "par", false, "run the sharded parallel scan path alongside the sequential one")
+	flag.IntVar(&p.Workers, "workers", 0, "parallel scan worker count (0 = GOMAXPROCS)")
+	return p
+}
+
+// Enabled reports whether parallel execution was requested, either
+// explicitly (-par) or implicitly by naming a worker count.
+func (p *ParallelFlags) Enabled() bool { return p.Par || p.Workers > 0 }
+
+// EffectiveWorkers resolves the worker count, defaulting to GOMAXPROCS.
+func (p *ParallelFlags) EffectiveWorkers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // FaultFlags carries the -faults flag value: a fault-injection policy
 // written as a comma-separated k=v list.
 type FaultFlags struct {

@@ -1,6 +1,30 @@
 package cliutil
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
+
+func TestParallelFlags(t *testing.T) {
+	p := &ParallelFlags{}
+	if p.Enabled() {
+		t.Error("zero value enabled")
+	}
+	if got, want := p.EffectiveWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("EffectiveWorkers = %d, want GOMAXPROCS %d", got, want)
+	}
+	p = &ParallelFlags{Par: true}
+	if !p.Enabled() {
+		t.Error("-par not enabled")
+	}
+	p = &ParallelFlags{Workers: 3}
+	if !p.Enabled() {
+		t.Error("-workers 3 not enabled")
+	}
+	if got := p.EffectiveWorkers(); got != 3 {
+		t.Errorf("EffectiveWorkers = %d, want 3", got)
+	}
+}
 
 func TestFaultFlagsPolicy(t *testing.T) {
 	f := &FaultFlags{Spec: "match=1e-5,report=2e-5,stuck=2,drop=0.001,seed=9,interval=128,retries=5,backoff=32,spares=12"}

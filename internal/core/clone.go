@@ -1,0 +1,42 @@
+package core
+
+import "sunder/internal/bitvec"
+
+// Clone returns a new machine with the receiver's configuration — automaton,
+// placement, match rows, crossbar and global-switch images — and a pristine
+// execution state, as if freshly Configured. The immutable compile products
+// (automaton, placement, global switches) are shared with the receiver;
+// everything mutable (per-PU subarrays, active vectors, report regions,
+// cycle counters) is copied, so clones execute fully independently. This is
+// what makes cloning far cheaper than re-running Configure: it is the
+// mechanism behind parallel shard workers and cached-compile engines.
+//
+// Telemetry and fault attachments do not carry over (attach them to the
+// clone explicitly), and neither does a SuppressStartOfData setting. The
+// receiver must be in Automata Mode and must not be executing concurrently.
+func (m *Machine) Clone() *Machine {
+	if m.mode != AutomataMode {
+		panic("core: Clone while in normal (cache) mode")
+	}
+	c := &Machine{
+		cfg:       m.cfg,
+		a:         m.a,
+		place:     m.place,
+		gx:        m.gx,
+		pus:       make([]pu, len(m.pus)),
+		newActive: make([]bitvec.V256, len(m.pus)),
+		enables:   make([]bitvec.V256, len(m.pus)),
+		v8:        make([]int8, m.cfg.Rate),
+	}
+	copy(c.pus, m.pus)
+	c.Reset()
+	return c
+}
+
+// SuppressStartOfData disables the start-of-data injection that normally
+// fires on the machine's first executed cycle. Parallel shard workers use
+// it when replaying warm-up context from the middle of the stream: their
+// local cycle zero is not the input's byte zero, so anchored (StartOfData)
+// states must stay quiet. It has no effect on StartAllInput injection,
+// whose cadence depends only on the absolute cycle count.
+func (m *Machine) SuppressStartOfData(v bool) { m.noStartData = v }

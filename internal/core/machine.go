@@ -36,6 +36,9 @@ type Machine struct {
 	// mode and configImage implement Normal Mode (see normalmode.go).
 	mode        Mode
 	configImage [][RowsPerSubarray]bitvec.V256
+	// noStartData suppresses start-of-data injection on cycle zero (see
+	// SuppressStartOfData); set on shard-worker clones replaying mid-stream.
+	noStartData bool
 	// scratch
 	newActive []bitvec.V256
 	enables   []bitvec.V256
@@ -201,7 +204,7 @@ func (m *Machine) Step(vec []funcsim.Unit, dst []automata.StateID) []automata.St
 		m.drain()
 	}
 	injectAll := (m.kernelCycles*int64(m.cfg.Rate))%int64(m.a.SymbolUnits) == 0
-	injectData := m.kernelCycles == 0
+	injectData := m.kernelCycles == 0 && !m.noStartData
 
 	// Phase 1: enables from the previous active vectors (local crossbar +
 	// global switches + start enables).

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"sunder/internal/automata"
 	"sunder/internal/core"
 	"sunder/internal/mapping"
 	"sunder/internal/telemetry"
@@ -54,27 +55,35 @@ func buildMachine(w *workload.Workload, rate int, cfg core.Config) (*core.Machin
 // buildMachineTel is buildMachine plus an optional telemetry collector
 // attached to the configured machine.
 func buildMachineTel(w *workload.Workload, rate int, cfg core.Config, tel *telemetry.Collector) (*core.Machine, error) {
+	m, _, err := buildMachineUA(w, rate, cfg, tel)
+	return m, err
+}
+
+// buildMachineUA additionally returns the strided automaton the machine was
+// configured from, which the sharded parallel runner needs for report
+// resolution and dependence analysis.
+func buildMachineUA(w *workload.Workload, rate int, cfg core.Config, tel *telemetry.Collector) (*core.Machine, *automata.UnitAutomaton, error) {
 	ua, err := transform.ToRate(w.Automaton, rate)
 	if err != nil {
-		return nil, fmt.Errorf("%s: transform: %w", w.Spec.Name, err)
+		return nil, nil, fmt.Errorf("%s: transform: %w", w.Spec.Name, err)
 	}
 	m, err := mapping.AutoReportColumns(ua, cfg.ReportColumns)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", w.Spec.Name, err)
+		return nil, nil, fmt.Errorf("%s: %w", w.Spec.Name, err)
 	}
 	cfg.ReportColumns = m
 	place, err := mapping.Place(ua, cfg.ReportColumns)
 	if err != nil {
-		return nil, fmt.Errorf("%s: place: %w", w.Spec.Name, err)
+		return nil, nil, fmt.Errorf("%s: place: %w", w.Spec.Name, err)
 	}
 	mach, err := core.Configure(ua, place, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%s: configure: %w", w.Spec.Name, err)
+		return nil, nil, fmt.Errorf("%s: configure: %w", w.Spec.Name, err)
 	}
 	if tel != nil {
 		mach.AttachTelemetry(tel)
 	}
-	return mach, nil
+	return mach, ua, nil
 }
 
 // fprintf writes, ignoring errors — the runners print to a caller-supplied

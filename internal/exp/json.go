@@ -17,6 +17,9 @@ type Results struct {
 	Figure8  []Figure8Row    `json:"figure8,omitempty"`
 	Figure9  []Figure9Row    `json:"figure9,omitempty"`
 	Figure10 []Figure10Point `json:"figure10,omitempty"`
+	// Scaling is populated by the -par study only (like the ablations, it
+	// is excluded from CollectAll).
+	Scaling []ScalingRow `json:"scaling,omitempty"`
 }
 
 // CollectAll runs every table and figure and bundles the rows.

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"io"
+	"time"
+
+	"sunder/internal/core"
+	"sunder/internal/funcsim"
+	"sunder/internal/sched"
+	"sunder/internal/workload"
+)
+
+// ScalingRow measures the sharded parallel runner against the sequential
+// simulator for one benchmark at one worker count. The simulator is the
+// measured system here — wall-clock simulation throughput, not modeled
+// device throughput — so this study quantifies how far the overlap-window
+// sharding scales the *host-side* simulation.
+type ScalingRow struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	// Sharded is false when the dependence window is unbounded (cyclic
+	// automaton) and the run degenerated to sequential execution.
+	Sharded bool  `json:"sharded"`
+	SeqNS   int64 `json:"seq_ns"`
+	ParNS   int64 `json:"par_ns"`
+	// Speedup is SeqNS/ParNS; MBps the parallel simulation throughput over
+	// the input bytes.
+	Speedup float64 `json:"speedup"`
+	MBps    float64 `json:"mbps"`
+	// OutputOK asserts the parallel run reproduced the sequential report
+	// statistics exactly (reports, report cycles, per-cycle max, cycles).
+	OutputOK bool `json:"output_ok"`
+}
+
+// ScalingStudy times ScanParallel-equivalent runs across worker counts.
+// Each benchmark's sequential reference is measured once on a fresh clone;
+// every (benchmark, workers) pair then runs the sharded path on clones of
+// the same pristine machine.
+func ScalingStudy(opts Options, names []string, workers []int) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, name := range names {
+		w, err := workload.Get(name, opts.Scale, opts.InputLen)
+		if err != nil {
+			return nil, err
+		}
+		proto, ua, err := buildMachineUA(w, 4, core.DefaultConfig(4), nil)
+		if err != nil {
+			return nil, err
+		}
+		units := funcsim.PadUnits(funcsim.BytesToUnits(w.Input, 4), 4)
+
+		seqM := proto.Clone()
+		t0 := time.Now()
+		seq := seqM.Run(units, core.RunOptions{})
+		seqNS := time.Since(t0).Nanoseconds()
+
+		for _, k := range workers {
+			t0 = time.Now()
+			rr := sched.ParallelRun(proto, ua, units, sched.RunConfig{
+				Workers:   k,
+				Collector: opts.Telemetry,
+			})
+			parNS := time.Since(t0).Nanoseconds()
+			if parNS < 1 {
+				parNS = 1
+			}
+			rows = append(rows, ScalingRow{
+				Name:    name,
+				Workers: k,
+				Sharded: rr.Sharded,
+				SeqNS:   seqNS,
+				ParNS:   parNS,
+				Speedup: float64(seqNS) / float64(parNS),
+				MBps:    float64(len(w.Input)) / 1e6 / (float64(parNS) / 1e9),
+				OutputOK: rr.Reports == seq.Reports &&
+					rr.ReportCycles == seq.ReportCycles &&
+					rr.MaxReportsPerCycle == seq.MaxReportsPerCycle &&
+					rr.KernelCycles == seq.KernelCycles,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintScalingStudy renders the workers-vs-speedup table.
+func FprintScalingStudy(w io.Writer, rows []ScalingRow) {
+	fprintf(w, "Scaling: sharded parallel simulation vs sequential (host wall clock)\n")
+	fprintf(w, "%-18s %8s %8s %10s %10s %9s %7s %7s\n",
+		"Benchmark", "workers", "sharded", "seq ms", "par ms", "speedup", "MB/s", "output")
+	for _, r := range rows {
+		verdict := "OK"
+		if !r.OutputOK {
+			verdict = "DIVERGED"
+		}
+		fprintf(w, "%-18s %8d %8v %10.2f %10.2f %8.2fx %7.1f %7s\n",
+			r.Name, r.Workers, r.Sharded,
+			float64(r.SeqNS)/1e6, float64(r.ParNS)/1e6, r.Speedup, r.MBps, verdict)
+	}
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParallelSpeedupMultiCore asserts the throughput acceptance bar —
+// 8 workers at least 2x sequential on a mesh workload — wherever the host
+// can physically deliver it. On fewer than 4 cores wall-clock speedup is
+// capped near 1x by definition, so the test skips (the differential suite
+// still proves output identity there).
+func TestParallelSpeedupMultiCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for wall-clock speedup, have %d", runtime.NumCPU())
+	}
+	opts := Options{Scale: 0.05, InputLen: 1 << 18}
+	rows, err := ScalingStudy(opts, []string{"Hamming"}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if !r.OutputOK || !r.Sharded {
+		t.Fatalf("8-worker Hamming run: sharded=%v outputOK=%v", r.Sharded, r.OutputOK)
+	}
+	if r.Speedup < 2 {
+		t.Errorf("8-worker speedup %.2fx, want >= 2x (seq %.1f ms, par %.1f ms)",
+			r.Speedup, float64(r.SeqNS)/1e6, float64(r.ParNS)/1e6)
+	}
+}
+
+// TestScalingStudy runs the study at tiny scale on one shardable (mesh)
+// and one unbounded (cyclic) benchmark: the mesh workload must shard, the
+// cyclic one must fall back, and both must reproduce the sequential output.
+func TestScalingStudy(t *testing.T) {
+	opts := Options{Scale: 0.05, InputLen: 20000}
+	rows, err := ScalingStudy(opts, []string{"Hamming", "Dotstar03"}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OutputOK {
+			t.Errorf("%s workers=%d: parallel output diverged from sequential", r.Name, r.Workers)
+		}
+		if r.SeqNS <= 0 || r.ParNS <= 0 {
+			t.Errorf("%s workers=%d: non-positive timing %d/%d", r.Name, r.Workers, r.SeqNS, r.ParNS)
+		}
+		switch r.Name {
+		case "Hamming":
+			if r.Workers == 2 && !r.Sharded {
+				t.Errorf("Hamming workers=2 did not shard")
+			}
+		case "Dotstar03":
+			if r.Sharded {
+				t.Errorf("Dotstar03 (cyclic) claimed to shard")
+			}
+		}
+	}
+	var sb strings.Builder
+	FprintScalingStudy(&sb, rows)
+	for _, want := range []string{"speedup", "Hamming", "Dotstar03", "OK"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered study missing %q:\n%s", want, sb.String())
+		}
+	}
+	if strings.Contains(sb.String(), "DIVERGED") {
+		t.Errorf("rendered study reports divergence:\n%s", sb.String())
+	}
+}

@@ -1,8 +1,10 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sunder/internal/automata"
 	"sunder/internal/core"
@@ -10,6 +12,15 @@ import (
 	"sunder/internal/mapping"
 	"sunder/internal/telemetry"
 )
+
+// ErrConcurrentUse is returned by Feed, Finish and Run when another call
+// is already executing on the same guard. The recovery protocol is
+// strictly sequential — checkpoints, the shadow simulator and the audit
+// baselines all describe one machine at one point in one input stream —
+// so concurrent use is rejected outright rather than silently corrupting
+// checkpoint state. The error is not sticky: the in-flight call is
+// unaffected and the guard remains usable once it returns.
+var ErrConcurrentUse = errors.New("faults: concurrent use of Guard (the recovery protocol is strictly sequential)")
 
 // Stats summarizes one guarded run.
 type Stats struct {
@@ -90,6 +101,8 @@ type Guard struct {
 	window      int
 	finished    bool
 	err         error
+	// busy serializes the exported entry points (see ErrConcurrentUse).
+	busy atomic.Bool
 
 	ckpt      *core.Snapshot
 	ckptSim   *funcsim.SimSnapshot
@@ -178,8 +191,29 @@ func (g *Guard) Stats() Stats {
 	return s
 }
 
+// acquire claims the guard for one exported call, rejecting overlap
+// before any state is touched; release undoes it.
+func (g *Guard) acquire() error {
+	if !g.busy.CompareAndSwap(false, true) {
+		return ErrConcurrentUse
+	}
+	return nil
+}
+
+func (g *Guard) release() { g.busy.Store(false) }
+
 // Feed appends input units and executes every complete window they form.
+// It returns ErrConcurrentUse (without touching guard state) when another
+// Feed, Finish or Run is already executing.
 func (g *Guard) Feed(units []funcsim.Unit) error {
+	if err := g.acquire(); err != nil {
+		return err
+	}
+	defer g.release()
+	return g.feed(units)
+}
+
+func (g *Guard) feed(units []funcsim.Unit) error {
 	if g.err != nil {
 		return g.err
 	}
@@ -198,8 +232,17 @@ func (g *Guard) Feed(units []funcsim.Unit) error {
 }
 
 // Finish executes the remaining partial window (padded to the rate) and
-// seals the guard. It is idempotent.
+// seals the guard. It is idempotent, and returns ErrConcurrentUse when it
+// overlaps another exported call.
 func (g *Guard) Finish() error {
+	if err := g.acquire(); err != nil {
+		return err
+	}
+	defer g.release()
+	return g.finish()
+}
+
+func (g *Guard) finish() error {
 	if g.err != nil || g.finished {
 		return g.err
 	}
@@ -212,12 +255,16 @@ func (g *Guard) Finish() error {
 	return g.executeWindow(units)
 }
 
-// Run is Feed followed by Finish.
+// Run is Feed followed by Finish under one claim on the guard.
 func (g *Guard) Run(units []funcsim.Unit) (Stats, error) {
-	if err := g.Feed(units); err != nil {
+	if err := g.acquire(); err != nil {
+		return Stats{}, err
+	}
+	defer g.release()
+	if err := g.feed(units); err != nil {
 		return g.Stats(), err
 	}
-	if err := g.Finish(); err != nil {
+	if err := g.finish(); err != nil {
 		return g.Stats(), err
 	}
 	return g.Stats(), nil

@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sunder/internal/core"
+	"sunder/internal/funcsim"
+	"sunder/internal/regex"
+)
+
+// TestGuardRejectsConcurrentUse pins the concurrency contract
+// deterministically: while one exported call is in flight (simulated by
+// holding the busy flag), Feed, Finish and Run all return ErrConcurrentUse
+// without corrupting guard state, and the guard works normally afterwards.
+func TestGuardRejectsConcurrentUse(t *testing.T) {
+	pats := []regex.Pattern{{Expr: `ab+c`, Code: 1}}
+	cfg := core.DefaultConfig(2)
+	m, ua, place := build(t, pats, cfg)
+	pol := DefaultPolicy()
+	pol.CheckpointInterval = 64
+	g, err := NewGuard(m, ua, place, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []repRec
+	g.OnReportCycle(record(&got))
+	units := funcsim.PadUnits(funcsim.BytesToUnits([]byte(strings.Repeat("xabbcy", 50)), 4), cfg.Rate)
+
+	g.busy.Store(true) // another call is "executing"
+	if err := g.Feed(units); !errors.Is(err, ErrConcurrentUse) {
+		t.Fatalf("Feed during in-flight call: err = %v, want ErrConcurrentUse", err)
+	}
+	if err := g.Finish(); !errors.Is(err, ErrConcurrentUse) {
+		t.Fatalf("Finish during in-flight call: err = %v, want ErrConcurrentUse", err)
+	}
+	if _, err := g.Run(units); !errors.Is(err, ErrConcurrentUse) {
+		t.Fatalf("Run during in-flight call: err = %v, want ErrConcurrentUse", err)
+	}
+	if g.Err() != nil {
+		t.Fatalf("ErrConcurrentUse stuck as sticky error: %v", g.Err())
+	}
+	g.busy.Store(false)
+
+	// The rejection must not have consumed input or moved the stream.
+	stats, err := g.Run(units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReports(t, got, reference(ua, units))
+	if want := int64(len(units) / cfg.Rate); stats.CommittedCycles != want {
+		t.Fatalf("CommittedCycles = %d, want %d", stats.CommittedCycles, want)
+	}
+}
+
+// TestGuardConcurrentHammer drives one guard from several goroutines at
+// once: every call must either execute cleanly or be rejected with
+// ErrConcurrentUse, and the committed stream must account for exactly the
+// successful feeds. Run under -race this also proves rejection happens
+// before any shared state is touched.
+func TestGuardConcurrentHammer(t *testing.T) {
+	pats := []regex.Pattern{{Expr: `ab+c`, Code: 1}}
+	cfg := core.DefaultConfig(2)
+	m, ua, place := build(t, pats, cfg)
+	pol := DefaultPolicy()
+	pol.CheckpointInterval = 32
+	g, err := NewGuard(m, ua, place, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One window of input per Feed, so nothing lingers in pending and the
+	// committed cycle count is exactly successes × interval.
+	window := funcsim.PadUnits(funcsim.BytesToUnits([]byte(strings.Repeat("abbc", 8)), 4), cfg.Rate)
+	if len(window) != pol.CheckpointInterval*cfg.Rate {
+		t.Fatalf("window is %d units, want %d", len(window), pol.CheckpointInterval*cfg.Rate)
+	}
+
+	var fed, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch err := g.Feed(window); {
+				case err == nil:
+					fed.Add(1)
+				case errors.Is(err, ErrConcurrentUse):
+					rejected.Add(1)
+				default:
+					t.Errorf("Feed: unexpected error %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Err() != nil {
+		t.Fatalf("sticky error after hammer: %v", g.Err())
+	}
+	if fed.Load() == 0 {
+		t.Fatal("no Feed ever succeeded")
+	}
+	stats := g.Stats()
+	if want := fed.Load() * int64(pol.CheckpointInterval); stats.CommittedCycles != want {
+		t.Fatalf("CommittedCycles = %d, want %d (%d fed, %d rejected)",
+			stats.CommittedCycles, want, fed.Load(), rejected.Load())
+	}
+}

@@ -1,0 +1,97 @@
+// Package sched is the scale-out layer over the architectural simulator:
+// it shards one large input across worker goroutines (each driving its own
+// core.Machine clone) with overlap windows sized to the automaton's match
+// depth, merges the per-shard report streams into an output byte-identical
+// to a sequential run, and provides the bounded worker pool and the
+// compiled-machine LRU cache used by the facade's batch and cached-compile
+// paths.
+package sched
+
+import "sunder/internal/automata"
+
+// DependenceCycles bounds how far back, in device cycles, the machine's
+// active-state vector can depend on input history.
+//
+// A state active at the end of cycle t lies at the end of an edge path
+// from some start state injected at cycle t-L, where L is the path length
+// in edges (one edge is consumed per cycle in the strided unit automaton).
+// The active set at cycle t therefore depends only on cycles (t-D, t],
+// where D is the longest edge path from any start state through the
+// reachable subgraph. A shard worker that replays D+1 cycles of input
+// before its owned range reconstructs the sequential active set exactly.
+//
+// The bound exists only when that subgraph is acyclic. A cycle reachable
+// from a start state — the `.*` self-loops of dotstar-style rules — lets
+// activity persist indefinitely, so the dependence window is unbounded and
+// the input cannot be sharded; bounded is then false and callers must fall
+// back to sequential execution.
+func DependenceCycles(a *automata.UnitAutomaton) (cycles int, bounded bool) {
+	n := a.NumStates()
+	reach := make([]bool, n)
+	var stack []automata.StateID
+	for s := range a.States {
+		if a.States[s].Start != automata.StartNone && !reach[s] {
+			reach[s] = true
+			stack = append(stack, automata.StateID(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.States[s].Succ {
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+
+	// Longest path via Kahn's algorithm on the reachable subgraph. Every
+	// reachable state is reachable from a start, so in a DAG the longest
+	// path from any reachable state to t equals the longest path from a
+	// start to t; initializing all depths to zero is exact.
+	indeg := make([]int, n)
+	total := 0
+	for s := range a.States {
+		if !reach[s] {
+			continue
+		}
+		total++
+		for _, t := range a.States[s].Succ {
+			if reach[t] {
+				indeg[t]++
+			}
+		}
+	}
+	depth := make([]int, n)
+	queue := stack[:0]
+	for s := range a.States {
+		if reach[s] && indeg[s] == 0 {
+			queue = append(queue, automata.StateID(s))
+		}
+	}
+	processed, maxDepth := 0, 0
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		processed++
+		if depth[s] > maxDepth {
+			maxDepth = depth[s]
+		}
+		for _, t := range a.States[s].Succ {
+			if !reach[t] {
+				continue
+			}
+			if d := depth[s] + 1; d > depth[t] {
+				depth[t] = d
+			}
+			if indeg[t]--; indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if processed != total {
+		return 0, false
+	}
+	return maxDepth, true
+}

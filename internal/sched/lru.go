@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a mutex-guarded least-recently-used cache with string keys and
+// hit/miss accounting. It backs the facade's compiled-machine cache:
+// values are immutable compile artifacts, so a cached value may be handed
+// to any number of concurrent readers.
+type LRU[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewLRU returns a cache holding up to capacity entries; capacity <= 0
+// disables caching (every Get misses, Put is a no-op).
+func NewLRU[V any](capacity int) *LRU[V] {
+	return &LRU[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value under key, marking it most recently used.
+func (c *LRU[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *LRU[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	c.evictOver()
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Capacity returns the current capacity.
+func (c *LRU[V]) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// SetCapacity resizes the cache, evicting least-recently-used entries as
+// needed; n <= 0 clears it and disables caching.
+func (c *LRU[V]) SetCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	c.evictOver()
+}
+
+// Purge drops every entry, keeping the hit/miss counts.
+func (c *LRU[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LRU[V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// evictOver drops LRU entries until within capacity; callers hold mu.
+func (c *LRU[V]) evictOver() {
+	max := c.capacity
+	if max < 0 {
+		max = 0
+	}
+	for c.ll.Len() > max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*lruEntry[V]).key)
+	}
+}

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := NewLRU[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted below capacity")
+	}
+	c.Put("c", 3) // evicts b: a was touched more recently
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; want LRU out")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d,%v; want 1,true", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Errorf("Get(c) = %d,%v; want 3,true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Errorf("Stats = %d hits, %d misses; want 3, 1", hits, misses)
+	}
+}
+
+func TestLRUPutRefreshesValue(t *testing.T) {
+	c := NewLRU[int](2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if v, _ := c.Get("a"); v != 9 {
+		t.Errorf("Get(a) = %d after refresh, want 9", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after duplicate Put, want 1", c.Len())
+	}
+}
+
+func TestLRUSetCapacity(t *testing.T) {
+	c := NewLRU[int](4)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprint(i), i)
+	}
+	c.SetCapacity(2)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after shrink, want 2", c.Len())
+	}
+	// The two most recent entries survive.
+	for _, k := range []string{"2", "3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s evicted by shrink; want the most recent kept", k)
+		}
+	}
+	c.SetCapacity(0)
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after disable, want 0", c.Len())
+	}
+	c.Put("x", 1)
+	if _, ok := c.Get("x"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestLRUPurge(t *testing.T) {
+	c := NewLRU[int](4)
+	c.Put("a", 1)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after Purge, want 0", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("purged entry still cached")
+	}
+}
+
+// TestLRUConcurrent hammers the cache from many goroutines; run under
+// -race it proves the mutex covers every path.
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprint((g + i) % 16)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, i)
+				}
+				if i%50 == 0 {
+					c.SetCapacity(4 + (i/50)%8)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > c.Capacity() {
+		t.Errorf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(4, 2)
+	if p.Workers() != 4 {
+		t.Fatalf("Workers = %d, want 4", p.Workers())
+	}
+	var mu sync.Mutex
+	ran := make(map[int]int)
+	for i := 0; i < 100; i++ {
+		p.Submit(func(worker int) {
+			if worker < 0 || worker >= 4 {
+				t.Errorf("worker index %d out of range", worker)
+			}
+			mu.Lock()
+			ran[worker]++
+			mu.Unlock()
+		})
+	}
+	p.Wait()
+	total := 0
+	for _, n := range ran {
+		total += n
+	}
+	if total != 100 {
+		t.Errorf("ran %d tasks, want 100", total)
+	}
+}

@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+
+	"sunder/internal/automata"
+	"sunder/internal/core"
+	"sunder/internal/funcsim"
+	"sunder/internal/telemetry"
+)
+
+// DefaultMinShardCycles is the smallest owned range a shard is planned
+// with: below it, warm-up replay dominates and sequential execution wins.
+const DefaultMinShardCycles = 512
+
+// RunConfig configures a parallel run.
+type RunConfig struct {
+	// Workers caps the number of shard goroutines; <= 0 uses GOMAXPROCS.
+	Workers int
+	// RecordEvents keeps the full report event list (required when the
+	// caller needs matches, not just counts).
+	RecordEvents bool
+	// Collector, when non-nil, aggregates device telemetry across the
+	// workers. Each worker attaches it only after warm-up replay, so the
+	// device_kernel_cycles, device_reports and device_report_cycles
+	// counters sum to exactly the sequential totals; stall, flush and
+	// occupancy instruments reflect per-shard region state and differ from
+	// a sequential run by design.
+	Collector *telemetry.Collector
+	// MinShardCycles overrides DefaultMinShardCycles when > 0.
+	MinShardCycles int64
+}
+
+// RunResult aggregates a parallel run. Reports, ReportCycles,
+// MaxReportsPerCycle, KernelCycles and Events are byte-identical to a
+// sequential core.Machine.Run of the same input. StallCycles, Flushes,
+// Summaries and PerPU are summed across the worker clones — each worker
+// has its own report region filling on the shard's local history (warm-up
+// included), so these device-accounting fields are *not* comparable to a
+// sequential run cycle for cycle.
+type RunResult struct {
+	KernelCycles       int64
+	Reports            int64
+	ReportCycles       int64
+	MaxReportsPerCycle int
+	Events             []funcsim.ReportEvent
+
+	StallCycles int64
+	Flushes     int64
+	Summaries   int64
+	PerPU       []core.PUStats
+
+	// Workers is the number of shards actually executed; WarmupCycles the
+	// total replay overhead across them; OverlapCycles the per-shard
+	// warm-up window (D+1 rounded to the alignment). Sharded is false when
+	// the run fell back to sequential execution: an unbounded dependence
+	// window (cyclic automaton), a single worker, or an input too small to
+	// split profitably.
+	Workers       int
+	WarmupCycles  int64
+	OverlapCycles int64
+	Sharded       bool
+}
+
+// ParallelRun executes units on clones of proto (the machine configured
+// from automaton a) across shard workers and merges the result
+// deterministically: events are concatenated in shard order, which is
+// cycle order, so the merged stream equals the sequential one exactly.
+// proto itself is never stepped — any configured, fault-free machine
+// works, concurrent ParallelRun calls on the same proto included.
+func ParallelRun(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim.Unit, rc RunConfig) *RunResult {
+	cfg := proto.Config()
+	rate := cfg.Rate
+	units = funcsim.PadUnits(units, rate)
+	totalCycles := int64(len(units) / rate)
+	workers := rc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	minOwned := rc.MinShardCycles
+	if minOwned <= 0 {
+		minOwned = DefaultMinShardCycles
+	}
+
+	depth, bounded := DependenceCycles(a)
+	align := alignmentCycles(rate, a.SymbolUnits)
+	overlap := roundUpTo(int64(depth)+1, align)
+
+	var shards []Shard
+	if bounded && workers > 1 {
+		shards = PlanShards(totalCycles, workers, align, overlap, minOwned)
+	}
+	if len(shards) <= 1 {
+		return runSequential(proto, units, rc)
+	}
+
+	outs := make([]shardOut, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = runShard(proto, a, units, shards[i], rc)
+		}(i)
+	}
+	wg.Wait()
+
+	res := &RunResult{
+		KernelCycles:  totalCycles,
+		Workers:       len(shards),
+		OverlapCycles: overlap,
+		Sharded:       true,
+	}
+	nev := 0
+	for i := range outs {
+		nev += len(outs[i].events)
+	}
+	if rc.RecordEvents {
+		res.Events = make([]funcsim.ReportEvent, 0, nev)
+	}
+	for i := range outs {
+		o := &outs[i]
+		res.Events = append(res.Events, o.events...)
+		res.Reports += o.reports
+		res.ReportCycles += o.reportCycles
+		if o.maxPerCycle > res.MaxReportsPerCycle {
+			res.MaxReportsPerCycle = o.maxPerCycle
+		}
+		res.StallCycles += o.stallCycles
+		res.Flushes += o.flushes
+		res.Summaries += o.summaries
+		res.WarmupCycles += o.warmup
+		if res.PerPU == nil {
+			res.PerPU = o.perPU
+		} else {
+			addPerPU(res.PerPU, o.perPU)
+		}
+	}
+	return res
+}
+
+// runSequential is the fallback path: one clone, the whole input. Its
+// output is trivially identical to core.Machine.Run.
+func runSequential(proto *core.Machine, units []funcsim.Unit, rc RunConfig) *RunResult {
+	m := proto.Clone()
+	if rc.Collector != nil {
+		m.AttachTelemetry(rc.Collector)
+	}
+	r := m.Run(units, core.RunOptions{RecordEvents: rc.RecordEvents})
+	return &RunResult{
+		KernelCycles:       r.KernelCycles,
+		Reports:            r.Reports,
+		ReportCycles:       r.ReportCycles,
+		MaxReportsPerCycle: r.MaxReportsPerCycle,
+		Events:             r.Events,
+		StallCycles:        r.StallCycles,
+		Flushes:            r.Flushes,
+		Summaries:          r.Summaries,
+		PerPU:              m.PerPU(),
+		Workers:            1,
+	}
+}
+
+type shardOut struct {
+	events       []funcsim.ReportEvent
+	reports      int64
+	reportCycles int64
+	maxPerCycle  int
+	stallCycles  int64
+	flushes      int64
+	summaries    int64
+	warmup       int64
+	perPU        []core.PUStats
+}
+
+type dedupKey struct {
+	offset uint8
+	origin int32
+}
+
+// runShard replays the shard's warm-up prefix silently, then executes the
+// owned range, reproducing core.Machine.Run's per-cycle (offset, origin)
+// deduplication so the emitted events match the sequential stream exactly.
+func runShard(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim.Unit, sh Shard, rc RunConfig) shardOut {
+	m := proto.Clone()
+	rate := m.Config().Rate
+	if sh.BaseCycle > 0 {
+		// Local cycle zero is mid-stream: anchored states must stay quiet.
+		// When the warm-up clamps to the input start the replay *is* the
+		// sequential prefix and start-of-data injection stays live.
+		m.SuppressStartOfData(true)
+	}
+	var scratch []automata.StateID
+	for c := sh.BaseCycle; c < sh.StartCycle; c++ {
+		off := int(c) * rate
+		scratch = m.Step(units[off:off+rate], scratch[:0])
+	}
+
+	var telReports, telReportCycles *telemetry.Counter
+	if rc.Collector != nil {
+		// Post-warm-up attach: the shared counters see owned cycles only,
+		// so worker sums equal sequential totals (see RunConfig.Collector).
+		m.AttachTelemetry(rc.Collector)
+		telReports = rc.Collector.Counter(core.MetricReports)
+		telReportCycles = rc.Collector.Counter(core.MetricReportCycles)
+	}
+
+	out := shardOut{warmup: sh.WarmupCycles()}
+	seen := make(map[dedupKey]bool)
+	for c := sh.StartCycle; c < sh.EndCycle; c++ {
+		off := int(c) * rate
+		scratch = m.Step(units[off:off+rate], scratch[:0])
+		if len(scratch) == 0 {
+			continue
+		}
+		clear(seen)
+		nrep := 0
+		for _, id := range scratch {
+			for _, r := range a.States[id].Reports {
+				k := dedupKey{offset: r.Offset, origin: r.Origin}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				nrep++
+				if rc.RecordEvents {
+					out.events = append(out.events, funcsim.ReportEvent{
+						Cycle:  c,
+						Unit:   c*int64(rate) + int64(r.Offset),
+						State:  id,
+						Code:   r.Code,
+						Origin: r.Origin,
+					})
+				}
+			}
+		}
+		out.reportCycles++
+		out.reports += int64(nrep)
+		if nrep > out.maxPerCycle {
+			out.maxPerCycle = nrep
+		}
+		if telReports != nil {
+			telReports.Add(int64(nrep))
+			telReportCycles.Inc()
+		}
+	}
+	out.stallCycles = m.StallCycles()
+	out.flushes = m.Flushes()
+	out.summaries = m.Summaries()
+	out.perPU = m.PerPU()
+	return out
+}
+
+func addPerPU(dst, src []core.PUStats) {
+	for i := range dst {
+		dst[i].ReportEntries += src[i].ReportEntries
+		dst[i].StrideMarkers += src[i].StrideMarkers
+		dst[i].Flushes += src[i].Flushes
+		dst[i].Summaries += src[i].Summaries
+		dst[i].StallCycles += src[i].StallCycles
+		if src[i].PeakOccupancy > dst[i].PeakOccupancy {
+			dst[i].PeakOccupancy = src[i].PeakOccupancy
+		}
+		dst[i].Occupancy += src[i].Occupancy
+	}
+}

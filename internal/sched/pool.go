@@ -1,0 +1,50 @@
+package sched
+
+import "sync"
+
+// Pool is a bounded worker pool for many independent jobs: a fixed set of
+// worker goroutines drains a bounded queue, and Submit blocks while the
+// queue is full — backpressure toward the producer instead of unbounded
+// buffering. Each task receives its worker's index, so callers can pin
+// per-worker state (a machine clone, scratch buffers) without locking.
+type Pool struct {
+	tasks   chan func(worker int)
+	wg      sync.WaitGroup
+	workers int
+}
+
+// NewPool starts a pool of workers goroutines (minimum 1) over a queue
+// holding up to queue pending tasks (0 = fully synchronous hand-off).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(int), queue), workers: workers}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func(id int) {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task(id)
+			}
+		}(i)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit enqueues one task, blocking while the queue is full. Submitting
+// after Wait panics: the pool is done.
+func (p *Pool) Submit(task func(worker int)) { p.tasks <- task }
+
+// Wait closes the queue and blocks until every submitted task has run.
+// The pool cannot be reused afterwards.
+func (p *Pool) Wait() {
+	close(p.tasks)
+	p.wg.Wait()
+}

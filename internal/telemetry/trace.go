@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // EventKind classifies one traced device event.
@@ -59,9 +60,13 @@ type Event struct {
 const DefaultTraceCapacity = 1 << 20
 
 // Tracer buffers device events up to a fixed capacity, counting drops
-// beyond it. It is single-writer, like the Machine that feeds it;
-// snapshots (Events, the Write* methods) must not race with recording.
+// beyond it. It is goroutine-safe: parallel shard workers sharing one
+// collector record through the same tracer, and snapshots (Events, the
+// Write* methods) may run concurrently with recording. Note that under
+// concurrent recording the interleaving of events from different workers
+// is nondeterministic (each worker's own events stay in order).
 type Tracer struct {
+	mu      sync.Mutex
 	events  []Event
 	cap     int
 	dropped int64
@@ -78,23 +83,42 @@ func NewTracer(capacity int) *Tracer {
 
 // Record buffers one event, or counts it dropped when full.
 func (t *Tracer) Record(ev Event) {
+	t.mu.Lock()
 	if len(t.events) >= t.cap {
 		t.dropped++
-		return
+	} else {
+		t.events = append(t.events, ev)
 	}
-	t.events = append(t.events, ev)
+	t.mu.Unlock()
 }
 
-// Events returns the buffered events (not a copy).
-func (t *Tracer) Events() []Event { return t.events }
+// Events returns a snapshot copy of the buffered events.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
 
 // Dropped returns the number of events discarded after the buffer filled.
-func (t *Tracer) Dropped() int64 { return t.dropped }
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
 
 // Reset drops all buffered events and the drop count.
 func (t *Tracer) Reset() {
+	t.mu.Lock()
 	t.events = t.events[:0]
 	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// snapshot returns the buffered events for the Write* methods.
+func (t *Tracer) snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
 }
 
 // WriteJSONL writes one JSON object per event:
@@ -105,7 +129,7 @@ func (t *Tracer) Reset() {
 // jq / pandas for stall-timeline analysis.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, ev := range t.events {
+	for _, ev := range t.snapshot() {
 		if _, err := fmt.Fprintf(bw, "{\"cycle\":%d,\"pu\":%d,\"kind\":%q,\"stall\":%d,\"occ\":%d}\n",
 			ev.Cycle, ev.PU, ev.Kind.String(), ev.Stall, ev.Occ); err != nil {
 			return err
@@ -141,7 +165,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		return err
 	}
 	seenPU := map[int32]bool{}
-	for _, ev := range t.events {
+	for _, ev := range t.snapshot() {
 		if !seenPU[ev.PU] {
 			seenPU[ev.PU] = true
 			if err := emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"PU %d"}}`,

@@ -1,0 +1,188 @@
+package sunder
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// The tests in this file are concurrency hammers: they are meaningful
+// under `go test -race` (CI runs them so), and double as functional
+// checks — every concurrent result must still equal the sequential one.
+
+// TestScanParallelConcurrent runs many ScanParallel calls on one engine at
+// once; all must agree with the sequential reference.
+func TestScanParallelConcurrent(t *testing.T) {
+	eng, err := Compile([]Pattern{
+		{Expr: "abcab", Code: 1},
+		{Expr: "b[cd]a", Code: 2},
+	}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("abcabdca"), 3000)
+	want, err := eng.Scan(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				got, err := eng.ScanParallel(input, ScanOptions{Workers: 1 + (g+i)%4})
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				sameScan(t, fmt.Sprint("goroutine ", g), got, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestScanBatchConcurrent overlaps two batch scans on one engine.
+func TestScanBatchConcurrent(t *testing.T) {
+	eng, err := Compile([]Pattern{{Expr: "abca", Code: 1}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]byte, 16)
+	for i := range inputs {
+		inputs[i] = bytes.Repeat([]byte("xabcay"), 100+50*i)
+	}
+	wants := make([]*ScanResult, len(inputs))
+	for i, in := range inputs {
+		w, err := eng.Scan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, err := eng.ScanBatch(inputs, ScanOptions{Workers: 4, BatchSize: 2})
+			if err != nil {
+				t.Errorf("batch %d: %v", g, err)
+				return
+			}
+			for i := range inputs {
+				sameScan(t, fmt.Sprintf("batch %d input %d", g, i), got[i], wants[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentStreamsOnClones drives one stream per engine clone from
+// separate goroutines — the documented pattern for concurrent streaming.
+func TestConcurrentStreamsOnClones(t *testing.T) {
+	eng, err := Compile([]Pattern{{Expr: "abab", Code: 1}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("abab"), 2000)
+	want, err := eng.Scan(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			clone := eng.Clone()
+			var matches int
+			s, err := clone.NewStream(func(Match) { matches++ })
+			if err != nil {
+				t.Errorf("stream %d: %v", g, err)
+				return
+			}
+			// Feed in ragged chunks to exercise the pending buffer.
+			for off := 0; off < len(input); {
+				n := 7 + (g+off)%93
+				if off+n > len(input) {
+					n = len(input) - off
+				}
+				if _, err := s.Write(input[off : off+n]); err != nil {
+					t.Errorf("stream %d: %v", g, err)
+					return
+				}
+				off += n
+			}
+			st := s.Close()
+			if int64(matches) != want.Stats.Reports || st.Reports != want.Stats.Reports {
+				t.Errorf("stream %d: %d matches / %d reports, want %d",
+					g, matches, st.Reports, want.Stats.Reports)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestTelemetryAggregationConcurrent checks the counter contract under
+// maximum contention: concurrent parallel scans on a shared collector,
+// with metric and trace snapshots racing against them.
+func TestTelemetryAggregationConcurrent(t *testing.T) {
+	eng, err := Compile([]Pattern{{Expr: "abcab", Code: 1}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("abcab"), 2000)
+	want, err := eng.Scan(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry(TelemetryOptions{Trace: true, TraceCapacity: 1 << 12})
+	eng.SetTelemetry(tel)
+	tel.Reset() // drop anything the reference scan recorded
+
+	const scans = 6
+	var wg sync.WaitGroup
+	for g := 0; g < scans; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := eng.ScanParallel(input, ScanOptions{Workers: 4}); err != nil {
+				t.Errorf("scan %d: %v", g, err)
+			}
+		}(g)
+	}
+	// Snapshot concurrently with the scans: must not race or crash.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := tel.WriteMetrics(io.Discard); err != nil {
+				t.Errorf("WriteMetrics: %v", err)
+			}
+			if err := tel.WriteTraceJSONL(io.Discard); err != nil {
+				t.Errorf("WriteTraceJSONL: %v", err)
+			}
+			tel.TraceEvents()
+		}
+	}()
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := tel.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for metric, per := range map[string]int64{
+		"device_kernel_cycles": want.Stats.KernelCycles,
+		"device_reports":       want.Stats.Reports,
+		"device_report_cycles": want.Stats.ReportCycles,
+	} {
+		wantLine := fmt.Sprintf("%s %d\n", metric, per*scans)
+		if !bytes.Contains(buf.Bytes(), []byte(wantLine)) {
+			t.Errorf("metrics missing %q (aggregation across workers off)\n%s", wantLine, buf.String())
+		}
+	}
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Benchmark regression harness for the parallel scan path.
+#
+# Records the workers-vs-speedup scaling study as machine-readable JSON
+# (BENCH_parallel.json, or $1) and smoke-runs the parallel-scan and
+# compile-cache microbenchmarks. Set BENCHTIME (e.g. 5x, 2s) for real
+# measurements; the default 1x only proves the benches still run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_parallel.json}"
+go run ./cmd/sunder-bench -par -json > "$out"
+echo "wrote $out"
+
+go test -run '^$' -bench 'ScanParallel|CompileCache' -benchtime "${BENCHTIME:-1x}" .

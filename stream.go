@@ -49,6 +49,10 @@ type streamKey struct {
 // NewStream resets the engine and returns a streaming scanner. onMatch may
 // be nil if only the final Stats are of interest. The returned error is
 // non-nil only when a fault policy is armed and its guard cannot be built.
+//
+// A stream drives the engine's shared machine, so one engine supports one
+// stream at a time; for concurrent streams, open each on its own
+// Engine.Clone — clones share the compiled artifacts, so this is cheap.
 func (e *Engine) NewStream(onMatch func(Match)) (*Stream, error) {
 	s := &Stream{eng: e, onMatch: onMatch, seen: make(map[streamKey]bool)}
 	if e.injector != nil {

@@ -119,12 +119,23 @@ type ScanResult struct {
 }
 
 // Engine is a compiled rule set configured on the simulated device.
+//
+// An engine owns one simulated machine, and the sequential entry points
+// (Scan, NewStream, Summarize) reset and mutate it — they must not run
+// concurrently on the same engine. ScanParallel and ScanBatch never touch
+// the shared machine (workers run on clones of the pristine compile
+// artifact), so any number of them may run concurrently with each other;
+// use Clone to get independent engines for concurrent sequential use.
 type Engine struct {
 	opts    Options
 	byteNFA *automata.Automaton
 	nibble  *automata.UnitAutomaton
 	machine *core.Machine
-	place   *mapping.Placement
+	// proto is the never-executed machine produced at compile time; the
+	// parallel paths clone workers from it (cloning e.machine would race
+	// with sequential scans mutating it).
+	proto *core.Machine
+	place *mapping.Placement
 	// faultPol/injector are armed by SetFaultPolicy; with an injector set,
 	// scans run under the fault-recovery guard.
 	faultPol *faults.Policy
@@ -184,7 +195,7 @@ func fromByteNFA(nfa *automata.Automaton, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m, place: place}, nil
+	return &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m, proto: m.Clone(), place: place}, nil
 }
 
 // Scan resets the engine and runs input through the device, returning every

@@ -3,6 +3,7 @@ package sunder
 import (
 	"io"
 
+	"sunder/internal/core"
 	"sunder/internal/telemetry"
 )
 
@@ -20,8 +21,12 @@ type TelemetryOptions struct {
 // Telemetry is a device observability collector: per-PU counters, a
 // report-region occupancy histogram and (optionally) a cycle-level event
 // trace. Attach it to an Engine with SetTelemetry; it accumulates across
-// scans until Reset. Counters may be snapshotted concurrently with a
-// running scan; trace emission must not race with one.
+// scans until Reset. Counters and the trace may be snapshotted
+// concurrently with running scans, and parallel scan workers aggregate
+// into the same instruments: after a ScanParallel, device_kernel_cycles,
+// device_reports and device_report_cycles equal the sequential totals
+// exactly, while the stall/flush/occupancy instruments reflect per-shard
+// region state (see ScanParallel).
 type Telemetry struct {
 	col *telemetry.Collector
 }
@@ -120,7 +125,11 @@ type PUStats struct {
 // Reset/Scan. Summing any field across the slice reproduces the
 // corresponding aggregate in Stats.
 func (e *Engine) PerPU() []PUStats {
-	per := e.machine.PerPU()
+	return toPUStats(e.machine.PerPU())
+}
+
+// toPUStats converts the core per-PU counters to the public type.
+func toPUStats(per []core.PUStats) []PUStats {
 	out := make([]PUStats, len(per))
 	for i, p := range per {
 		out[i] = PUStats{
