@@ -10,6 +10,7 @@
 //	sunder-bench -ablations      # ablation studies only
 //	sunder-bench -par            # parallel scaling study (workers vs speedup)
 //	sunder-bench -par -json > BENCH_parallel.json
+//	sunder-bench -prune          # dead-state pruning study (footprint + output equality)
 //	sunder-bench -faults match=1e-4,report=1e-4,stuck=2,seed=1
 //	sunder-bench -scale 0.05 -input 50000
 //	sunder-bench -table 4 -metrics -trace /tmp/t4.json -cpuprofile cpu.out
@@ -23,6 +24,7 @@ import (
 
 	"sunder/internal/cliutil"
 	"sunder/internal/exp"
+	"sunder/internal/workload"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 		scale      = flag.Float64("scale", 0, "override benchmark scale (0,1]")
 		inputLen   = flag.Int("input", 0, "override input length in bytes")
 		jsonOut    = flag.Bool("json", false, "emit every table and figure as JSON instead of text")
+		prune      = flag.Bool("prune", false, "run the dead-state pruning study across all benchmarks")
+		pruneRate  = flag.Int("prunerate", 4, "processing rate for the -prune study (1,2,4)")
 		telFlags   = cliutil.RegisterTelemetryFlags()
 		faultFlags = cliutil.RegisterFaultFlags()
 		parFlags   = cliutil.RegisterParallelFlags()
@@ -83,6 +87,18 @@ func main() {
 		scalingWorkers = []int{parFlags.Workers}
 	}
 	if *jsonOut {
+		if *prune {
+			rows, err := exp.PruningStudy(opts, workload.Names(), *pruneRate)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := &exp.Results{Options: opts, Pruning: rows}
+			if err := res.WriteJSON(out); err != nil {
+				log.Fatal(err)
+			}
+			finish()
+			return
+		}
 		if parFlags.Enabled() {
 			rows, err := exp.ScalingStudy(opts, scalingNames, scalingWorkers)
 			if err != nil {
@@ -112,7 +128,7 @@ func main() {
 	// The fault study runs only when a policy is given (like -ablations
 	// and the -par scaling study, it is excluded from the default
 	// everything run).
-	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled() && !parFlags.Enabled()
+	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled() && !parFlags.Enabled() && !*prune
 
 	var t4 []exp.Table4Row
 	needT4 := runAll || *table == 4 || *fig == 8
@@ -202,6 +218,19 @@ func main() {
 		}
 		exp.FprintScalingStudy(out, rows)
 		fmt.Fprintln(out)
+	}
+	if *prune {
+		rows, err := exp.PruningStudy(opts, workload.Names(), *pruneRate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintPruningStudy(out, rows)
+		fmt.Fprintln(out)
+		for _, r := range rows {
+			if !r.OutputOK {
+				log.Fatalf("pruning changed the output of %s at rate %d", r.Name, r.Rate)
+			}
+		}
 	}
 	if faultFlags.Enabled() {
 		pol, err := faultFlags.Policy()

@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"sunder/internal/analysis"
 	"sunder/internal/automata"
 	"sunder/internal/cliutil"
 	"sunder/internal/mapping"
@@ -40,6 +41,7 @@ func main() {
 		rate     = flag.Int("rate", 4, "target processing rate in nibbles/cycle (1,2,4)")
 		dotDir   = flag.String("dot", "", "write Graphviz DOT files for each stage into this directory")
 		demo     = flag.Bool("demo", false, "run the Figure 3 walkthrough (language A|BC)")
+		anFlags  = cliutil.RegisterAnalysisFlags()
 		profiles = cliutil.ProfileFlags()
 	)
 	flag.Var(&patterns, "pattern", "pattern to compile (repeatable)")
@@ -112,6 +114,23 @@ func main() {
 		label := fmt.Sprintf("%d-bit (%d nibbles)", 4*ua.Rate, ua.Rate)
 		show(label, ua.NumStates(), ua.NumEdges(), ua.NumReportStates())
 		stages[fmt.Sprintf("rate%d", ua.Rate)] = ua
+	}
+
+	if anFlags.Prune {
+		res := analysis.Prune(ua)
+		label := fmt.Sprintf("pruned (-%d states)", res.Removed())
+		show(label, ua.NumStates(), ua.NumEdges(), ua.NumReportStates())
+		fmt.Printf("    %d unreachable, %d useless, %d never-match, %d subsumed; %d report rows freed\n",
+			res.Unreachable, res.Useless, res.NeverMatch, res.Subsumed, res.ReportRowsFreed)
+	}
+
+	if anFlags.Lint {
+		rep := analysis.Analyze(ua, analysis.Options{Source: nfa})
+		fmt.Printf("\nstatic analysis:\n")
+		rep.WriteText(os.Stdout)
+		if err := rep.Err(); err != nil {
+			log.Fatalf("analysis failed: %v", err)
+		}
 	}
 
 	if d, bounded := sched.DependenceCycles(ua); bounded {

@@ -8,15 +8,26 @@
 //	sunder-gen -out ./suite                    # all benchmarks, default scale
 //	sunder-gen -out ./suite -workers 8         # generate benchmarks in parallel
 //	sunder-gen -out ./suite -benchmark Snort -scale 0.1 -input 100000
+//	sunder-gen -check                          # verify every benchmark, write nothing
+//
+// -check generates every benchmark in memory, compiles it to the device
+// rate, and runs the static IR analyzer (structure, liveness, nibble-chain
+// consistency, capacity, shard safety, differential equivalence against the
+// byte automaton on the benchmark's own input). Violations are printed as
+// structured diagnostics and the tool exits non-zero — CI runs this as a
+// gate on the generator suite.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"sunder/internal/analysis"
 	"sunder/internal/cliutil"
 	"sunder/internal/sched"
+	"sunder/internal/transform"
 	"sunder/internal/workload"
 )
 
@@ -28,6 +39,8 @@ func main() {
 		name     = flag.String("benchmark", "", "generate one benchmark (default: all)")
 		scale    = flag.Float64("scale", workload.DefaultScale, "benchmark scale (0,1]")
 		inputLen = flag.Int("input", workload.DefaultInputLen, "input length in bytes")
+		check    = flag.Bool("check", false, "run the static analyzer on every generated benchmark instead of writing files")
+		rate     = flag.Int("rate", 4, "processing rate used by -check (1,2,4)")
 		parFlags = cliutil.RegisterParallelFlags()
 		profiles = cliutil.ProfileFlags()
 	)
@@ -42,6 +55,21 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+
+	if *check {
+		names := workload.Names()
+		if *name != "" {
+			names = []string{*name}
+		}
+		if code := checkAll(names, *scale, *inputLen, *rate, parFlags); code != 0 {
+			// Flush profiles before the hard exit.
+			if err := stopProfiles(); err != nil {
+				log.Print(err)
+			}
+			os.Exit(code)
+		}
+		return
+	}
 
 	if *name != "" {
 		w, err := workload.Get(*name, *scale, *inputLen)
@@ -82,4 +110,77 @@ func main() {
 	}
 	fmt.Printf("wrote %d benchmarks to %s (scale %g, %d-byte inputs)\n",
 		len(workload.Names()), *out, *scale, *inputLen)
+}
+
+// checkAll generates each named benchmark, compiles it to the device rate
+// and analyzes the result; findings (warning or worse) are printed as
+// structured diagnostics. Returns a non-zero exit code on any finding or
+// generation failure.
+func checkAll(names []string, scale float64, inputLen, rate int, parFlags *cliutil.ParallelFlags) int {
+	type result struct {
+		findings []analysis.Diagnostic
+		info     string
+		err      error
+	}
+	results := make([]result, len(names))
+	checkOne := func(i int) {
+		n := names[i]
+		w, err := workload.Get(n, scale, inputLen)
+		if err != nil {
+			results[i].err = err
+			return
+		}
+		ua, err := transform.ToRate(w.Automaton, rate)
+		if err != nil {
+			results[i].err = fmt.Errorf("%s: compile to rate %d: %w", n, rate, err)
+			return
+		}
+		rep := analysis.Analyze(ua, analysis.Options{Source: w.Automaton, EquivSample: w.Input})
+		results[i].findings = rep.Findings(analysis.SevWarn)
+		results[i].info = fmt.Sprintf("%-18s %6d states, %4d report states, window %v: ok (%d prunable)",
+			n, rep.States, rep.ReportStates, windowLabel(rep), rep.Prunable())
+	}
+	if parFlags.Enabled() {
+		pool := sched.NewPool(parFlags.EffectiveWorkers(), len(names))
+		for i := range names {
+			i := i
+			pool.Submit(func(int) { checkOne(i) })
+		}
+		pool.Wait()
+	} else {
+		for i := range names {
+			checkOne(i)
+		}
+	}
+	bad := 0
+	for i, n := range names {
+		r := results[i]
+		switch {
+		case r.err != nil:
+			fmt.Printf("%-18s FAILED: %v\n", n, r.err)
+			bad++
+		case len(r.findings) > 0:
+			fmt.Printf("%-18s %d finding(s):\n", n, len(r.findings))
+			for _, d := range r.findings {
+				fmt.Printf("  %s\n", d)
+			}
+			bad++
+		default:
+			fmt.Println(r.info)
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("\n%d of %d benchmarks failed the analyzer gate\n", bad, len(names))
+		return 1
+	}
+	fmt.Printf("\nall %d benchmarks pass the analyzer gate (rate %d, scale %g)\n", len(names), rate, scale)
+	return 0
+}
+
+// windowLabel formats the shard-safety classification.
+func windowLabel(rep *analysis.Report) string {
+	if rep.Bounded {
+		return fmt.Sprintf("%d", rep.DependenceWindow)
+	}
+	return "unbounded"
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sunder"
+	"sunder/internal/analysis"
 	"sunder/internal/automata"
 	"sunder/internal/cliutil"
 	"sunder/internal/core"
@@ -44,6 +45,7 @@ func main() {
 		rate       = flag.Int("rate", 4, "processing rate in nibbles/cycle (1,2,4)")
 		fifo       = flag.Bool("fifo", true, "enable the FIFO report drain")
 		summarize  = flag.Bool("summarize", false, "summarize on full instead of flushing")
+		anFlags    = cliutil.RegisterAnalysisFlags()
 		telFlags   = cliutil.RegisterTelemetryFlags()
 		faultFlags = cliutil.RegisterFaultFlags()
 		parFlags   = cliutil.RegisterParallelFlags()
@@ -95,6 +97,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if anFlags.Prune {
+		pres := analysis.Prune(ua)
+		fmt.Printf("\npruned %d dead state(s) (%d unreachable, %d useless, %d never-match, %d subsumed), %d report rows freed\n",
+			pres.Removed(), pres.Unreachable, pres.Useless, pres.NeverMatch, pres.Subsumed, pres.ReportRowsFreed)
+	}
 	cfg := core.DefaultConfig(*rate)
 	cfg.FIFO = *fifo
 	cfg.SummarizeOnFull = *summarize
@@ -110,6 +117,19 @@ func main() {
 	m, err := core.Configure(ua, place, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if anFlags.Lint {
+		rep := analysis.Analyze(ua, analysis.Options{
+			Source:        w.Automaton,
+			Placement:     place,
+			ReportColumns: cfg.ReportColumns,
+			EquivSample:   w.Input,
+		})
+		fmt.Printf("\nstatic analysis:\n")
+		rep.WriteText(os.Stdout)
+		if err := rep.Err(); err != nil {
+			log.Fatalf("analysis failed: %v", err)
+		}
 	}
 	col := telFlags.Collector()
 	m.AttachTelemetry(col)

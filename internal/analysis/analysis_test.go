@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"sunder/internal/automata"
+	"sunder/internal/mapping"
+	"sunder/internal/regex"
+	"sunder/internal/transform"
+	"sunder/internal/workload"
+)
+
+// nib builds a nibble automaton (UnitBits 4, SymbolUnits 2) at the given
+// rate from a state list.
+func nib(rate int, states ...automata.UnitState) *automata.UnitAutomaton {
+	a := automata.NewUnitAutomaton(4, rate, 2)
+	a.States = states
+	a.Normalize()
+	return a
+}
+
+// full returns the don't-care nibble set.
+func full() automata.UnitSet { return automata.AllUnits(4) }
+
+func hasDiag(r *Report, pass string, sev Severity, frag string) bool {
+	for _, d := range r.Diags {
+		if d.Pass == pass && d.Sev == sev && strings.Contains(d.Msg, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeRejectsInvalidStructure(t *testing.T) {
+	a := nib(1,
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Start: automata.StartAllInput, Succ: []automata.StateID{5}},
+	)
+	r := Analyze(a, Options{})
+	if r.Err() == nil || !hasDiag(r, "structure", SevError, "invalid automaton") {
+		t.Fatalf("expected structure error, got %+v", r.Diags)
+	}
+}
+
+func TestLivenessClassification(t *testing.T) {
+	// s0(start) -> s1(report); s2 unreachable; s0 -> s3 useless.
+	a := nib(1,
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Start: automata.StartAllInput, Succ: []automata.StateID{1, 3}},
+		automata.UnitState{Match: [4]automata.UnitSet{0x0002}, Reports: []automata.Report{{Offset: 0, Code: 1, Origin: 1}}},
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Succ: []automata.StateID{1}},
+		automata.UnitState{Match: [4]automata.UnitSet{0x0004}},
+	)
+	r := Analyze(a, Options{})
+	if r.Unreachable != 1 || r.Useless != 1 || r.NeverMatch != 0 {
+		t.Fatalf("got unreachable=%d useless=%d nevermatch=%d", r.Unreachable, r.Useless, r.NeverMatch)
+	}
+	if r.Prunable() != 2 {
+		t.Fatalf("prunable = %d, want 2", r.Prunable())
+	}
+	if r.Err() != nil {
+		t.Fatalf("liveness findings must be advisory, got %v", r.Err())
+	}
+}
+
+func TestChainPassMixedPhase(t *testing.T) {
+	// s0(start, phase 0) -> s1 (phase 1) and s0 -> s2, s1 -> s2: s2 is
+	// reachable at both phases — a hi/lo nibble chain mix.
+	a := nib(1,
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Start: automata.StartOfData, Succ: []automata.StateID{1, 2}},
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Succ: []automata.StateID{2}},
+		automata.UnitState{Match: [4]automata.UnitSet{0x0001}, Reports: []automata.Report{{Offset: 0, Code: 1, Origin: 1}}},
+	)
+	r := Analyze(a, Options{})
+	if !hasDiag(r, "chain", SevError, "multiple symbol phases") {
+		t.Fatalf("expected mixed-phase error, got %+v", r.Diags)
+	}
+}
+
+func TestChainPassMidSymbolReport(t *testing.T) {
+	// A high-nibble (phase 0) state reporting at offset 0 ends mid-symbol.
+	a := nib(1,
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Start: automata.StartAllInput,
+			Reports: []automata.Report{{Offset: 0, Code: 1, Origin: 1}}},
+	)
+	r := Analyze(a, Options{})
+	if !hasDiag(r, "chain", SevError, "ends mid-symbol") {
+		t.Fatalf("expected mid-symbol report error, got %+v", r.Diags)
+	}
+}
+
+func TestChainPassResidualTail(t *testing.T) {
+	// Residual with a report at offset 1 but a constraining position 3:
+	// a match ending mid-vector would be suppressed by the tail.
+	a := nib(4,
+		automata.UnitState{
+			Match:   [4]automata.UnitSet{0x0001, 0x0002, full(), 0x0004},
+			Start:   automata.StartAllInput,
+			Reports: []automata.Report{{Offset: 1, Code: 1, Origin: 1}},
+		},
+	)
+	r := Analyze(a, Options{})
+	if !hasDiag(r, "chain", SevError, "not don't-care") {
+		t.Fatalf("expected residual-tail error, got %+v", r.Diags)
+	}
+}
+
+func TestReportCodeCoherence(t *testing.T) {
+	a := nib(1,
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Start: automata.StartAllInput, Succ: []automata.StateID{1, 2}},
+		automata.UnitState{Match: [4]automata.UnitSet{0x0001}, Reports: []automata.Report{{Offset: 0, Code: 1, Origin: 9}}},
+		automata.UnitState{Match: [4]automata.UnitSet{0x0002}, Reports: []automata.Report{{Offset: 0, Code: 2, Origin: 9}}},
+	)
+	r := Analyze(a, Options{})
+	if !hasDiag(r, "reportcode", SevWarn, "order-dependent") {
+		t.Fatalf("expected report-code warning, got %+v", r.Diags)
+	}
+}
+
+func TestCapacityOversizedComponent(t *testing.T) {
+	// A single chain longer than a cluster cannot be placed.
+	n := mapping.StatesPerCluster + 1
+	states := make([]automata.UnitState, n)
+	for i := range states {
+		states[i].Match = [4]automata.UnitSet{full()}
+		if i == 0 {
+			states[i].Start = automata.StartOfData
+		}
+		if i < n-1 {
+			states[i].Succ = []automata.StateID{automata.StateID(i + 1)}
+		} else {
+			states[i].Reports = []automata.Report{{Offset: 0, Code: 1, Origin: 1}}
+		}
+	}
+	r := Analyze(nib(1, states...), Options{})
+	if !hasDiag(r, "capacity", SevError, "exceeds cluster capacity") {
+		t.Fatalf("expected capacity error, got %+v", r.Diags)
+	}
+}
+
+func TestVerifyPlacement(t *testing.T) {
+	a := nib(1,
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Start: automata.StartAllInput, Succ: []automata.StateID{1}},
+		automata.UnitState{Match: [4]automata.UnitSet{0x0002}, Reports: []automata.Report{{Offset: 0, Code: 1, Origin: 1}}},
+	)
+	place, err := mapping.Place(a, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Analyze(a, Options{Placement: place}); r.Err() != nil {
+		t.Fatalf("valid placement rejected: %v", r.Err())
+	}
+
+	// Report state outside the report region.
+	bad := *place
+	bad.Of = append([]mapping.Loc(nil), place.Of...)
+	bad.Of[1] = mapping.Loc{PU: 0, Col: 1}
+	if r := Analyze(a, Options{Placement: &bad}); !hasDiag(r, "placement", SevError, "outside the report region") {
+		t.Fatalf("expected report-region error, got %+v", r.Diags)
+	}
+
+	// Edge crossing clusters.
+	cross := *place
+	cross.Of = append([]mapping.Loc(nil), place.Of...)
+	cross.NumPUs = mapping.PUsPerCluster + 1
+	cross.Of[1] = mapping.Loc{PU: mapping.PUsPerCluster, Col: mapping.StatesPerPU - 1}
+	if r := Analyze(a, Options{Placement: &cross}); !hasDiag(r, "placement", SevError, "crosses clusters") {
+		t.Fatalf("expected cross-cluster error, got %+v", r.Diags)
+	}
+}
+
+func TestShardClassification(t *testing.T) {
+	acyclic := nib(1,
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Start: automata.StartAllInput, Succ: []automata.StateID{1}},
+		automata.UnitState{Match: [4]automata.UnitSet{0x0002}, Reports: []automata.Report{{Offset: 0, Code: 1, Origin: 1}}},
+	)
+	if r := Analyze(acyclic, Options{}); !r.Bounded || r.DependenceWindow != 1 {
+		t.Fatalf("got bounded=%v window=%d, want bounded window 1", r.Bounded, r.DependenceWindow)
+	}
+	cyclic := nib(1,
+		automata.UnitState{Match: [4]automata.UnitSet{full()}, Start: automata.StartAllInput, Succ: []automata.StateID{0, 1}},
+		automata.UnitState{Match: [4]automata.UnitSet{0x0002}, Reports: []automata.Report{{Offset: 0, Code: 1, Origin: 1}}},
+	)
+	if r := Analyze(cyclic, Options{}); r.Bounded {
+		t.Fatal("cyclic automaton classified as bounded")
+	}
+}
+
+func TestEquivalenceCatchesMiscompile(t *testing.T) {
+	nfa := regex.MustCompile(`abc`, 7)
+	ua, err := transform.ToRate(nfa, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Analyze(ua, Options{Source: nfa}); r.Err() != nil {
+		t.Fatalf("correct compile flagged: %v", r.Err())
+	}
+	// Drop a report: the transformed automaton now misses matches.
+	bad := ua.Clone()
+	for i := range bad.States {
+		if len(bad.States[i].Reports) > 0 {
+			bad.States[i].Reports = nil
+		}
+	}
+	r := Analyze(bad, Options{Source: nfa, EquivSample: []byte("xxabcxx")})
+	if !hasDiag(r, "equivalence", SevError, "diverges") {
+		t.Fatalf("expected equivalence divergence, got %+v", r.Diags)
+	}
+}
+
+// TestWorkloadsAnalyzeClean is the shipped-tree cleanliness gate: the full
+// compile pipeline must produce zero Error/Warn findings on every
+// benchmark at every rate. CI enforces the same property through
+// `sunder-gen -check`.
+func TestWorkloadsAnalyzeClean(t *testing.T) {
+	for _, name := range workload.Names() {
+		w, err := workload.Get(name, workload.DefaultScale, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rate := range []int{1, 2, 4} {
+			ua, err := transform.ToRate(w.Automaton, rate)
+			if err != nil {
+				t.Fatalf("%s rate %d: %v", name, rate, err)
+			}
+			r := Analyze(ua, Options{Source: w.Automaton, EquivSample: w.Input})
+			if f := r.Findings(SevWarn); len(f) > 0 {
+				t.Errorf("%s rate %d: %d finding(s), first: %s", name, rate, len(f), f[0])
+			}
+		}
+	}
+}

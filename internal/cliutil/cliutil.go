@@ -130,6 +130,26 @@ func (p *ParallelFlags) EffectiveWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// AnalysisFlags carries the -lint/-prune flag values for the static
+// automaton analyzer.
+type AnalysisFlags struct {
+	// Lint runs the IR analyzer over the compiled automaton and prints
+	// its report; error-severity findings make the tool exit non-zero.
+	Lint bool
+	// Prune removes dead states (unreachable, useless, never-matching,
+	// subsumed) before placement.
+	Prune bool
+}
+
+// RegisterAnalysisFlags registers -lint and -prune on the default flag
+// set.
+func RegisterAnalysisFlags() *AnalysisFlags {
+	a := &AnalysisFlags{}
+	flag.BoolVar(&a.Lint, "lint", false, "run the static IR analyzer on the compiled automaton and print its report")
+	flag.BoolVar(&a.Prune, "prune", false, "prune dead automaton states (unreachable, useless, never-matching, subsumed) before placement")
+	return a
+}
+
 // FaultFlags carries the -faults flag value: a fault-injection policy
 // written as a comma-separated k=v list.
 type FaultFlags struct {

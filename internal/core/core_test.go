@@ -380,3 +380,22 @@ func TestConfigureErrors(t *testing.T) {
 		t.Error("budget mismatch accepted")
 	}
 }
+
+// TestConfigureZeroStates: pruning can legally empty a machine whose
+// patterns never match; the device must configure and run without reports
+// rather than fault on the degenerate geometry.
+func TestConfigureZeroStates(t *testing.T) {
+	ua := automata.NewUnitAutomaton(4, 1, 2)
+	place, err := mapping.Place(ua, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Configure(ua, place, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(funcsim.BytesToUnits([]byte("abc"), 4), RunOptions{RecordEvents: true})
+	if res.Reports != 0 || len(res.Events) != 0 {
+		t.Fatalf("empty machine reported: %+v", res)
+	}
+}

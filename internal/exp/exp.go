@@ -86,6 +86,26 @@ func buildMachineUA(w *workload.Workload, rate int, cfg core.Config, tel *teleme
 	return mach, ua, nil
 }
 
+// configureFrom places and configures a machine from an already-transformed
+// unit automaton (the pruning study transforms once and prunes a copy, so
+// re-transforming as buildMachine does would discard the pruning).
+func configureFrom(w *workload.Workload, ua *automata.UnitAutomaton, cfg core.Config) (*core.Machine, error) {
+	m, err := mapping.AutoReportColumns(ua, cfg.ReportColumns)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Spec.Name, err)
+	}
+	cfg.ReportColumns = m
+	place, err := mapping.Place(ua, cfg.ReportColumns)
+	if err != nil {
+		return nil, fmt.Errorf("%s: place: %w", w.Spec.Name, err)
+	}
+	mach, err := core.Configure(ua, place, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: configure: %w", w.Spec.Name, err)
+	}
+	return mach, nil
+}
+
 // fprintf writes, ignoring errors — the runners print to a caller-supplied
 // sink where short writes are the caller's concern.
 func fprintf(w io.Writer, format string, args ...any) {

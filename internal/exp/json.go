@@ -20,6 +20,9 @@ type Results struct {
 	// Scaling is populated by the -par study only (like the ablations, it
 	// is excluded from CollectAll).
 	Scaling []ScalingRow `json:"scaling,omitempty"`
+	// Pruning is populated by the -prune study only (excluded from
+	// CollectAll).
+	Pruning []PruningRow `json:"pruning,omitempty"`
 }
 
 // CollectAll runs every table and figure and bundles the rows.

@@ -1,0 +1,396 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// determinism: deterministic simulation packages must not import wall-clock
+// or randomness packages. Reproducibility of every simulation, test and
+// recorded table depends on it; seeded randomness lives in the workload
+// generators and the fault injector, which are outside the set.
+
+func lintDeterminism(fset *token.FileSet, p *Package, cfg Config) []Finding {
+	if !cfg.DeterministicPkgs[p.Path] {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, banned := range cfg.BannedImports {
+				if path == banned {
+					out = append(out, Finding{
+						Pos:  fset.Position(imp.Pos()),
+						Rule: "determinism",
+						Msg:  fmt.Sprintf("deterministic package %s imports %q; simulation behaviour must be a pure function of its inputs", p.Path, path),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// nocopy: structs that contain (transitively) a sync lock, a sync/atomic
+// typed value, or another lock-bearing struct must never be passed, returned
+// or method-bound by value — copying a telemetry.Tracer's mutex or a
+// Counter's atomic.Int64 silently forks its state.
+
+// syncNocopy and atomicNocopy are the seed types of the index.
+var syncNocopy = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true, "Once": true,
+}
+var atomicNocopy = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true, "Uint64": true,
+	"Uintptr": true, "Value": true, "Pointer": true,
+}
+
+// structDef records one struct declaration's field types together with the
+// file's import table, so cross-package field types resolve by name.
+type structDef struct {
+	fields  []ast.Expr
+	imports map[string]string // local name -> import path
+}
+
+// buildNocopyIndex computes the set of qualified struct names
+// ("importpath.Type") that must not be copied, to a fixpoint over
+// by-value field embedding.
+func buildNocopyIndex(pkgs []*Package) map[string]bool {
+	defs := map[string]structDef{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			imports := importTable(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				var fields []ast.Expr
+				for _, fl := range st.Fields.List {
+					fields = append(fields, fl.Type)
+				}
+				defs[p.Path+"."+ts.Name.Name] = structDef{fields: fields, imports: imports}
+				return true
+			})
+		}
+	}
+	nocopy := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for name, def := range defs {
+			if nocopy[name] {
+				continue
+			}
+			pkgPath := name[:strings.LastIndex(name, ".")]
+			for _, ft := range def.fields {
+				if typeIsNocopy(ft, pkgPath, def.imports, nocopy) {
+					nocopy[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return nocopy
+}
+
+// typeIsNocopy reports whether a by-value field of this type carries
+// nocopy state. Pointers, slices, maps, channels and funcs share rather
+// than copy, so they stop the propagation.
+func typeIsNocopy(t ast.Expr, pkgPath string, imports map[string]string, nocopy map[string]bool) bool {
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return nocopy[pkgPath+"."+tt.Name]
+	case *ast.SelectorExpr:
+		x, ok := tt.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch imports[x.Name] {
+		case "sync":
+			return syncNocopy[tt.Sel.Name]
+		case "sync/atomic":
+			return atomicNocopy[tt.Sel.Name]
+		default:
+			return nocopy[imports[x.Name]+"."+tt.Sel.Name]
+		}
+	case *ast.ArrayType:
+		return typeIsNocopy(tt.Elt, pkgPath, imports, nocopy)
+	case *ast.StructType:
+		for _, fl := range tt.Fields.List {
+			if typeIsNocopy(fl.Type, pkgPath, imports, nocopy) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// importTable maps each file's local import names to import paths.
+func importTable(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = path
+	}
+	return out
+}
+
+func lintNocopy(fset *token.FileSet, p *Package, nocopy map[string]bool) []Finding {
+	var out []Finding
+	check := func(t ast.Expr, imports map[string]string, what, fn string) {
+		var qual string
+		switch tt := t.(type) {
+		case *ast.Ident:
+			qual = p.Path + "." + tt.Name
+		case *ast.SelectorExpr:
+			x, ok := tt.X.(*ast.Ident)
+			if !ok {
+				return
+			}
+			qual = imports[x.Name] + "." + tt.Sel.Name
+		default:
+			return
+		}
+		if nocopy[qual] {
+			out = append(out, Finding{
+				Pos:  fset.Position(t.Pos()),
+				Rule: "nocopy",
+				Msg:  fmt.Sprintf("%s of %s passes lock-bearing type %s by value; use a pointer", what, fn, qual),
+			})
+		}
+	}
+	for _, f := range p.Files {
+		imports := importTable(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil {
+				for _, r := range fd.Recv.List {
+					check(r.Type, imports, "receiver", fd.Name.Name)
+				}
+			}
+			if fd.Type.Params != nil {
+				for _, par := range fd.Type.Params.List {
+					check(par.Type, imports, "parameter", fd.Name.Name)
+				}
+			}
+			if fd.Type.Results != nil {
+				for _, res := range fd.Type.Results.List {
+					check(res.Type, imports, "result", fd.Name.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// faulthook: the fault layer is optional — m.flt is nil on machines without
+// an armed policy — so every `.flt.hook` access must be dominated by a nil
+// check: either inside an `if x.flt != nil { ... }` body or after an
+// `if x.flt == nil { return }` early exit in the same function.
+
+type posRange struct{ lo, hi token.Pos }
+
+func lintFaultHook(fset *token.FileSet, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guards := faultGuardRanges(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "hook" {
+					return true
+				}
+				inner, ok := sel.X.(*ast.SelectorExpr)
+				if !ok || inner.Sel.Name != "flt" {
+					return true
+				}
+				for _, g := range guards {
+					if sel.Pos() >= g.lo && sel.Pos() < g.hi {
+						return true
+					}
+				}
+				out = append(out, Finding{
+					Pos:  fset.Position(sel.Pos()),
+					Rule: "faulthook",
+					Msg:  fmt.Sprintf("fault-hook access in %s is not guarded by a `flt != nil` check", fd.Name.Name),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// faultGuardRanges collects the position ranges within fd where `.flt` is
+// known non-nil.
+func faultGuardRanges(fd *ast.FuncDecl) []posRange {
+	var out []posRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		op, found := fltNilComparison(ifs.Cond)
+		if !found {
+			return true
+		}
+		switch {
+		case op == token.NEQ:
+			// if x.flt != nil { <guarded> }
+			out = append(out, posRange{lo: ifs.Body.Pos(), hi: ifs.Body.End()})
+		case op == token.EQL && bodyDiverts(ifs.Body):
+			// if x.flt == nil { return } — guarded until the function ends.
+			// (Approximating the enclosing block with the function body is
+			// conservative in the safe direction only for straight-line
+			// code, which is how the machine uses this pattern.)
+			out = append(out, posRange{lo: ifs.End(), hi: fd.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// fltNilComparison finds a `<expr>.flt ==/!= nil` comparison anywhere in a
+// condition and returns its operator.
+func fltNilComparison(cond ast.Expr) (token.Token, bool) {
+	var op token.Token
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+			return true
+		}
+		if isFltSelector(be.X) && isNil(be.Y) || isFltSelector(be.Y) && isNil(be.X) {
+			op, found = be.Op, true
+			return false
+		}
+		return true
+	})
+	return op, found
+}
+
+func isFltSelector(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "flt"
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// bodyDiverts reports whether a block's last statement leaves the function
+// (return or panic).
+func bodyDiverts(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// atomicfield: a plain field passed to sync/atomic (`atomic.AddInt64(&x.f,
+// …)`) is an atomic variable from then on; mixing in direct reads or writes
+// of the same field is a data race the race detector only catches when the
+// schedule cooperates. The repository convention is typed atomics
+// (atomic.Int64 fields), which this rule leaves alone; it exists to keep
+// legacy-style plain-field atomics from creeping in.
+//
+// Resolution is by field name within the package — precise enough here,
+// since the convention bans the pattern outright.
+
+func lintAtomicField(fset *token.FileSet, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		atomicName := ""
+		for local, path := range importTable(f) {
+			if path == "sync/atomic" {
+				atomicName = local
+			}
+		}
+		if atomicName == "" {
+			continue
+		}
+		// Pass 1: fields handed to atomic.* by address, and the selector
+		// nodes that constitute those legitimate accesses.
+		atomicFields := map[string]bool{}
+		allowed := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if x, ok := fun.X.(*ast.Ident); !ok || x.Name != atomicName {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := un.X.(*ast.SelectorExpr); ok {
+					atomicFields[sel.Sel.Name] = true
+					allowed[sel] = true
+				}
+			}
+			return true
+		})
+		if len(atomicFields) == 0 {
+			continue
+		}
+		// Pass 2: any other access to those fields in this file.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !atomicFields[sel.Sel.Name] || allowed[sel] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(sel.Pos()),
+				Rule: "atomicfield",
+				Msg:  fmt.Sprintf("field %s is used with sync/atomic elsewhere; access it only through atomic operations (or use a typed atomic field)", sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}

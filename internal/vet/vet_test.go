@@ -1,0 +1,185 @@
+package vet
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// parsePkg turns source snippets into a Package for rule tests.
+func parsePkg(t *testing.T, fset *token.FileSet, path string, srcs ...string) *Package {
+	t.Helper()
+	p := &Package{Path: path}
+	for i, src := range srcs {
+		f, err := parser.ParseFile(fset, path+"/file"+string(rune('a'+i))+".go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	return p
+}
+
+func lintOne(t *testing.T, path, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	p := parsePkg(t, fset, path, src)
+	return Lint(fset, []*Package{p}, DefaultConfig())
+}
+
+func byRule(fs []Finding, rule string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestDeterminismBansTimeInSimPackages(t *testing.T) {
+	src := `package core
+import "time"
+var t0 = time.Now()
+`
+	fs := byRule(lintOne(t, "sunder/internal/core", src), "determinism")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, `"time"`) {
+		t.Fatalf("got %v, want one determinism finding", fs)
+	}
+	// The same import is fine outside the deterministic set.
+	if fs := byRule(lintOne(t, "sunder/internal/telemetry", src), "determinism"); len(fs) != 0 {
+		t.Fatalf("telemetry flagged: %v", fs)
+	}
+}
+
+func TestDeterminismBansMathRand(t *testing.T) {
+	src := `package transform
+import "math/rand"
+var r = rand.Int()
+`
+	if fs := byRule(lintOne(t, "sunder/internal/transform", src), "determinism"); len(fs) != 1 {
+		t.Fatalf("got %v, want one finding", fs)
+	}
+}
+
+func TestNocopyFlagsValueReceiverAndParam(t *testing.T) {
+	src := `package telemetry
+import "sync"
+type Tracer struct {
+	mu sync.Mutex
+	n  int
+}
+func (t Tracer) Bad() {}
+func (t *Tracer) Good() {}
+func Use(t Tracer) {}
+func Make() Tracer { return Tracer{} }
+`
+	fs := byRule(lintOne(t, "sunder/internal/telemetry", src), "nocopy")
+	if len(fs) != 3 {
+		t.Fatalf("got %d findings %v, want 3 (receiver, param, result)", len(fs), fs)
+	}
+}
+
+func TestNocopyPropagatesThroughFieldsAndArrays(t *testing.T) {
+	src := `package a
+import "sync/atomic"
+type Counter struct { n atomic.Int64 }
+type Bank struct { slots [4]Counter }
+type Safe struct { c *Counter }
+func Copy(b Bank) {}
+func Ptr(s Safe) {}
+`
+	fs := byRule(lintOne(t, "sunder/internal/a", src), "nocopy")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "Bank") {
+		t.Fatalf("got %v, want one finding on Bank (pointer field does not propagate)", fs)
+	}
+}
+
+func TestNocopyCrossPackage(t *testing.T) {
+	fset := token.NewFileSet()
+	lib := parsePkg(t, fset, "sunder/internal/telemetry", `package telemetry
+import "sync"
+type Tracer struct { mu sync.Mutex }
+`)
+	use := parsePkg(t, fset, "sunder/internal/app", `package app
+import "sunder/internal/telemetry"
+func Run(tr telemetry.Tracer) {}
+`)
+	fs := byRule(Lint(fset, []*Package{lib, use}, DefaultConfig()), "nocopy")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "telemetry.Tracer") {
+		t.Fatalf("got %v, want one cross-package finding", fs)
+	}
+}
+
+func TestFaultHookGuardDiscipline(t *testing.T) {
+	src := `package core
+type hooks struct{ hook func() }
+type M struct{ flt *hooks }
+func (m *M) guarded() {
+	if m.flt != nil {
+		m.flt.hook()
+	}
+}
+func (m *M) early() {
+	if m.flt == nil {
+		return
+	}
+	m.flt.hook()
+}
+func (m *M) bad() {
+	m.flt.hook()
+}
+`
+	fs := byRule(lintOne(t, "sunder/internal/core", src), "faulthook")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "bad") {
+		t.Fatalf("got %v, want exactly the unguarded access in bad()", fs)
+	}
+}
+
+func TestAtomicFieldMixedAccess(t *testing.T) {
+	src := `package a
+import "sync/atomic"
+type C struct{ n int64 }
+func (c *C) Inc() { atomic.AddInt64(&c.n, 1) }
+func (c *C) Racy() int64 { return c.n }
+`
+	fs := byRule(lintOne(t, "sunder/internal/a", src), "atomicfield")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "n is used with sync/atomic") {
+		t.Fatalf("got %v, want one atomicfield finding", fs)
+	}
+}
+
+func TestAtomicFieldTypedAtomicsClean(t *testing.T) {
+	src := `package a
+import "sync/atomic"
+type C struct{ n atomic.Int64 }
+func (c *C) Inc() { c.n.Add(1) }
+func (c *C) Get() int64 { return c.n.Load() }
+`
+	if fs := byRule(lintOne(t, "sunder/internal/a", src), "atomicfield"); len(fs) != 0 {
+		t.Fatalf("typed atomics flagged: %v", fs)
+	}
+}
+
+// TestRepositoryIsClean self-lints the module: the shipped tree must have
+// zero findings, since CI runs sunder-vet as a hard gate.
+func TestRepositoryIsClean(t *testing.T) {
+	_, here, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(here)))
+	pkgs, fset, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; wrong root?", len(pkgs), root)
+	}
+	for _, f := range Lint(fset, pkgs, DefaultConfig()) {
+		t.Errorf("%s", f)
+	}
+}

@@ -184,43 +184,43 @@ func rareWorkload(a *automata.Automaton, rng *rand.Rand, s Spec, inputLen int, p
 	return &Workload{Automaton: a, Input: plan.build(rng, inputLen)}
 }
 
-func genBrill(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
-	return suffixWorkload(s, rng, scale, inputLen, 8)
+func genBrill(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
+	return suffixWorkload(s, rng, scale, inputLen, 8), nil
 }
 
-func genBro217(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
-	return suffixWorkload(s, rng, scale, inputLen, 2)
+func genBro217(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
+	return suffixWorkload(s, rng, scale, inputLen, 2), nil
 }
 
-func genProtomata(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
-	return suffixWorkload(s, rng, scale, inputLen, 10)
+func genProtomata(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
+	return suffixWorkload(s, rng, scale, inputLen, 10), nil
 }
 
-func genTCP(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
-	return suffixWorkload(s, rng, scale, inputLen, 2)
+func genTCP(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
+	return suffixWorkload(s, rng, scale, inputLen, 2), nil
 }
 
-func genFermi(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
-	return suffixWorkload(s, rng, scale, inputLen, 3)
+func genFermi(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
+	return suffixWorkload(s, rng, scale, inputLen, 3), nil
 }
 
-func genPowerEN(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
-	return suffixWorkload(s, rng, scale, inputLen, 2)
+func genPowerEN(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
+	return suffixWorkload(s, rng, scale, inputLen, 2), nil
 }
 
-func genRandomForest(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
-	return suffixWorkload(s, rng, scale, inputLen, 8)
+func genRandomForest(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
+	return suffixWorkload(s, rng, scale, inputLen, 8), nil
 }
 
-func genEntityResolution(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
-	return suffixWorkload(s, rng, scale, inputLen, 4)
+func genEntityResolution(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
+	return suffixWorkload(s, rng, scale, inputLen, 4), nil
 }
 
 // genDotstar builds the Dotstar03/06/09 benchmarks: literal patterns where
 // the given fraction contains a ".*" gap; one or two occurrences are
 // planted in the whole stream.
-func genDotstar(dotFrac float64) func(Spec, *rand.Rand, float64, int) *Workload {
-	return func(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
+func genDotstar(dotFrac float64) func(Spec, *rand.Rand, float64, int) (*Workload, error) {
+	return func(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
 		a := automata.NewAutomaton()
 		rs := scaled(s.PaperReportStates, scale)
 		perPattern := s.PaperStates / s.PaperReportStates
@@ -244,11 +244,11 @@ func genDotstar(dotFrac float64) func(Spec, *rand.Rand, float64, int) *Workload 
 				appendLiteral(a, lit, int32(i+1))
 			}
 		}
-		return rareWorkload(a, rng, s, inputLen, plants)
+		return rareWorkload(a, rng, s, inputLen, plants), nil
 	}
 }
 
-func genExactMatch(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
+func genExactMatch(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
 	a := automata.NewAutomaton()
 	rs := scaled(s.PaperReportStates, scale)
 	perPattern := s.PaperStates / s.PaperReportStates
@@ -260,13 +260,13 @@ func genExactMatch(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workloa
 			plants = append(plants, lit)
 		}
 	}
-	return rareWorkload(a, rng, s, inputLen, plants)
+	return rareWorkload(a, rng, s, inputLen, plants), nil
 }
 
 // genRanges builds Ranges05/Ranges1: the given fraction of pattern
 // positions use character ranges instead of single symbols.
-func genRanges(rangeFrac float64) func(Spec, *rand.Rand, float64, int) *Workload {
-	return func(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
+func genRanges(rangeFrac float64) func(Spec, *rand.Rand, float64, int) (*Workload, error) {
+	return func(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
 		a := automata.NewAutomaton()
 		rs := scaled(s.PaperReportStates, scale)
 		perPattern := s.PaperStates / s.PaperReportStates
@@ -297,11 +297,11 @@ func genRanges(rangeFrac float64) func(Spec, *rand.Rand, float64, int) *Workload
 				plants = append(plants, lit)
 			}
 		}
-		return rareWorkload(a, rng, s, inputLen, plants)
+		return rareWorkload(a, rng, s, inputLen, plants), nil
 	}
 }
 
-func genClamAV(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
+func genClamAV(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
 	a := automata.NewAutomaton()
 	rs := scaled(s.PaperReportStates, scale)
 	perPattern := s.PaperStates / s.PaperReportStates
@@ -309,14 +309,14 @@ func genClamAV(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
 		appendLiteral(a, randColdLiteral(rng, perPattern), int32(i+1))
 	}
 	plan := inputPlan{}
-	return &Workload{Automaton: a, Input: plan.build(rng, inputLen)}
+	return &Workload{Automaton: a, Input: plan.build(rng, inputLen)}, nil
 }
 
 // genSnort reproduces report-almost-every-cycle behaviour: three hot
 // one-position class patterns whose classes cover 79%, 61% and 29% of the
 // background distribution (expected reports/cycle ≈ 1.7, report-cycle
 // fraction ≈ 94%), plus cold ballast carrying the remaining states.
-func genSnort(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
+func genSnort(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
 	a := automata.NewAutomaton()
 	hots := []bitvec.V256{
 		classOf(backgroundAlphabet[:30]),   // A-Z, 0-3  → p≈0.79
@@ -343,7 +343,7 @@ func genSnort(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
 	}
 	appendColdBallast(a, rng, ballast, length, 2, 1000)
 	plan := inputPlan{}
-	return &Workload{Automaton: a, Input: plan.build(rng, inputLen)}
+	return &Workload{Automaton: a, Input: plan.build(rng, inputLen)}, nil
 }
 
 func classOf(bytes []byte) bitvec.V256 {

@@ -111,15 +111,16 @@ func BuildLevenshtein(q []byte, d int, code int32) (*automata.Automaton, error) 
 
 // meshWorkload assembles W widgets and plants a few near-matches.
 func meshWorkload(s Spec, rng *rand.Rand, scale float64, inputLen int,
-	build func(q []byte, code int32) (*automata.Automaton, error), mutate func(*rand.Rand, []byte) []byte, patLen int) *Workload {
+	build func(q []byte, code int32) (*automata.Automaton, error), mutate func(*rand.Rand, []byte) []byte, patLen int) (*Workload, error) {
 
 	// Calibrate widget count from one probe widget. Widget construction
 	// fails only on invalid (pattern, distance) arguments; patLen and d are
 	// compile-time constants of the generator, so a failure here is a bug
-	// in the generator table, not an input condition — panic with context.
+	// in the generator table — surfaced as a structured error so callers
+	// (sunder-gen -check, the analyzer gate) can report it as a diagnostic.
 	probe, err := build(randPlantLiteral(rng, patLen), 0)
 	if err != nil {
-		panic(fmt.Sprintf("workload: %s probe widget (patLen %d): %v", s.Name, patLen, err))
+		return nil, fmt.Errorf("%s probe widget (patLen %d): %w", s.Name, patLen, err)
 	}
 	perRS := probe.NumReportStates()
 	if perRS < 1 {
@@ -136,17 +137,17 @@ func meshWorkload(s Spec, rng *rand.Rand, scale float64, inputLen int,
 		widget, err := build(q, int32(w*10))
 		if err != nil {
 			// Same invariant as the probe: constant arguments cannot fail.
-			panic(fmt.Sprintf("workload: %s widget %d (pattern %q): %v", s.Name, w, q, err))
+			return nil, fmt.Errorf("%s widget %d (pattern %q): %w", s.Name, w, q, err)
 		}
 		a.Union(widget)
 		if len(plants) < 4 {
 			plants = append(plants, mutate(rng, q))
 		}
 	}
-	return rareWorkload(a, rng, s, inputLen, plants)
+	return rareWorkload(a, rng, s, inputLen, plants), nil
 }
 
-func genHamming(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
+func genHamming(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
 	const d, patLen = 2, 51
 	build := func(q []byte, code int32) (*automata.Automaton, error) {
 		return BuildHamming(q, d, code)
@@ -161,7 +162,7 @@ func genHamming(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
 	return meshWorkload(s, rng, scale, inputLen, build, mutate, patLen)
 }
 
-func genLevenshtein(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
+func genLevenshtein(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
 	const d, patLen = 3, 12
 	build := func(q []byte, code int32) (*automata.Automaton, error) {
 		return BuildLevenshtein(q, d, code)

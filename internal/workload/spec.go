@@ -47,8 +47,11 @@ type Spec struct {
 	PaperReports      int64
 	PaperReportCycles int64
 
-	// gen builds the workload at the requested scale.
-	gen func(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload
+	// gen builds the workload at the requested scale. A non-nil error
+	// means the generator's own construction failed (e.g. a widget
+	// builder rejected its arguments) — a generator-table bug surfaced
+	// as a structured diagnostic rather than a panic.
+	gen func(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error)
 }
 
 // PaperReportCycleFraction returns the published report-cycle percentage
@@ -152,7 +155,10 @@ func Get(name string, scale float64, inputLen int) (*Workload, error) {
 			continue
 		}
 		rng := rand.New(rand.NewSource(seedFor(name)))
-		w := s.gen(s, rng, scale, inputLen)
+		w, err := s.gen(s, rng, scale, inputLen)
+		if err != nil {
+			return nil, fmt.Errorf("workload: generator for %s failed: %w", name, err)
+		}
 		w.Spec = s
 		w.Automaton.Normalize()
 		if err := w.Automaton.Validate(); err != nil {

@@ -18,7 +18,7 @@ import (
 // every ~29 bytes) and cold patterns with never-occurring triggers; items
 // come from the background alphabet so the hot group warms up within a few
 // hundred input bytes.
-func genSPM(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
+func genSPM(s Spec, rng *rand.Rand, scale float64, inputLen int) (*Workload, error) {
 	a := automata.NewAutomaton()
 	rs := scaled(s.PaperReportStates, scale)
 	burst := burstScaled(s.PaperBurst(), rs)
@@ -45,5 +45,5 @@ func genSPM(s Spec, rng *rand.Rand, scale float64, inputLen int) *Workload {
 		period = int(1e6/float64(s.PaperReportCycles) + 0.5)
 	}
 	plan := inputPlan{rotation: [][]byte{{hotTrigger}}, period: period}
-	return &Workload{Automaton: a, Input: plan.build(rng, inputLen)}
+	return &Workload{Automaton: a, Input: plan.build(rng, inputLen)}, nil
 }

@@ -10,6 +10,23 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_parallel.json}"
 go run ./cmd/sunder-bench -par -json > "$out"
+test -s "$out" || { echo "bench.sh: $out is empty" >&2; exit 1; }
 echo "wrote $out"
 
-go test -run '^$' -bench 'ScanParallel|CompileCache' -benchtime "${BENCHTIME:-1x}" .
+# `go test -bench` exits 0 even when individual benchmarks fail to match or
+# a FAIL line slips through under -run '^$'; capture the output and check
+# explicitly so a silent regression cannot pass the harness.
+bench_out="$(go test -run '^$' -bench 'ScanParallel|CompileCache' -benchtime "${BENCHTIME:-1x}" . 2>&1)" || {
+  echo "$bench_out"
+  echo "bench.sh: go test -bench failed" >&2
+  exit 1
+}
+echo "$bench_out"
+if grep -q '^FAIL' <<<"$bench_out"; then
+  echo "bench.sh: benchmark run reported FAIL" >&2
+  exit 1
+fi
+if ! grep -q '^Benchmark' <<<"$bench_out"; then
+  echo "bench.sh: no benchmarks matched the pattern" >&2
+  exit 1
+fi

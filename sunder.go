@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 
+	"sunder/internal/analysis"
 	"sunder/internal/automata"
 	"sunder/internal/core"
 	"sunder/internal/faults"
@@ -68,6 +69,10 @@ type Options struct {
 	// summarization for applications that only need "has this rule
 	// fired" information.
 	SummarizeOnFull bool
+	// Prune removes dead states (unreachable, useless, never-matching,
+	// subsumed) from the compiled automaton before placement, shrinking
+	// the mapped footprint without changing the scan output.
+	Prune bool
 }
 
 // DefaultOptions returns the paper's default configuration: 16-bit
@@ -140,6 +145,8 @@ type Engine struct {
 	// scans run under the fault-recovery guard.
 	faultPol *faults.Policy
 	injector *faults.Injector
+	// pruned counts the dead states removed at compile time (Options.Prune).
+	pruned int
 }
 
 // Compile builds an Engine from a pattern set.
@@ -173,6 +180,10 @@ func fromByteNFA(nfa *automata.Automaton, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var pruned int
+	if opts.Prune {
+		pruned = analysis.Prune(ua).Removed()
+	}
 	cfg := core.DefaultConfig(opts.Rate)
 	if opts.ReportColumns > 0 {
 		cfg.ReportColumns = opts.ReportColumns
@@ -195,7 +206,20 @@ func fromByteNFA(nfa *automata.Automaton, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m, proto: m.Clone(), place: place}, nil
+	return &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m, proto: m.Clone(), place: place, pruned: pruned}, nil
+}
+
+// Analyze runs the static IR analyzer over the engine's compiled automaton
+// and placement, cross-checking against the source byte automaton on the
+// given sample (may be nil). The report is advisory; a compiled engine has
+// already passed the structural checks Configure enforces.
+func (e *Engine) Analyze(sample []byte) *analysis.Report {
+	return analysis.Analyze(e.nibble, analysis.Options{
+		Source:        e.byteNFA,
+		Placement:     e.place,
+		ReportColumns: e.machine.Config().ReportColumns,
+		EquivSample:   sample,
+	})
 }
 
 // Scan resets the engine and runs input through the device, returning every
@@ -267,6 +291,9 @@ type Info struct {
 	ReportColumns int
 	// RegionCapacity is the per-PU report-entry capacity.
 	RegionCapacity int
+	// PrunedStates is the number of dead states removed at compile time
+	// (zero unless Options.Prune was set).
+	PrunedStates int
 }
 
 // ReportRecord is one decoded entry of the device's report region: the
@@ -321,6 +348,7 @@ func (e *Engine) Info() Info {
 		PUs:            e.machine.NumPUs(),
 		ReportColumns:  e.machine.Config().ReportColumns,
 		RegionCapacity: e.machine.Config().RegionCapacity(),
+		PrunedStates:   e.pruned,
 	}
 }
 
