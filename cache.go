@@ -24,6 +24,10 @@ type compiledArtifact struct {
 	nibble  *automata.UnitAutomaton
 	place   *mapping.Placement
 	proto   *core.Machine
+	// pruned is the dead-state count removed at compile time; engines built
+	// from a hit must report it through Info().PrunedStates like the
+	// original compile did.
+	pruned int
 }
 
 var compileCache = sched.NewLRU[*compiledArtifact](DefaultCompileCacheCapacity)
@@ -45,6 +49,7 @@ func CompileCached(patterns []Pattern, opts Options) (*Engine, error) {
 			machine: art.proto.Clone(),
 			proto:   art.proto,
 			place:   art.place,
+			pruned:  art.pruned,
 		}, nil
 	}
 	eng, err := Compile(patterns, opts)
@@ -57,6 +62,7 @@ func CompileCached(patterns []Pattern, opts Options) (*Engine, error) {
 		nibble:  eng.nibble,
 		place:   eng.place,
 		proto:   eng.proto,
+		pruned:  eng.pruned,
 	})
 	return eng, nil
 }
@@ -88,6 +94,11 @@ func compileKey(patterns []Pattern, opts Options) string {
 	writeInt(int64(opts.MetadataBits))
 	writeBool(opts.FIFO)
 	writeBool(opts.SummarizeOnFull)
+	// Prune changes the compiled automaton (dead states are removed before
+	// placement): a pruned and an unpruned compile must not share an entry.
+	// TestCompileKeyCoversOptions enumerates Options by reflection so a
+	// future compile-affecting field cannot be forgotten here silently.
+	writeBool(opts.Prune)
 	writeInt(int64(len(patterns)))
 	for _, p := range patterns {
 		writeInt(int64(len(p.Expr)))

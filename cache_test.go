@@ -3,6 +3,7 @@ package sunder
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -144,6 +145,217 @@ func TestCompileCachedErrorNotCached(t *testing.T) {
 	}
 	if _, err := CompileCached(bad, DefaultOptions()); err == nil {
 		t.Fatal("second compile of unbalanced group succeeded")
+	}
+}
+
+// prunablePatterns is a rule set on which Options.Prune provably removes
+// states: the `a.` alternative subsumes `ab`, so the `ab` chain is dead.
+func prunablePatterns() []Pattern {
+	return []Pattern{
+		{Expr: `(ab|a.)c`, Code: 1},
+		{Expr: `xy+z`, Code: 2},
+	}
+}
+
+// TestCompileCachedPruneDistinct is the regression test for the
+// compile-key collision: a pruned and an unpruned compile of the same
+// patterns must occupy distinct cache entries. Before the fix,
+// CompileCached(p, {Prune:true}) after CompileCached(p, {Prune:false})
+// returned the unpruned machine.
+func TestCompileCachedPruneDistinct(t *testing.T) {
+	ResetCompileCache()
+	pats := prunablePatterns()
+	unpruned, err := CompileCached(pats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	popts := DefaultOptions()
+	popts.Prune = true
+	pruned, err := CompileCached(pats, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Compile(pats, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Info().PrunedStates == 0 {
+		t.Fatal("test rule set no longer prunes any state; pick a prunable one")
+	}
+	if got, want := pruned.Info().DeviceStates, fresh.Info().DeviceStates; got != want {
+		t.Errorf("cached pruned engine has %d device states, fresh pruned compile has %d (cache key collision)", got, want)
+	}
+	if got, want := pruned.Info().PrunedStates, fresh.Info().PrunedStates; got != want {
+		t.Errorf("cached pruned engine reports %d pruned states, want %d", got, want)
+	}
+	if pruned.Info().DeviceStates >= unpruned.Info().DeviceStates {
+		t.Errorf("pruned engine (%d states) not smaller than unpruned (%d)",
+			pruned.Info().DeviceStates, unpruned.Info().DeviceStates)
+	}
+	// Both configurations are now resident: re-requesting the unpruned one
+	// must hit its own entry, not the pruned machine.
+	again, err := CompileCached(pats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := again.Info().DeviceStates, unpruned.Info().DeviceStates; got != want {
+		t.Errorf("unpruned re-request returned %d device states, want %d", got, want)
+	}
+	if n := CompileCacheInfo().Entries; n != 2 {
+		t.Errorf("Entries = %d, want 2 (pruned and unpruned must not share a slot)", n)
+	}
+	input := bytes.Repeat([]byte("zabcaxcxyyz"), 500)
+	want, err := fresh.Scan(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pruned.Scan(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameScan(t, "cached pruned", got, want)
+}
+
+// TestCompileCachedPrunedStatesOnHitAndClone: Info().PrunedStates survives
+// the cache-hit path and Engine.Clone (both used to drop it to zero).
+func TestCompileCachedPrunedStatesOnHitAndClone(t *testing.T) {
+	ResetCompileCache()
+	popts := DefaultOptions()
+	popts.Prune = true
+	miss, err := CompileCached(prunablePatterns(), popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := miss.Info().PrunedStates
+	if want == 0 {
+		t.Fatal("test rule set no longer prunes any state; pick a prunable one")
+	}
+	hit, err := CompileCached(prunablePatterns(), popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hit.Info().PrunedStates; got != want {
+		t.Errorf("cache hit: Info().PrunedStates = %d, want %d", got, want)
+	}
+	for label, eng := range map[string]*Engine{"miss": miss, "hit": hit} {
+		if got := eng.Clone().Info().PrunedStates; got != want {
+			t.Errorf("%s clone: Info().PrunedStates = %d, want %d", label, got, want)
+		}
+	}
+}
+
+// TestCompileKeyCoversOptions enumerates Options by reflection and asserts
+// that perturbing any single field changes the cache key — the proof
+// obligation of DESIGN.md §4.11: a future compile-affecting Options field
+// that is not hashed into compileKey fails here instead of silently
+// aliasing cache entries (how the Prune bug happened).
+func TestCompileKeyCoversOptions(t *testing.T) {
+	pats := cachePatterns(0)
+	// Base values chosen so every perturbation below lands on a distinct
+	// normalized value (Rate 1→2 avoids the 0→4 default normalization).
+	base := Options{Rate: 1, ReportColumns: 13, MetadataBits: 21}
+	baseKey := compileKey(pats, base)
+	typ := reflect.TypeOf(Options{})
+	for i := 0; i < typ.NumField(); i++ {
+		field := typ.Field(i)
+		o := base
+		fv := reflect.ValueOf(&o).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.Bool:
+			fv.SetBool(!fv.Bool())
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fv.SetInt(fv.Int() + 1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fv.SetUint(fv.Uint() + 1)
+		case reflect.Float32, reflect.Float64:
+			fv.SetFloat(fv.Float() + 1)
+		case reflect.String:
+			fv.SetString(fv.String() + "x")
+		default:
+			t.Fatalf("Options.%s has kind %s this coverage test cannot perturb; hash it in compileKey and teach the test", field.Name, fv.Kind())
+		}
+		if compileKey(pats, o) == baseKey {
+			t.Errorf("compileKey ignores Options.%s: two different configurations would share a cache entry", field.Name)
+		}
+	}
+}
+
+// TestCompileCachedConcurrentMixedPrune hammers the cache from many
+// goroutines with mixed Prune options over a small working set under
+// -race: hit/miss counts must stay consistent, and every returned engine
+// must report the right PrunedStates and scan identically to a fresh
+// compile of the same configuration.
+func TestCompileCachedConcurrentMixedPrune(t *testing.T) {
+	ResetCompileCache()
+	SetCompileCacheCapacity(3) // below the 6-config working set: evict+refill races
+	defer SetCompileCacheCapacity(DefaultCompileCacheCapacity)
+
+	input := bytes.Repeat([]byte("zabcaxcxyyzab0cab1cab2c"), 300)
+	type config struct {
+		pats   []Pattern
+		opts   Options
+		want   *ScanResult
+		pruned int
+	}
+	var configs []config
+	for set := 0; set < 3; set++ {
+		pats := prunablePatterns()
+		pats = append(pats, cachePatterns(set)...)
+		for _, prune := range []bool{false, true} {
+			opts := DefaultOptions()
+			opts.Prune = prune
+			eng, err := Compile(pats, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := eng.Scan(input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			configs = append(configs, config{pats: pats, opts: opts, want: want, pruned: eng.Info().PrunedStates})
+			if prune && eng.Info().PrunedStates == 0 {
+				t.Fatal("pruned config removes no states; the hammer would not distinguish the machines")
+			}
+		}
+	}
+	before := CompileCacheInfo()
+	const goroutines, iters = 8, 12
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c := configs[(g+i)%len(configs)]
+				eng, err := CompileCached(c.pats, c.opts)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if got := eng.Info().PrunedStates; got != c.pruned {
+					t.Errorf("goroutine %d: PrunedStates = %d, want %d (prune=%v)", g, got, c.pruned, c.opts.Prune)
+					return
+				}
+				got, err := eng.Scan(input)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				sameScan(t, fmt.Sprintf("goroutine %d iter %d prune=%v", g, i, c.opts.Prune), got, c.want)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := CompileCacheInfo()
+	lookups := int64(goroutines * iters)
+	if got := (st.Hits - before.Hits) + (st.Misses - before.Misses); got != lookups {
+		t.Errorf("hits+misses = %d, want %d lookups", got, lookups)
+	}
+	if misses := st.Misses - before.Misses; misses < int64(len(configs)) {
+		t.Errorf("misses = %d, want at least one per distinct configuration (%d)", misses, len(configs))
+	}
+	if st.Entries > 3 {
+		t.Errorf("Entries = %d exceeds capacity 3", st.Entries)
 	}
 }
 

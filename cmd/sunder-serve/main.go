@@ -1,0 +1,142 @@
+// sunder-serve runs the network scan service: the Sunder engine behind a
+// stdlib net/http API, serving compiled rule sets for batched and
+// streaming pattern matching (see internal/server and DESIGN.md §4.11).
+//
+// Usage:
+//
+//	sunder-serve                          # serve on 127.0.0.1:8080
+//	sunder-serve -addr :9090 -pool 8      # bigger engine pools
+//	sunder-serve -loadgen                 # drive all 19 benchmark inputs through an in-process server
+//	sunder-serve -loadgen -json > BENCH_serve.json
+//	sunder-serve -loadgen -bench Snort -clients 8 -requests 16
+//
+// Serving endpoints:
+//
+//	PUT    /rulesets/{id}        upload + compile a rule set (JSON: patterns, options)
+//	GET    /rulesets/{id}        compiled info + serving stats
+//	DELETE /rulesets/{id}        remove a rule set
+//	POST   /rulesets/{id}/scan   scan a raw body, or a JSON batch of inputs
+//	POST   /rulesets/{id}/stream chunked body in, NDJSON matches out
+//	GET    /metrics              service + compile-cache + device counters
+//	GET    /debug/pprof/         runtime profiles
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"sunder/internal/cliutil"
+	"sunder/internal/exp"
+	"sunder/internal/loadgen"
+	"sunder/internal/server"
+	"sunder/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sunder-serve: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		pool     = flag.Int("pool", 0, "engine clones per ruleset (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "waiters allowed beyond the pool before shedding 503 (0 = 4x pool, negative = none)")
+		workers  = flag.Int("scanworkers", 0, "worker goroutines per batched/parallel scan (0 = GOMAXPROCS)")
+		maxBody  = flag.Int64("maxbody", 0, "request body cap in bytes (0 = 16MiB)")
+		timeout  = flag.Duration("timeout", 0, "per-scan-request timeout (0 = 30s)")
+		drain    = flag.Duration("drain", 0, "graceful shutdown budget (0 = 10s)")
+		loadgen  = flag.Bool("loadgen", false, "run the load generator against an in-process server instead of serving")
+		benches  = flag.String("bench", "", "loadgen: comma-separated benchmark names (default: all 19)")
+		clients  = flag.Int("clients", 4, "loadgen: concurrent HTTP clients")
+		requests = flag.Int("requests", 4, "loadgen: scan requests per client per benchmark")
+		scale    = flag.Float64("scale", 0, "loadgen: override benchmark scale (0,1]")
+		inputLen = flag.Int("input", 0, "loadgen: override input length in bytes")
+		jsonOut  = flag.Bool("json", false, "loadgen: emit rows as JSON (BENCH_serve.json shape)")
+		profiles = cliutil.ProfileFlags()
+	)
+	flag.Parse()
+
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := server.Config{
+		PoolSize:     *pool,
+		QueueDepth:   *queue,
+		ScanWorkers:  *workers,
+		MaxBodyBytes: *maxBody,
+		ScanTimeout:  *timeout,
+		DrainTimeout: *drain,
+	}
+
+	if *loadgen {
+		if err := runLoadgen(cfg, *benches, *clients, *requests, *scale, *inputLen, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	if err := stopProfiles(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runLoadgen(cfg server.Config, benches string, clients, requests int, scale float64, inputLen int, jsonOut bool) error {
+	opts := exp.DefaultOptions()
+	if scale > 0 {
+		opts.Scale = scale
+	}
+	if inputLen > 0 {
+		opts.InputLen = inputLen
+	}
+	names := workload.Names()
+	if benches != "" {
+		names = nil
+		for _, n := range strings.Split(benches, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	rows, err := loadgen.ServeStudy(opts, names, loadgen.Config{
+		Clients:    clients,
+		Requests:   requests,
+		PoolSize:   cfg.PoolSize,
+		QueueDepth: cfg.QueueDepth,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		res := &exp.Results{Options: opts, Serve: rows}
+		return res.WriteJSON(os.Stdout)
+	}
+	exp.FprintServeStudy(os.Stdout, rows)
+	for _, r := range rows {
+		if !r.OutputOK || !r.StreamOK {
+			return fmt.Errorf("%s: service output diverged from local Scan", r.Name)
+		}
+	}
+	return nil
+}

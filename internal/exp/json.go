@@ -23,6 +23,10 @@ type Results struct {
 	// Pruning is populated by the -prune study only (excluded from
 	// CollectAll).
 	Pruning []PruningRow `json:"pruning,omitempty"`
+	// Serve is populated by `sunder-serve -loadgen` only (excluded from
+	// CollectAll): the network scan service driven over every benchmark
+	// input (BENCH_serve.json).
+	Serve []ServeRow `json:"serve,omitempty"`
 }
 
 // CollectAll runs every table and figure and bundles the rows.

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// ServeRow measures the network scan service on one benchmark's input
+// stream: end-to-end HTTP throughput and latency, with every response
+// checked against a local reference Engine.Scan on the same bytes. Like
+// the scaling study, the measured quantity is host-side service
+// performance (request handling + simulation), not modeled device
+// throughput.
+//
+// Rows are produced by loadgen.ServeStudy; only the row type and its
+// rendering live here so that Results (and BENCH_serve.json) stay in one
+// package without exp importing the facade (the root package's benchmark
+// harness imports exp in-package, so exp must not import sunder back).
+type ServeRow struct {
+	Name     string `json:"name"`
+	Bytes    int    `json:"bytes"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	TotalNS  int64  `json:"total_ns"`
+	// MBps is aggregate scan throughput over the wall clock of the client
+	// phase (all clients together).
+	MBps  float64 `json:"mbps"`
+	P50NS int64   `json:"p50_ns"`
+	P99NS int64   `json:"p99_ns"`
+	// Matches is the per-request match count (identical across requests —
+	// every request scans the same input).
+	Matches int64 `json:"matches"`
+	// OutputOK asserts every batched response, and StreamOK the NDJSON
+	// stream, reproduced the local reference scan match-for-match.
+	OutputOK bool `json:"output_ok"`
+	StreamOK bool `json:"stream_ok"`
+}
+
+// FprintServeStudy renders the serve rows as a table.
+func FprintServeStudy(w io.Writer, rows []ServeRow) {
+	fmt.Fprintf(w, "Network scan service load test (clients x requests per benchmark, checked against local Scan)\n")
+	fmt.Fprintf(w, "%-14s %9s %8s %10s %10s %10s %9s %6s %6s\n",
+		"Benchmark", "Bytes", "Reqs", "MB/s", "p50(ms)", "p99(ms)", "Matches", "Out", "Strm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %9d %8d %10.2f %10.3f %10.3f %9d %6v %6v\n",
+			r.Name, r.Bytes, r.Requests, r.MBps,
+			float64(r.P50NS)/1e6, float64(r.P99NS)/1e6,
+			r.Matches, r.OutputOK, r.StreamOK)
+	}
+}

@@ -1,0 +1,256 @@
+// Package loadgen drives the network scan service (internal/server) with
+// the 19 generated benchmark inputs: the measurement behind
+// `sunder-serve -loadgen` and BENCH_serve.json. It boots an in-process
+// server on a loopback listener, uploads one rule set, and issues
+// concurrent batched-scan and streaming requests whose responses are all
+// checked against a local reference Engine.Scan.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"sunder"
+	"sunder/internal/exp"
+	"sunder/internal/server"
+	"sunder/internal/workload"
+)
+
+// Config sizes the load generation.
+type Config struct {
+	// Clients is the number of concurrent HTTP clients (default 4);
+	// Requests is how many scan requests each client issues per benchmark
+	// (default 4).
+	Clients  int
+	Requests int
+	// PoolSize/QueueDepth configure the server under test (defaults as in
+	// server.Config).
+	PoolSize   int
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 4
+	}
+	return c
+}
+
+// serveRules is the study's rule set: network-signature literals in the
+// paper's motivating NIDS style, a character-class triple dense enough to
+// fire on the benchmarks' alphanumeric input streams (so the equivalence
+// check is never vacuous), and one prunable alternation exercising the
+// Prune-keyed compile cache.
+func serveRules() []server.PatternJSON {
+	return []server.PatternJSON{
+		{Expr: `GET /admin`, Code: 100},
+		{Expr: `/etc/passwd`, Code: 201},
+		{Expr: `[0-3A-Da-d]{3}`, Code: 301},
+		{Expr: `(ab|a.)c`, Code: 7},
+	}
+}
+
+// ServeStudy boots an in-process scan service on a loopback listener,
+// uploads the rule set once, and drives every named benchmark's generated
+// input through POST /scan from concurrent clients, plus one streaming
+// request per benchmark.
+func ServeStudy(opts exp.Options, names []string, cfg Config) ([]exp.ServeRow, error) {
+	cfg = cfg.withDefaults()
+
+	srv := server.New(server.Config{
+		PoolSize:   cfg.PoolSize,
+		QueueDepth: cfg.QueueDepth,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx, ln) }()
+	defer func() {
+		cancel()
+		<-runErr
+	}()
+	base := "http://" + ln.Addr().String()
+
+	ruleReq := server.RulesetRequest{Patterns: serveRules(), Options: &server.OptionsJSON{Prune: true}}
+	if err := putRuleset(base, "loadgen", ruleReq); err != nil {
+		return nil, err
+	}
+	// Local reference engine: the ground truth every response is checked
+	// against. Same cache, same options — byte-identical results required.
+	ref, err := sunder.CompileCached(ruleReq.SunderPatterns(), ruleReq.Options.Options())
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []exp.ServeRow
+	for _, name := range names {
+		w, err := workload.Get(name, opts.Scale, opts.InputLen)
+		if err != nil {
+			return nil, err
+		}
+		want, err := ref.Scan(w.Input)
+		if err != nil {
+			return nil, err
+		}
+		row, err := serveOne(base, "loadgen", w.Input, want.Matches, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		row.Name = name
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func serveOne(base, id string, input []byte, want []sunder.Match, cfg Config) (*exp.ServeRow, error) {
+	row := &exp.ServeRow{
+		Bytes:    len(input),
+		Clients:  cfg.Clients,
+		Requests: cfg.Clients * cfg.Requests,
+		Matches:  int64(len(want)),
+		OutputOK: true,
+	}
+
+	latencies := make([]int64, 0, row.Requests)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Clients)
+	t0 := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < cfg.Requests; r++ {
+				reqStart := time.Now()
+				resp, err := http.Post(base+"/rulesets/"+id+"/scan", "application/octet-stream", bytes.NewReader(input))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out server.ScanResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("scan: HTTP %d", resp.StatusCode)
+					return
+				}
+				lat := time.Since(reqStart).Nanoseconds()
+				ok := len(out.Results) == 1 && sameMatches(out.Results[0].Matches, want)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if !ok {
+					row.OutputOK = false
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	row.TotalNS = time.Since(t0).Nanoseconds()
+	if row.TotalNS < 1 {
+		row.TotalNS = 1
+	}
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	row.P50NS = latencies[len(latencies)/2]
+	row.P99NS = latencies[(len(latencies)*99)/100]
+	row.MBps = float64(len(input)*row.Requests) / 1e6 / (float64(row.TotalNS) / 1e9)
+
+	streamed, err := streamMatches(base, id, input)
+	if err != nil {
+		return nil, err
+	}
+	row.StreamOK = sameMatches(streamed, want)
+	return row, nil
+}
+
+func putRuleset(base, id string, req server.RulesetRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := http.NewRequest(http.MethodPut, base+"/rulesets/"+id, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("put ruleset: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// streamMatches runs one input through the NDJSON streaming endpoint and
+// returns the matches in delivery order.
+func streamMatches(base, id string, input []byte) ([]server.MatchJSON, error) {
+	resp, err := http.Post(base+"/rulesets/"+id+"/stream", "application/octet-stream", bytes.NewReader(input))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stream: HTTP %d", resp.StatusCode)
+	}
+	var out []server.MatchJSON
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev server.StreamEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("stream decode: %w", err)
+		}
+		if ev.Match != nil {
+			out = append(out, *ev.Match)
+		}
+		if ev.Done {
+			if ev.Reason != "" {
+				return nil, fmt.Errorf("stream ended early: %s", ev.Reason)
+			}
+			break
+		}
+	}
+	return out, nil
+}
+
+func sameMatches(got []server.MatchJSON, want []sunder.Match) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i].Position != want[i].Position || got[i].Code != want[i].Code {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+
+	"sunder/internal/exp"
+	"sunder/internal/workload"
+)
+
+// TestServeStudy boots the in-process service and drives two benchmarks'
+// inputs through it with concurrent clients; every response and the
+// stream must reproduce the local reference scan.
+func TestServeStudy(t *testing.T) {
+	opts := exp.DefaultOptions()
+	rows, err := ServeStudy(opts, []string{"Snort", "ExactMatch"}, Config{
+		Clients:  2,
+		Requests: 2,
+		PoolSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	var matched bool
+	for _, r := range rows {
+		if !r.OutputOK {
+			t.Errorf("%s: server responses diverged from local Scan", r.Name)
+		}
+		if !r.StreamOK {
+			t.Errorf("%s: stream diverged from local Scan", r.Name)
+		}
+		if r.Requests != 4 || r.Bytes != opts.InputLen {
+			t.Errorf("%s: unexpected row shape: %+v", r.Name, r)
+		}
+		if r.Matches > 0 {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Error("no benchmark produced matches; the equivalence check is vacuous")
+	}
+
+	var buf bytes.Buffer
+	exp.FprintServeStudy(&buf, rows)
+	if !bytes.Contains(buf.Bytes(), []byte("Snort")) {
+		t.Errorf("table output missing benchmark name:\n%s", buf.String())
+	}
+}
+
+// TestServeStudyUnknownBenchmark surfaces generator errors rather than
+// panicking mid-load.
+func TestServeStudyUnknownBenchmark(t *testing.T) {
+	if _, err := ServeStudy(exp.DefaultOptions(), []string{"NoSuchBench"}, Config{Clients: 1, Requests: 1}); err == nil {
+		t.Fatal("want error for unknown benchmark")
+	}
+	if len(workload.Names()) != 19 {
+		t.Fatalf("workload catalog changed: %d names", len(workload.Names()))
+	}
+}

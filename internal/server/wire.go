@@ -1,0 +1,209 @@
+package server
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"sunder"
+)
+
+// This file defines the service's JSON wire types. They are exported so
+// the load generator (internal/exp.ServeStudy) and external clients can
+// share one schema with the handlers.
+
+// PatternJSON is one rule on the wire.
+type PatternJSON struct {
+	Expr string `json:"expr"`
+	Code int32  `json:"code"`
+}
+
+// OptionsJSON mirrors sunder.Options. FIFO is a pointer so that an absent
+// field keeps the library default (on), matching DefaultOptions.
+type OptionsJSON struct {
+	Rate            int   `json:"rate,omitempty"`
+	ReportColumns   int   `json:"report_columns,omitempty"`
+	MetadataBits    int   `json:"metadata_bits,omitempty"`
+	FIFO            *bool `json:"fifo,omitempty"`
+	SummarizeOnFull bool  `json:"summarize_on_full,omitempty"`
+	Prune           bool  `json:"prune,omitempty"`
+}
+
+// Options resolves the wire form against the library defaults.
+func (o *OptionsJSON) Options() sunder.Options {
+	opts := sunder.DefaultOptions()
+	if o == nil {
+		return opts
+	}
+	if o.Rate != 0 {
+		opts.Rate = o.Rate
+	}
+	if o.ReportColumns != 0 {
+		opts.ReportColumns = o.ReportColumns
+	}
+	if o.MetadataBits != 0 {
+		opts.MetadataBits = o.MetadataBits
+	}
+	if o.FIFO != nil {
+		opts.FIFO = *o.FIFO
+	}
+	opts.SummarizeOnFull = o.SummarizeOnFull
+	opts.Prune = o.Prune
+	return opts
+}
+
+// RulesetRequest is the PUT /rulesets/{id} body.
+type RulesetRequest struct {
+	Patterns []PatternJSON `json:"patterns"`
+	Options  *OptionsJSON  `json:"options,omitempty"`
+}
+
+// SunderPatterns converts the wire patterns to the library type.
+func (r *RulesetRequest) SunderPatterns() []sunder.Pattern {
+	out := make([]sunder.Pattern, len(r.Patterns))
+	for i, p := range r.Patterns {
+		out[i] = sunder.Pattern{Expr: p.Expr, Code: p.Code}
+	}
+	return out
+}
+
+// RulesetInfo is the GET/PUT /rulesets/{id} response: the compiled
+// configuration plus serving statistics.
+type RulesetInfo struct {
+	ID       string        `json:"id"`
+	Patterns int           `json:"patterns"`
+	Options  *OptionsJSON  `json:"options,omitempty"`
+	Info     InfoJSON      `json:"info"`
+	Pool     PoolStatsJSON `json:"pool"`
+	Scans    int64         `json:"scans"`
+	Bytes    int64         `json:"bytes"`
+}
+
+// InfoJSON mirrors sunder.Info.
+type InfoJSON struct {
+	Rate           int `json:"rate"`
+	ByteStates     int `json:"byte_states"`
+	DeviceStates   int `json:"device_states"`
+	PUs            int `json:"pus"`
+	ReportColumns  int `json:"report_columns"`
+	RegionCapacity int `json:"region_capacity"`
+	PrunedStates   int `json:"pruned_states"`
+}
+
+func infoJSON(i sunder.Info) InfoJSON {
+	return InfoJSON{
+		Rate:           i.Rate,
+		ByteStates:     i.ByteStates,
+		DeviceStates:   i.DeviceStates,
+		PUs:            i.PUs,
+		ReportColumns:  i.ReportColumns,
+		RegionCapacity: i.RegionCapacity,
+		PrunedStates:   i.PrunedStates,
+	}
+}
+
+// PoolStatsJSON snapshots a ruleset's engine pool.
+type PoolStatsJSON struct {
+	Size int `json:"size"`
+	Idle int `json:"idle"`
+	// Queue is the waiter bound beyond which acquisition fails fast (503).
+	Queue int `json:"queue"`
+}
+
+// ScanRequest is the JSON form of the POST /rulesets/{id}/scan body: many
+// independent inputs scanned as one batch. Encoding selects how Inputs is
+// decoded: "base64" (default) or "text".
+type ScanRequest struct {
+	Inputs   []string `json:"inputs"`
+	Encoding string   `json:"encoding,omitempty"`
+}
+
+// DecodeInputs materializes the request's byte inputs.
+func (r *ScanRequest) DecodeInputs() ([][]byte, error) {
+	out := make([][]byte, len(r.Inputs))
+	for i, in := range r.Inputs {
+		switch r.Encoding {
+		case "", "base64":
+			b, err := base64.StdEncoding.DecodeString(in)
+			if err != nil {
+				return nil, fmt.Errorf("inputs[%d]: %w", i, err)
+			}
+			out[i] = b
+		case "text":
+			out[i] = []byte(in)
+		default:
+			return nil, fmt.Errorf("unknown encoding %q (want base64 or text)", r.Encoding)
+		}
+	}
+	return out, nil
+}
+
+// EncodeInputs is the client-side inverse of DecodeInputs.
+func EncodeInputs(inputs [][]byte) ScanRequest {
+	req := ScanRequest{Inputs: make([]string, len(inputs))}
+	for i, in := range inputs {
+		req.Inputs[i] = base64.StdEncoding.EncodeToString(in)
+	}
+	return req
+}
+
+// MatchJSON is one rule match on the wire.
+type MatchJSON struct {
+	Position int64 `json:"position"`
+	Code     int32 `json:"code"`
+}
+
+// StatsJSON mirrors sunder.Stats.
+type StatsJSON struct {
+	KernelCycles int64 `json:"kernel_cycles"`
+	StallCycles  int64 `json:"stall_cycles"`
+	Flushes      int64 `json:"flushes"`
+	Reports      int64 `json:"reports"`
+	ReportCycles int64 `json:"report_cycles"`
+}
+
+func statsJSON(s sunder.Stats) StatsJSON {
+	return StatsJSON{
+		KernelCycles: s.KernelCycles,
+		StallCycles:  s.StallCycles,
+		Flushes:      s.Flushes,
+		Reports:      s.Reports,
+		ReportCycles: s.ReportCycles,
+	}
+}
+
+func matchesJSON(ms []sunder.Match) []MatchJSON {
+	out := make([]MatchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = MatchJSON{Position: m.Position, Code: m.Code}
+	}
+	return out
+}
+
+// ScanResultJSON is one input's scan outcome.
+type ScanResultJSON struct {
+	Matches []MatchJSON `json:"matches"`
+	Stats   StatsJSON   `json:"stats"`
+}
+
+// ScanResponse is the POST /rulesets/{id}/scan response; Results[i]
+// corresponds to the request's inputs[i] (a raw-body scan has one result).
+type ScanResponse struct {
+	Ruleset string           `json:"ruleset"`
+	Results []ScanResultJSON `json:"results"`
+}
+
+// StreamEvent is one NDJSON line of the streaming endpoint: either a match
+// (Match non-nil) or the terminal summary line (Done true). Reason is set
+// on early termination ("draining" on graceful shutdown).
+type StreamEvent struct {
+	Match  *MatchJSON `json:"match,omitempty"`
+	Done   bool       `json:"done,omitempty"`
+	Reason string     `json:"reason,omitempty"`
+	Bytes  int64      `json:"bytes,omitempty"`
+	Stats  *StatsJSON `json:"stats,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

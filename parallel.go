@@ -51,7 +51,7 @@ func (e *Engine) ScanParallel(input []byte, opts ScanOptions) (*ScanResult, erro
 	rr := sched.ParallelRun(e.proto, e.nibble, units, sched.RunConfig{
 		Workers:      opts.workers(),
 		RecordEvents: true,
-		Collector:    e.machine.Telemetry(),
+		Collector:    e.telemetryCollector(),
 	})
 	out := &ScanResult{
 		Stats: Stats{
@@ -108,7 +108,7 @@ func (e *Engine) ScanBatch(inputs [][]byte, opts ScanOptions) ([]*ScanResult, er
 	if queue <= 0 {
 		queue = 2 * workers
 	}
-	col := e.machine.Telemetry()
+	col := e.telemetryCollector()
 	machines := make([]*core.Machine, workers)
 	for i := range machines {
 		machines[i] = e.proto.Clone()
@@ -162,5 +162,6 @@ func (e *Engine) Clone() *Engine {
 		machine: e.proto.Clone(),
 		proto:   e.proto,
 		place:   e.place,
+		pruned:  e.pruned,
 	}
 }

@@ -81,6 +81,81 @@ func TestScanBatchConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestScanConcurrentSequentialAndBatch audits the contract the docs make
+// for the parallel paths: ScanBatch (and ScanParallel) never touch the
+// engine's shared machine, so they may overlap a sequential Scan that is
+// mutating it. With telemetry attached, the batch paths must read the
+// collector through the engine's atomic mirror — reaching into e.machine
+// for it is exactly the access this test would flag under -race if it
+// crept back in.
+func TestScanConcurrentSequentialAndBatch(t *testing.T) {
+	eng, err := Compile([]Pattern{
+		{Expr: "abcab", Code: 1},
+		{Expr: "b[cd]a", Code: 2},
+	}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry(TelemetryOptions{})
+	eng.SetTelemetry(tel)
+
+	seqInput := bytes.Repeat([]byte("abcabdca"), 2000)
+	seqWant, err := eng.Scan(seqInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]byte, 12)
+	wants := make([]*ScanResult, len(inputs))
+	for i := range inputs {
+		inputs[i] = bytes.Repeat([]byte("xabcabdy"), 120+60*i)
+		if wants[i], err = eng.Scan(inputs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Sequential scans mutate the shared machine the whole time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			got, err := eng.Scan(seqInput)
+			if err != nil {
+				t.Errorf("sequential scan %d: %v", i, err)
+				return
+			}
+			sameScan(t, fmt.Sprint("sequential scan ", i), got, seqWant)
+		}
+	}()
+	// Batch and parallel scans overlap them, on the same engine and on a
+	// clone (which must also carry the telemetry-free pristine machine).
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e := eng
+			if g%2 == 1 {
+				e = eng.Clone()
+			}
+			got, err := e.ScanBatch(inputs, ScanOptions{Workers: 3, BatchSize: 2})
+			if err != nil {
+				t.Errorf("batch %d: %v", g, err)
+				return
+			}
+			for i := range inputs {
+				sameScan(t, fmt.Sprintf("batch %d input %d", g, i), got[i], wants[i])
+			}
+			par, err := e.ScanParallel(seqInput, ScanOptions{Workers: 2})
+			if err != nil {
+				t.Errorf("parallel %d: %v", g, err)
+				return
+			}
+			sameScan(t, fmt.Sprint("parallel ", g), par, seqWant)
+		}(g)
+	}
+	wg.Wait()
+}
+
 // TestConcurrentStreamsOnClones drives one stream per engine clone from
 // separate goroutines — the documented pattern for concurrent streaming.
 func TestConcurrentStreamsOnClones(t *testing.T) {

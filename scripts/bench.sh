@@ -13,6 +13,16 @@ go run ./cmd/sunder-bench -par -json > "$out"
 test -s "$out" || { echo "bench.sh: $out is empty" >&2; exit 1; }
 echo "wrote $out"
 
+# Optionally record the network scan service study (all 19 benchmark
+# inputs through sunder-serve's in-process server). Off by default: it is
+# a service-level measurement, not a simulator one.
+if [ "${SERVE_BENCH:-0}" != "0" ]; then
+  serve_out="${SERVE_BENCH_OUT:-BENCH_serve.json}"
+  go run ./cmd/sunder-serve -loadgen -json > "$serve_out"
+  test -s "$serve_out" || { echo "bench.sh: $serve_out is empty" >&2; exit 1; }
+  echo "wrote $serve_out"
+fi
+
 # `go test -bench` exits 0 even when individual benchmarks fail to match or
 # a FAIL line slips through under -run '^$'; capture the output and check
 # explicitly so a silent regression cannot pass the harness.

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the network scan service over real HTTP:
+# build sunder-serve, start it, upload a rule set, run a batched scan and
+# a streaming scan, check the matches, and shut the server down gracefully
+# (SIGTERM must exit cleanly). Requires curl; uses jq when available.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="127.0.0.1:${SERVE_PORT:-8471}"
+base="http://$addr"
+
+go build -o /tmp/sunder-serve ./cmd/sunder-serve
+/tmp/sunder-serve -addr "$addr" -pool 2 &
+srv_pid=$!
+cleanup() { kill "$srv_pid" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+  if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf "$base/healthz" >/dev/null || { echo "serve_smoke: server never came up" >&2; exit 1; }
+
+# Upload a rule set (one prunable rule, exercising the Prune cache key).
+put=$(curl -sf -X PUT "$base/rulesets/smoke" -d '{
+  "patterns": [
+    {"expr": "GET /admin", "code": 100},
+    {"expr": "(ab|a.)c", "code": 7}
+  ],
+  "options": {"prune": true}
+}')
+echo "ruleset: $put"
+grep -q '"pruned_states":[1-9]' <<<"$put" || {
+  echo "serve_smoke: expected pruned_states > 0 in ruleset info" >&2; exit 1; }
+
+# Batched raw scan: the input contains two "GET /admin" hits and one "abc".
+scan=$(curl -sf -X POST "$base/rulesets/smoke/scan" \
+  -H 'Content-Type: application/octet-stream' \
+  --data-binary 'xx GET /admin yy abc zz GET /admin')
+echo "scan: $scan"
+if command -v jq >/dev/null; then
+  n=$(jq '[.results[0].matches[].code] | length' <<<"$scan")
+  [ "$n" -eq 3 ] || { echo "serve_smoke: want 3 matches, got $n" >&2; exit 1; }
+else
+  [ "$(grep -o '"code"' <<<"$scan" | wc -l)" -eq 3 ] || {
+    echo "serve_smoke: want 3 matches in $scan" >&2; exit 1; }
+fi
+
+# Streaming scan: NDJSON lines, terminated by a done line with stats.
+stream=$(curl -sf -X POST "$base/rulesets/smoke/stream" \
+  -H 'Content-Type: application/octet-stream' \
+  --data-binary 'pre GET /admin post abc tail')
+echo "stream: $stream"
+grep -q '"match"' <<<"$stream" || { echo "serve_smoke: stream had no matches" >&2; exit 1; }
+grep -q '"done":true' <<<"$stream" || { echo "serve_smoke: stream had no done line" >&2; exit 1; }
+
+# Metrics reflect the traffic.
+curl -sf "$base/metrics" | grep -q '^server_scans_total [1-9]' || {
+  echo "serve_smoke: metrics missing scan count" >&2; exit 1; }
+
+# Graceful shutdown: SIGTERM, clean exit.
+kill -TERM "$srv_pid"
+wait "$srv_pid" || { echo "serve_smoke: server exited non-zero on SIGTERM" >&2; exit 1; }
+trap - EXIT
+echo "serve_smoke: OK"

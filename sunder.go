@@ -27,6 +27,7 @@ package sunder
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"sunder/internal/analysis"
 	"sunder/internal/automata"
@@ -36,6 +37,7 @@ import (
 	"sunder/internal/hardware"
 	"sunder/internal/mapping"
 	"sunder/internal/regex"
+	"sunder/internal/telemetry"
 	"sunder/internal/transform"
 )
 
@@ -147,6 +149,11 @@ type Engine struct {
 	injector *faults.Injector
 	// pruned counts the dead states removed at compile time (Options.Prune).
 	pruned int
+	// tel mirrors the collector attached by SetTelemetry. The parallel
+	// paths read it instead of e.machine.Telemetry(): they promise never to
+	// touch the shared machine, which a concurrent sequential scan may be
+	// mutating (and, under a fault guard, replacing outright).
+	tel atomic.Pointer[telemetry.Collector]
 }
 
 // Compile builds an Engine from a pattern set.

@@ -45,11 +45,21 @@ func NewTelemetry(opts TelemetryOptions) *Telemetry {
 // disabled path (a single branch per instrumented site).
 func (e *Engine) SetTelemetry(t *Telemetry) {
 	if t == nil {
+		e.tel.Store(nil)
 		e.machine.AttachTelemetry(nil)
 		return
 	}
+	e.tel.Store(t.col)
 	e.machine.AttachTelemetry(t.col)
 }
+
+// telemetryCollector returns the collector armed by SetTelemetry, read
+// from the engine's atomic mirror rather than the shared machine. The
+// parallel paths (ScanParallel, ScanBatch) must use this accessor:
+// e.machine.Telemetry() would touch the machine those paths document they
+// never touch, and a concurrent guarded sequential scan can even replace
+// e.machine mid-flight (adoptGuard).
+func (e *Engine) telemetryCollector() *telemetry.Collector { return e.tel.Load() }
 
 // Reset zeroes all counters and drops buffered trace events.
 func (t *Telemetry) Reset() { t.col.Reset() }
