@@ -312,6 +312,50 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkSpanOverhead measures the wall-clock span tracer's cost on the
+// parallel scan path in its three modes: spans off (nil tracer — the
+// instrumentation sites must reduce to free nil checks), 1-in-16 sampling
+// (the production setting), and every-request tracing. "off" is the
+// spans-disabled hot path the acceptance criteria pin against the
+// untraced baseline.
+func BenchmarkSpanOverhead(b *testing.B) {
+	eng, err := Compile([]Pattern{
+		{Expr: `needle`, Code: 1},
+		{Expr: `ha+ystack`, Code: 2},
+	}, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := make([]byte, 64*1024)
+	for i := range input {
+		input[i] = byte('a' + i%17)
+	}
+	copy(input[1000:], "needle")
+	for _, mode := range []struct {
+		name   string
+		sample int
+	}{
+		{"off", 0},
+		{"sampled-16", 16},
+		{"all", 1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			if mode.sample > 0 {
+				tel := NewTelemetry(TelemetryOptions{Spans: true, SpanSampleEvery: mode.sample})
+				eng.SetTelemetry(tel)
+				defer eng.SetTelemetry(nil)
+			}
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ScanParallel(input, ScanOptions{Workers: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFaultOverhead measures the cost of the fault machinery on the
 // machine hot path: "off" (no hook attached; one nil-check per site — must
 // stay within noise of BenchmarkMachineSnort), "hook-idle" (a zero-rate

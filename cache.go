@@ -3,6 +3,8 @@ package sunder
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"sync/atomic"
+	"time"
 
 	"sunder/internal/automata"
 	"sunder/internal/core"
@@ -32,6 +34,14 @@ type compiledArtifact struct {
 
 var compileCache = sched.NewLRU[*compiledArtifact](DefaultCompileCacheCapacity)
 
+// compileHitNS / compileMissNS accumulate the wall-clock cost of
+// CompileCached lookups, split by outcome, so the serve path can report
+// hit vs. miss latency (a hit is a clone, a miss the whole pipeline).
+var (
+	compileHitNS  atomic.Int64
+	compileMissNS atomic.Int64
+)
+
 // CompileCached is Compile behind a process-wide LRU cache keyed by a
 // content hash of the compiled configuration (every Options field and
 // every pattern's expression and code). Repeated compiles of the same rule
@@ -40,9 +50,18 @@ var compileCache = sched.NewLRU[*compiledArtifact](DefaultCompileCacheCapacity)
 // The returned engine is indistinguishable from a freshly compiled one.
 // Compilation errors are not cached.
 func CompileCached(patterns []Pattern, opts Options) (*Engine, error) {
+	eng, _, err := CompileCachedTraced(patterns, opts)
+	return eng, err
+}
+
+// CompileCachedTraced is CompileCached, additionally reporting whether the
+// engine came from a cache hit. The serve path uses it to label compile
+// spans and attribute lookup latency to the hit or miss population.
+func CompileCachedTraced(patterns []Pattern, opts Options) (*Engine, bool, error) {
+	start := time.Now()
 	key := compileKey(patterns, opts)
 	if art, ok := compileCache.Get(key); ok {
-		return &Engine{
+		eng := &Engine{
 			opts:    art.opts,
 			byteNFA: art.byteNFA,
 			nibble:  art.nibble,
@@ -50,11 +69,13 @@ func CompileCached(patterns []Pattern, opts Options) (*Engine, error) {
 			proto:   art.proto,
 			place:   art.place,
 			pruned:  art.pruned,
-		}, nil
+		}
+		compileHitNS.Add(time.Since(start).Nanoseconds())
+		return eng, true, nil
 	}
 	eng, err := Compile(patterns, opts)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	compileCache.Put(key, &compiledArtifact{
 		opts:    eng.opts,
@@ -64,7 +85,8 @@ func CompileCached(patterns []Pattern, opts Options) (*Engine, error) {
 		proto:   eng.proto,
 		pruned:  eng.pruned,
 	})
-	return eng, nil
+	compileMissNS.Add(time.Since(start).Nanoseconds())
+	return eng, false, nil
 }
 
 // compileKey hashes the full compiled configuration. Fields are length-
@@ -117,10 +139,16 @@ type CompileCacheStats struct {
 	// Capacity.
 	Entries  int
 	Capacity int
+	// HitNS and MissNS are the total wall-clock nanoseconds spent in
+	// CompileCached lookups that hit (machine clone) and missed (full
+	// compile pipeline), since process start. HitNS/Hits vs MissNS/Misses
+	// is the measured per-lookup cost of each outcome.
+	HitNS  int64
+	MissNS int64
 }
 
-// CompileCacheInfo returns the cache's current occupancy and hit/miss
-// counts.
+// CompileCacheInfo returns the cache's current occupancy, hit/miss
+// counts, and cumulative hit/miss lookup latency.
 func CompileCacheInfo() CompileCacheStats {
 	hits, misses := compileCache.Stats()
 	return CompileCacheStats{
@@ -128,6 +156,8 @@ func CompileCacheInfo() CompileCacheStats {
 		Misses:   misses,
 		Entries:  compileCache.Len(),
 		Capacity: compileCache.Capacity(),
+		HitNS:    compileHitNS.Load(),
+		MissNS:   compileMissNS.Load(),
 	}
 }
 

@@ -17,7 +17,12 @@
 //	DELETE /rulesets/{id}        remove a rule set
 //	POST   /rulesets/{id}/scan   scan a raw body, or a JSON batch of inputs
 //	POST   /rulesets/{id}/stream chunked body in, NDJSON matches out
-//	GET    /metrics              service + compile-cache + device counters
+//	GET    /metrics              service + compile-cache + device counters,
+//	                             per-ruleset latency quantiles and shed
+//	                             counters (?format=json for the structured view)
+//	GET    /trace                merged Chrome trace of device cycle events and
+//	                             request spans (?format=spans for raw JSONL;
+//	                             requires -trace-sample > 0)
 //	GET    /debug/pprof/         runtime profiles
 package main
 
@@ -51,6 +56,8 @@ func main() {
 		maxBody  = flag.Int64("maxbody", 0, "request body cap in bytes (0 = 16MiB)")
 		timeout  = flag.Duration("timeout", 0, "per-scan-request timeout (0 = 30s)")
 		drain    = flag.Duration("drain", 0, "graceful shutdown budget (0 = 10s)")
+		traceN   = flag.Int("trace-sample", 0, "record a span tree for every Nth request and arm the device tracer for GET /trace (0 = tracing off)")
+		traceCap = flag.Int("trace-cap", 0, "max buffered spans (0 = 64k)")
 		loadgen  = flag.Bool("loadgen", false, "run the load generator against an in-process server instead of serving")
 		benches  = flag.String("bench", "", "loadgen: comma-separated benchmark names (default: all 19)")
 		clients  = flag.Int("clients", 4, "loadgen: concurrent HTTP clients")
@@ -68,12 +75,14 @@ func main() {
 	}
 
 	cfg := server.Config{
-		PoolSize:     *pool,
-		QueueDepth:   *queue,
-		ScanWorkers:  *workers,
-		MaxBodyBytes: *maxBody,
-		ScanTimeout:  *timeout,
-		DrainTimeout: *drain,
+		PoolSize:         *pool,
+		QueueDepth:       *queue,
+		ScanWorkers:      *workers,
+		MaxBodyBytes:     *maxBody,
+		ScanTimeout:      *timeout,
+		DrainTimeout:     *drain,
+		TraceSampleEvery: *traceN,
+		TraceCapacity:    *traceCap,
 	}
 
 	if *loadgen {

@@ -27,6 +27,18 @@ type ServeRow struct {
 	MBps  float64 `json:"mbps"`
 	P50NS int64   `json:"p50_ns"`
 	P99NS int64   `json:"p99_ns"`
+	// SrvP50NS/SrvP99NS/SrvP999NS are the server-side handler latency
+	// quantiles for this benchmark's requests, fetched from the service's
+	// /metrics?format=json after the client phase. They exclude client and
+	// loopback overhead, so client p50 >= server p50 always; the gap is the
+	// HTTP/serialization cost. Estimated from log-bucket histograms under
+	// the same nearest-rank rule as the exact client-side quantiles.
+	SrvP50NS  int64 `json:"srv_p50_ns,omitempty"`
+	SrvP99NS  int64 `json:"srv_p99_ns,omitempty"`
+	SrvP999NS int64 `json:"srv_p999_ns,omitempty"`
+	// PoolWaitShare is the fraction of server-side served time spent
+	// waiting for a pooled engine — the queueing share of latency.
+	PoolWaitShare float64 `json:"pool_wait_share,omitempty"`
 	// Matches is the per-request match count (identical across requests —
 	// every request scans the same input).
 	Matches int64 `json:"matches"`
@@ -36,15 +48,20 @@ type ServeRow struct {
 	StreamOK bool `json:"stream_ok"`
 }
 
-// FprintServeStudy renders the serve rows as a table.
+// FprintServeStudy renders the serve rows as a table: client-side
+// latency quantiles (exact, over raw request latencies) beside the
+// server-side handler quantiles and the pool-wait share of served time.
 func FprintServeStudy(w io.Writer, rows []ServeRow) {
 	fmt.Fprintf(w, "Network scan service load test (clients x requests per benchmark, checked against local Scan)\n")
-	fmt.Fprintf(w, "%-14s %9s %8s %10s %10s %10s %9s %6s %6s\n",
-		"Benchmark", "Bytes", "Reqs", "MB/s", "p50(ms)", "p99(ms)", "Matches", "Out", "Strm")
+	fmt.Fprintf(w, "%-14s %9s %8s %10s %10s %10s %10s %10s %10s %7s %9s %6s %6s\n",
+		"Benchmark", "Bytes", "Reqs", "MB/s", "p50(ms)", "p99(ms)",
+		"sp50(ms)", "sp99(ms)", "sp999(ms)", "wait%", "Matches", "Out", "Strm")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-14s %9d %8d %10.2f %10.3f %10.3f %9d %6v %6v\n",
+		fmt.Fprintf(w, "%-14s %9d %8d %10.2f %10.3f %10.3f %10.3f %10.3f %10.3f %7.1f %9d %6v %6v\n",
 			r.Name, r.Bytes, r.Requests, r.MBps,
 			float64(r.P50NS)/1e6, float64(r.P99NS)/1e6,
+			float64(r.SrvP50NS)/1e6, float64(r.SrvP99NS)/1e6, float64(r.SrvP999NS)/1e6,
+			r.PoolWaitShare*100,
 			r.Matches, r.OutputOK, r.StreamOK)
 	}
 }

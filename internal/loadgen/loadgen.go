@@ -22,6 +22,7 @@ import (
 	"sunder"
 	"sunder/internal/exp"
 	"sunder/internal/server"
+	"sunder/internal/telemetry"
 	"sunder/internal/workload"
 )
 
@@ -108,14 +109,49 @@ func ServeStudy(opts exp.Options, names []string, cfg Config) ([]exp.ServeRow, e
 		if err != nil {
 			return nil, err
 		}
+		// Request-scoped server instruments are reset per benchmark so the
+		// row's server-side SLO columns describe only this benchmark's
+		// requests (the scan batch plus its one streaming request).
+		srv.ResetRequestMetrics()
 		row, err := serveOne(base, "loadgen", w.Input, want.Matches, cfg)
 		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if err := fillServerSLO(base, "loadgen", row); err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		row.Name = name
 		rows = append(rows, *row)
 	}
 	return rows, nil
+}
+
+// fillServerSLO fetches the service's own latency view of the benchmark
+// just driven (GET /metrics?format=json) and copies the handler-side
+// quantiles and pool-wait share into the row, beside the exact
+// client-side quantiles measured over the wire.
+func fillServerSLO(base, id string, row *exp.ServeRow) error {
+	resp, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	var m server.MetricsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return fmt.Errorf("metrics decode: %w", err)
+	}
+	rm, ok := m.Rulesets[id]
+	if !ok {
+		return fmt.Errorf("metrics: ruleset %q missing", id)
+	}
+	row.SrvP50NS = rm.Latency.P50NS
+	row.SrvP99NS = rm.Latency.P99NS
+	row.SrvP999NS = rm.Latency.P999NS
+	row.PoolWaitShare = rm.PoolWaitShare
+	return nil
 }
 
 func serveOne(base, id string, input []byte, want []sunder.Match, cfg Config) (*exp.ServeRow, error) {
@@ -176,9 +212,14 @@ func serveOne(base, id string, input []byte, want []sunder.Match, cfg Config) (*
 	default:
 	}
 
+	// Exact nearest-rank quantiles over the raw sorted latencies — the
+	// same rank rule the server's histogram estimation uses, so the two
+	// columns are directly comparable. (The old ad-hoc indexing,
+	// latencies[(len*99)/100], overshoots the p99 rank and only stayed in
+	// bounds by accident for len not a multiple of 100.)
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	row.P50NS = latencies[len(latencies)/2]
-	row.P99NS = latencies[(len(latencies)*99)/100]
+	row.P50NS = telemetry.NearestRank(latencies, 0.50)
+	row.P99NS = telemetry.NearestRank(latencies, 0.99)
 	row.MBps = float64(len(input)*row.Requests) / 1e6 / (float64(row.TotalNS) / 1e9)
 
 	streamed, err := streamMatches(base, id, input)

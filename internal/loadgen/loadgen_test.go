@@ -38,6 +38,22 @@ func TestServeStudy(t *testing.T) {
 		if r.Matches > 0 {
 			matched = true
 		}
+		// Server-side SLO columns come from /metrics?format=json after each
+		// benchmark: the handler latency population must cover this
+		// benchmark's requests, and the server-side p50 cannot exceed the
+		// client-side one (it excludes client and loopback overhead; the
+		// histogram estimate rounds up by at most one log bucket, ~29%).
+		if r.SrvP50NS <= 0 || r.SrvP99NS < r.SrvP50NS || r.SrvP999NS < r.SrvP99NS {
+			t.Errorf("%s: server-side quantiles malformed: p50=%d p99=%d p999=%d",
+				r.Name, r.SrvP50NS, r.SrvP99NS, r.SrvP999NS)
+		}
+		if float64(r.SrvP50NS) > 1.3*float64(r.P99NS)+1 {
+			t.Errorf("%s: server p50 %d exceeds client p99 %d beyond bucket error",
+				r.Name, r.SrvP50NS, r.P99NS)
+		}
+		if r.PoolWaitShare < 0 || r.PoolWaitShare > 1 {
+			t.Errorf("%s: pool-wait share %v out of [0,1]", r.Name, r.PoolWaitShare)
+		}
 	}
 	if !matched {
 		t.Error("no benchmark produced matches; the equivalence check is vacuous")

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 
 	"sunder/internal/automata"
@@ -87,13 +88,23 @@ func ParallelRun(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim
 	align := alignmentCycles(rate, a.SymbolUnits)
 	overlap := roundUpTo(int64(depth)+1, align)
 
+	// Wall-clock span instrumentation. All clocks live inside the
+	// telemetry package (this package is vet-enforced deterministic and
+	// cannot import time); with spans disabled every call below is a
+	// zero-alloc nil no-op.
+	sp := rc.Collector.Spans().Root("parallel_run")
+	defer sp.End()
+
 	var shards []Shard
 	if bounded && workers > 1 {
 		shards = PlanShards(totalCycles, workers, align, overlap, minOwned)
 	}
 	if len(shards) <= 1 {
-		return runSequential(proto, units, rc)
+		return runSequential(proto, units, rc, sp)
 	}
+	sp.SetAttr("cycles=" + strconv.FormatInt(totalCycles, 10) +
+		" shards=" + strconv.Itoa(len(shards)) +
+		" overlap=" + strconv.FormatInt(overlap, 10))
 
 	outs := make([]shardOut, len(shards))
 	var wg sync.WaitGroup
@@ -101,7 +112,12 @@ func ParallelRun(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outs[i] = runShard(proto, a, units, shards[i], rc)
+			ss := sp.Child("shard")
+			ss.SetAttr("shard=" + strconv.Itoa(i) +
+				" warmup=" + strconv.FormatInt(shards[i].WarmupCycles(), 10) +
+				" owned=" + strconv.FormatInt(shards[i].EndCycle-shards[i].StartCycle, 10))
+			outs[i] = runShard(proto, a, units, shards[i], rc, ss)
+			ss.End()
 		}(i)
 	}
 	wg.Wait()
@@ -142,7 +158,9 @@ func ParallelRun(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim
 
 // runSequential is the fallback path: one clone, the whole input. Its
 // output is trivially identical to core.Machine.Run.
-func runSequential(proto *core.Machine, units []funcsim.Unit, rc RunConfig) *RunResult {
+func runSequential(proto *core.Machine, units []funcsim.Unit, rc RunConfig, sp *telemetry.SpanCtx) *RunResult {
+	seq := sp.Child("sequential")
+	defer seq.End()
 	m := proto.Clone()
 	if rc.Collector != nil {
 		m.AttachTelemetry(rc.Collector)
@@ -182,7 +200,7 @@ type dedupKey struct {
 // runShard replays the shard's warm-up prefix silently, then executes the
 // owned range, reproducing core.Machine.Run's per-cycle (offset, origin)
 // deduplication so the emitted events match the sequential stream exactly.
-func runShard(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim.Unit, sh Shard, rc RunConfig) shardOut {
+func runShard(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim.Unit, sh Shard, rc RunConfig, sp *telemetry.SpanCtx) shardOut {
 	m := proto.Clone()
 	rate := m.Config().Rate
 	if sh.BaseCycle > 0 {
@@ -191,11 +209,13 @@ func runShard(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim.Un
 		// sequential prefix and start-of-data injection stays live.
 		m.SuppressStartOfData(true)
 	}
+	warm := sp.Child("warmup")
 	var scratch []automata.StateID
 	for c := sh.BaseCycle; c < sh.StartCycle; c++ {
 		off := int(c) * rate
 		scratch = m.Step(units[off:off+rate], scratch[:0])
 	}
+	warm.End()
 
 	var telReports, telReportCycles *telemetry.Counter
 	if rc.Collector != nil {
@@ -207,6 +227,8 @@ func runShard(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim.Un
 	}
 
 	out := shardOut{warmup: sh.WarmupCycles()}
+	scan := sp.Child("scan")
+	defer scan.End()
 	seen := make(map[dedupKey]bool)
 	for c := sh.StartCycle; c < sh.EndCycle; c++ {
 		off := int(c) * rate

@@ -24,12 +24,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sunder"
+	"sunder/internal/telemetry"
 )
 
 // Config tunes the service. The zero value serves with sensible defaults.
@@ -56,6 +59,17 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs
 	// (default slog.Default()).
 	Logger *slog.Logger
+	// TraceSampleEvery enables request tracing when > 0: every Nth scan,
+	// stream or ruleset-upload request records a wall-clock span tree
+	// (request root, pool-wait / compile / scan children, per-shard
+	// scheduler spans), and the device cycle tracer is armed so GET /trace
+	// can export both on one merged Chrome trace timeline. 1 traces every
+	// request; 0 (the default) disables tracing entirely — the span
+	// instrumentation sites reduce to nil no-ops.
+	TraceSampleEvery int
+	// TraceCapacity caps buffered spans (default 64k); spans beyond it are
+	// counted as dropped on /metrics.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +108,23 @@ type ruleset struct {
 	scans   atomic.Int64
 	bytes   atomic.Int64
 	matches atomic.Int64
+
+	// Server-side latency SLO instruments, always on (one clock read per
+	// request): lat is end-to-end handler latency of served scan/stream
+	// requests, wait the pool-acquisition wait of every successful
+	// acquire. waitNS/servedNS accumulate over served requests only, so
+	// waitNS/servedNS is the pool-wait share of served time — the
+	// queueing-delay fraction of the server-side latency.
+	lat      *telemetry.Histogram
+	wait     *telemetry.Histogram
+	waitNS   atomic.Int64
+	servedNS atomic.Int64
+	// Shed counters, by reason: capacity (pool queue full, 503), deadline
+	// (timed out waiting for an engine, 504), draining (rejected during
+	// graceful shutdown, 503).
+	shedCapacity telemetry.Counter
+	shedDeadline telemetry.Counter
+	shedDraining telemetry.Counter
 }
 
 // Server is the scan service. Create with New, expose via Handler or Run.
@@ -101,7 +132,14 @@ type Server struct {
 	cfg Config
 	log *slog.Logger
 	tel *sunder.Telemetry
-	mux *http.ServeMux
+	// spans is the request span tracer (nil unless Config.TraceSampleEvery
+	// > 0); nil is a valid no-op tracer, so handlers instrument
+	// unconditionally.
+	spans *telemetry.SpanTracer
+	// compileNS is the PUT /rulesets compile-path latency (cache hits and
+	// misses both; the compile-cache hit/miss split is on /metrics).
+	compileNS *telemetry.Histogram
+	mux       *http.ServeMux
 
 	mu       sync.RWMutex
 	rulesets map[string]*ruleset
@@ -121,13 +159,23 @@ type Server struct {
 // New builds a Server from the config.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	telOpts := sunder.TelemetryOptions{}
+	if cfg.TraceSampleEvery > 0 {
+		telOpts.Trace = true
+		telOpts.Spans = true
+		telOpts.SpanCapacity = cfg.TraceCapacity
+		telOpts.SpanSampleEvery = cfg.TraceSampleEvery
+	}
+	tel := sunder.NewTelemetry(telOpts)
 	s := &Server{
-		cfg:      cfg,
-		log:      cfg.Logger,
-		tel:      sunder.NewTelemetry(sunder.TelemetryOptions{}),
-		mux:      http.NewServeMux(),
-		rulesets: make(map[string]*ruleset),
-		draining: make(chan struct{}),
+		cfg:       cfg,
+		log:       cfg.Logger,
+		tel:       tel,
+		spans:     tel.Spans(),
+		compileNS: telemetry.NewHistogram(telemetry.DurationBounds()),
+		mux:       http.NewServeMux(),
+		rulesets:  make(map[string]*ruleset),
+		draining:  make(chan struct{}),
 	}
 	s.mux.HandleFunc("PUT /rulesets/{id}", s.handlePutRuleset)
 	s.mux.HandleFunc("GET /rulesets/{id}", s.handleGetRuleset)
@@ -136,6 +184,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /rulesets/{id}/scan", s.handleScan)
 	s.mux.HandleFunc("POST /rulesets/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -265,7 +314,15 @@ func (s *Server) handlePutRuleset(w http.ResponseWriter, r *http.Request) {
 	// The compile-cache keys on every compile-affecting Options field
 	// (Prune included), so re-uploading an identical ruleset — or the same
 	// rules under a different id — costs one machine clone, not a compile.
-	eng, err := sunder.CompileCached(req.SunderPatterns(), req.Options.Options())
+	sp := s.spans.Root("put_ruleset")
+	sp.SetAttr(`ruleset="` + id + `"`)
+	defer sp.End()
+	csp := sp.Child("compile")
+	compileStart := time.Now()
+	eng, hit, err := sunder.CompileCachedTraced(req.SunderPatterns(), req.Options.Options())
+	s.compileNS.Observe(time.Since(compileStart).Nanoseconds())
+	csp.SetAttr("hit=" + strconv.FormatBool(hit))
+	csp.End()
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("compile: %v", err))
 		return
@@ -274,6 +331,8 @@ func (s *Server) handlePutRuleset(w http.ResponseWriter, r *http.Request) {
 		id:   id,
 		req:  req,
 		info: eng.Info(),
+		lat:  telemetry.NewHistogram(telemetry.DurationBounds()),
+		wait: telemetry.NewHistogram(telemetry.DurationBounds()),
 		pool: newEnginePool(eng, s.cfg.PoolSize, s.cfg.QueueDepth, func(e *sunder.Engine) {
 			e.SetTelemetry(s.tel)
 		}),
@@ -355,12 +414,16 @@ func (s *Server) lookup(id string) (*ruleset, bool) {
 // across workers via ScanParallel. Results are identical to library Scan
 // calls on the same inputs.
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	rs, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "no such ruleset")
 		return
 	}
+	sp := s.spans.Root("scan")
+	defer sp.End()
 	if s.Draining() {
+		rs.shedDraining.Inc()
 		s.writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -389,14 +452,20 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "no inputs")
 		return
 	}
+	sp.SetAttr(`ruleset="` + rs.id + `" inputs=` + strconv.Itoa(len(inputs)))
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ScanTimeout)
 	defer cancel()
+	wsp := sp.Child("pool_wait")
+	waitStart := time.Now()
 	eng, err := rs.pool.acquire(ctx)
+	waitDur := time.Since(waitStart)
+	wsp.End()
 	if err != nil {
-		s.writeAcquireError(w, err)
+		s.writeAcquireError(w, rs, err)
 		return
 	}
+	rs.wait.Observe(waitDur.Nanoseconds())
 	parallel := r.URL.Query().Get("parallel") != "" && len(inputs) == 1
 
 	// The scan itself is not cancellable mid-run; run it on a goroutine so
@@ -407,6 +476,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		err     error
 	}
 	done := make(chan outcome, 1)
+	ssp := sp.Child("scan")
 	go func() {
 		defer rs.pool.release(eng)
 		var o outcome
@@ -421,9 +491,11 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}()
 	select {
 	case <-ctx.Done():
+		ssp.End()
 		s.writeError(w, http.StatusGatewayTimeout, "scan timed out")
 		return
 	case o := <-done:
+		ssp.End()
 		if o.err != nil {
 			s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("scan: %v", o.err))
 			return
@@ -443,6 +515,10 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		s.scans.Add(int64(len(inputs)))
 		s.scanBytes.Add(nbytes)
 		s.matches.Add(nmatches)
+		total := time.Since(start)
+		rs.lat.Observe(total.Nanoseconds())
+		rs.waitNS.Add(waitDur.Nanoseconds())
+		rs.servedNS.Add(total.Nanoseconds())
 		s.writeJSON(w, http.StatusOK, resp)
 	}
 }
@@ -457,22 +533,32 @@ const streamChunkSize = 64 << 10
 // device statistics; on Drain the stream ends early at a chunk boundary
 // with reason "draining".
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	rs, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "no such ruleset")
 		return
 	}
+	sp := s.spans.Root("stream")
+	sp.SetAttr(`ruleset="` + rs.id + `"`)
+	defer sp.End()
 	if s.Draining() {
+		rs.shedDraining.Inc()
 		s.writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ScanTimeout)
 	defer cancel()
+	wsp := sp.Child("pool_wait")
+	waitStart := time.Now()
 	eng, err := rs.pool.acquire(ctx)
+	waitDur := time.Since(waitStart)
+	wsp.End()
 	if err != nil {
-		s.writeAcquireError(w, err)
+		s.writeAcquireError(w, rs, err)
 		return
 	}
+	rs.wait.Observe(waitDur.Nanoseconds())
 	defer rs.pool.release(eng)
 
 	s.activeStreams.Add(1)
@@ -509,6 +595,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	reason := ""
 	buf := make([]byte, streamChunkSize)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	scanSp := sp.Child("scan_stream")
 read:
 	for {
 		select {
@@ -538,13 +625,21 @@ read:
 			break read
 		}
 	}
+	scanSp.End()
+	dsp := sp.Child("drain")
+	dsp.SetAttr(`reason="` + reason + `"`)
 	stats := stream.Close()
+	dsp.End()
 	rs.scans.Add(1)
 	rs.bytes.Add(stream.BytesIn())
 	rs.matches.Add(matches)
 	s.scans.Add(1)
 	s.scanBytes.Add(stream.BytesIn())
 	s.matches.Add(matches)
+	total := time.Since(start)
+	rs.lat.Observe(total.Nanoseconds())
+	rs.waitNS.Add(waitDur.Nanoseconds())
+	rs.servedNS.Add(total.Nanoseconds())
 	st := statsJSON(stats)
 	_ = enc.Encode(StreamEvent{Done: true, Reason: reason, Bytes: stream.BytesIn(), Stats: &st})
 	if flusher != nil {
@@ -556,13 +651,27 @@ read:
 // Observability
 
 // handleMetrics writes the service counters, the compile-cache statistics,
-// and the device counters aggregated across every pooled engine, in the
-// same flat text format as Telemetry.WriteMetrics.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// the per-ruleset latency SLO summaries and shed counters, and the device
+// counters aggregated across every pooled engine, in the same flat text
+// format as Telemetry.WriteMetrics. With ?format=json it writes the same
+// snapshot as a MetricsJSON document, the machine-readable form the load
+// generator consumes for its server-side SLO columns.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		s.writeJSON(w, http.StatusOK, s.metricsJSON())
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.mu.RLock()
 	nRulesets := len(s.rulesets)
+	ids := make([]string, 0, nRulesets)
+	byID := make(map[string]*ruleset, nRulesets)
+	for id, rs := range s.rulesets {
+		ids = append(ids, id)
+		byID[id] = rs
+	}
 	s.mu.RUnlock()
+	sort.Strings(ids)
 	fmt.Fprintf(w, "server_requests_total %d\n", s.requests.Load())
 	fmt.Fprintf(w, "server_scans_total %d\n", s.scans.Load())
 	fmt.Fprintf(w, "server_scan_bytes_total %d\n", s.scanBytes.Load())
@@ -574,7 +683,154 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "compile_cache_hits_total %d\n", cc.Hits)
 	fmt.Fprintf(w, "compile_cache_misses_total %d\n", cc.Misses)
 	fmt.Fprintf(w, "compile_cache_entries %d\n", cc.Entries)
+	fmt.Fprintf(w, "compile_cache_hit_ns_total %d\n", cc.HitNS)
+	fmt.Fprintf(w, "compile_cache_miss_ns_total %d\n", cc.MissNS)
+	_ = telemetry.WriteLatencyText(w, "server_compile_ns", "", s.compileNS)
+	for _, id := range ids {
+		rs := byID[id]
+		label := `ruleset="` + id + `"`
+		_ = telemetry.WriteLatencyText(w, "server_scan_latency_ns", label, rs.lat)
+		_ = telemetry.WriteLatencyText(w, "server_pool_wait_ns", label, rs.wait)
+		for _, shed := range []struct {
+			reason string
+			c      *telemetry.Counter
+		}{
+			{"capacity", &rs.shedCapacity},
+			{"deadline", &rs.shedDeadline},
+			{"draining", &rs.shedDraining},
+		} {
+			fmt.Fprintf(w, "server_shed_total{%s,reason=%q} %d\n", label, shed.reason, shed.c.Load())
+		}
+	}
+	if s.spans != nil {
+		buffered, dropped := s.tel.SpanStats()
+		fmt.Fprintf(w, "server_spans_buffered %d\n", buffered)
+		fmt.Fprintf(w, "server_spans_dropped_total %d\n", dropped)
+	}
 	_ = s.tel.WriteMetrics(w)
+}
+
+// metricsJSON snapshots the same population as the text view, with
+// nearest-rank quantiles estimated from the per-ruleset log-bucket
+// histograms (see telemetry.Histogram.Quantile for the error bound).
+func (s *Server) metricsJSON() MetricsJSON {
+	cc := sunder.CompileCacheInfo()
+	s.mu.RLock()
+	rulesets := make(map[string]RulesetMetricsJSON, len(s.rulesets))
+	for id, rs := range s.rulesets {
+		served := rs.servedNS.Load()
+		share := 0.0
+		if served > 0 {
+			share = float64(rs.waitNS.Load()) / float64(served)
+		}
+		rulesets[id] = RulesetMetricsJSON{
+			Scans:         rs.scans.Load(),
+			Bytes:         rs.bytes.Load(),
+			Matches:       rs.matches.Load(),
+			Latency:       latencySLO(rs.lat),
+			PoolWait:      latencySLO(rs.wait),
+			PoolWaitShare: share,
+			Shed: ShedJSON{
+				Capacity: rs.shedCapacity.Load(),
+				Deadline: rs.shedDeadline.Load(),
+				Draining: rs.shedDraining.Load(),
+			},
+		}
+	}
+	nRulesets := len(s.rulesets)
+	s.mu.RUnlock()
+	m := MetricsJSON{
+		Service: ServiceMetricsJSON{
+			Requests:      s.requests.Load(),
+			Scans:         s.scans.Load(),
+			ScanBytes:     s.scanBytes.Load(),
+			Matches:       s.matches.Load(),
+			Errors:        s.errors.Load(),
+			ActiveStreams: s.activeStreams.Load(),
+			Rulesets:      nRulesets,
+		},
+		CompileCache: CompileCacheJSON{
+			Hits:     cc.Hits,
+			Misses:   cc.Misses,
+			Entries:  cc.Entries,
+			Capacity: cc.Capacity,
+			HitNS:    cc.HitNS,
+			MissNS:   cc.MissNS,
+		},
+		Compile:  latencySLO(s.compileNS),
+		Rulesets: rulesets,
+	}
+	if s.spans != nil {
+		buffered, dropped := s.tel.SpanStats()
+		m.Spans = &SpanStatsJSON{Buffered: buffered, Dropped: dropped}
+	}
+	return m
+}
+
+// latencySLO summarizes a duration histogram into the wire form.
+func latencySLO(h *telemetry.Histogram) LatencySLOJSON {
+	out := LatencySLOJSON{
+		Count:  h.Count(),
+		MaxNS:  h.Max(),
+		P50NS:  h.Quantile(0.50),
+		P99NS:  h.Quantile(0.99),
+		P999NS: h.Quantile(0.999),
+	}
+	if out.Count > 0 {
+		out.MeanNS = h.Sum() / out.Count
+	}
+	return out
+}
+
+// handleTrace exports the request trace: by default one merged Chrome
+// trace_event document (device cycle events on pid 0, wall-clock request
+// spans on pid 1), loadable in chrome://tracing or Perfetto; with
+// ?format=spans the raw spans as JSONL. 404 unless the server was started
+// with tracing enabled (Config.TraceSampleEvery > 0).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.spans == nil {
+		s.writeError(w, http.StatusNotFound, "tracing disabled: start with a trace sample rate (-trace-sample)")
+		return
+	}
+	if r.URL.Query().Get("format") == "spans" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.tel.WriteSpansJSONL(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.tel.WriteMergedChromeTrace(w)
+}
+
+// ResetRequestMetrics zeroes every request-scoped instrument: service
+// counters, per-ruleset latency and pool-wait histograms, shed counters,
+// pool-wait share accumulators, the compile-path histogram and any
+// buffered spans. Cumulative compile-cache statistics are process-wide and
+// not reset. The load generator calls it between benchmarks so each row's
+// server-side SLO columns describe only that benchmark's requests.
+func (s *Server) ResetRequestMetrics() {
+	s.requests.Store(0)
+	s.scans.Store(0)
+	s.scanBytes.Store(0)
+	s.matches.Store(0)
+	s.errors.Store(0)
+	s.compileNS.Reset()
+	if s.spans != nil {
+		s.spans.Reset()
+	}
+	s.mu.RLock()
+	for _, rs := range s.rulesets {
+		rs.scans.Store(0)
+		rs.bytes.Store(0)
+		rs.matches.Store(0)
+		rs.lat.Reset()
+		rs.wait.Reset()
+		rs.waitNS.Store(0)
+		rs.servedNS.Store(0)
+		rs.shedCapacity.Reset()
+		rs.shedDeadline.Reset()
+		rs.shedDraining.Reset()
+	}
+	s.mu.RUnlock()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -602,14 +858,18 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 
 // writeAcquireError maps pool-acquisition failures: a full queue and a
 // drain are load shedding (503, retryable elsewhere), an expired request
-// deadline is 504.
-func (s *Server) writeAcquireError(w http.ResponseWriter, err error) {
+// deadline is 504. Each shed is attributed to the ruleset's per-reason
+// counter for /metrics.
+func (s *Server) writeAcquireError(w http.ResponseWriter, rs *ruleset, err error) {
 	switch {
 	case errors.Is(err, ErrPoolBusy):
+		rs.shedCapacity.Inc()
 		s.writeError(w, http.StatusServiceUnavailable, "engine pool saturated, retry later")
 	case errors.Is(err, context.DeadlineExceeded):
+		rs.shedDeadline.Inc()
 		s.writeError(w, http.StatusGatewayTimeout, "timed out waiting for an engine")
 	default:
+		rs.shedCapacity.Inc()
 		s.writeError(w, http.StatusServiceUnavailable, err.Error())
 	}
 }

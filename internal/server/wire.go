@@ -207,3 +207,75 @@ type StreamEvent struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// LatencySLOJSON is a server-side latency summary: nearest-rank quantiles
+// estimated from a log-bucket duration histogram (relative error bounded
+// by one bucket width, ~29% at 9 buckets per decade), plus the exact
+// count, mean and max. All durations are nanoseconds.
+type LatencySLOJSON struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// ShedJSON counts requests shed by reason: capacity (pool queue full),
+// deadline (timed out waiting for an engine), draining (graceful
+// shutdown in progress).
+type ShedJSON struct {
+	Capacity int64 `json:"capacity"`
+	Deadline int64 `json:"deadline"`
+	Draining int64 `json:"draining"`
+}
+
+// RulesetMetricsJSON is one ruleset's request-level serving metrics.
+// PoolWaitShare is the fraction of served wall-clock time spent waiting
+// for a pooled engine — the queueing-delay share of server-side latency.
+type RulesetMetricsJSON struct {
+	Scans         int64          `json:"scans"`
+	Bytes         int64          `json:"bytes"`
+	Matches       int64          `json:"matches"`
+	Latency       LatencySLOJSON `json:"latency"`
+	PoolWait      LatencySLOJSON `json:"pool_wait"`
+	PoolWaitShare float64        `json:"pool_wait_share"`
+	Shed          ShedJSON       `json:"shed"`
+}
+
+// ServiceMetricsJSON mirrors the service-level counters of the text view.
+type ServiceMetricsJSON struct {
+	Requests      int64 `json:"requests"`
+	Scans         int64 `json:"scans"`
+	ScanBytes     int64 `json:"scan_bytes"`
+	Matches       int64 `json:"matches"`
+	Errors        int64 `json:"errors"`
+	ActiveStreams int64 `json:"active_streams"`
+	Rulesets      int   `json:"rulesets"`
+}
+
+// CompileCacheJSON mirrors sunder.CompileCacheStats.
+type CompileCacheJSON struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+	HitNS    int64 `json:"hit_ns_total"`
+	MissNS   int64 `json:"miss_ns_total"`
+}
+
+// SpanStatsJSON reports the span buffer's occupancy (present only when
+// tracing is enabled).
+type SpanStatsJSON struct {
+	Buffered int   `json:"buffered"`
+	Dropped  int64 `json:"dropped"`
+}
+
+// MetricsJSON is the GET /metrics?format=json response.
+type MetricsJSON struct {
+	Service      ServiceMetricsJSON            `json:"service"`
+	CompileCache CompileCacheJSON              `json:"compile_cache"`
+	Compile      LatencySLOJSON                `json:"compile"`
+	Rulesets     map[string]RulesetMetricsJSON `json:"rulesets"`
+	Spans        *SpanStatsJSON                `json:"spans,omitempty"`
+}

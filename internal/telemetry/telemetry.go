@@ -28,6 +28,9 @@ type Counter struct {
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
 // Add adds n.
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
@@ -75,6 +78,17 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is overflow
 	sum    atomic.Int64
 	n      atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns a standalone histogram with the given bucket
+// bounds (sorted copies), for callers that manage their own instrument
+// families (per-ruleset latency histograms) rather than a Registry.
+func NewHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
 // Observe records one observation.
@@ -83,6 +97,22 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.n.Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Reset zeroes the histogram's counts, sum and max.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.n.Store(0)
+	h.max.Store(0)
 }
 
 // Count returns the total number of observations.
@@ -215,11 +245,7 @@ func (r *Registry) Reset() {
 		}
 	}
 	for _, h := range r.histos {
-		for i := range h.counts {
-			h.counts[i].Store(0)
-		}
-		h.sum.Store(0)
-		h.n.Store(0)
+		h.Reset()
 	}
 }
 
@@ -287,12 +313,14 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
-// Collector bundles a registry with an optional event tracer. It is the
-// unit attached to a Machine; a nil *Collector means telemetry is
-// disabled and costs one branch per instrumentation site.
+// Collector bundles a registry with an optional cycle-event tracer and an
+// optional wall-clock span tracer. It is the unit attached to a Machine;
+// a nil *Collector means telemetry is disabled and costs one branch per
+// instrumentation site.
 type Collector struct {
 	*Registry
 	tracer *Tracer
+	spans  *SpanTracer
 }
 
 // NewCollector returns a collector with a fresh registry and no tracer.
@@ -310,11 +338,31 @@ func (c *Collector) EnableTrace(capacity int) *Tracer {
 // Tracer returns the attached tracer, or nil when tracing is disabled.
 func (c *Collector) Tracer() *Tracer { return c.tracer }
 
-// Reset zeroes all instruments and drops buffered trace events.
+// EnableSpans attaches a wall-clock span tracer retaining up to capacity
+// spans (DefaultSpanCapacity if capacity <= 0), sampling every
+// sampleEvery-th root span, and returns it.
+func (c *Collector) EnableSpans(capacity, sampleEvery int) *SpanTracer {
+	c.spans = NewSpanTracer(capacity, sampleEvery)
+	return c.spans
+}
+
+// Spans returns the attached span tracer, or nil when span tracing is
+// disabled (nil is a valid no-op tracer for every SpanTracer method).
+func (c *Collector) Spans() *SpanTracer {
+	if c == nil {
+		return nil
+	}
+	return c.spans
+}
+
+// Reset zeroes all instruments and drops buffered trace events and spans.
 func (c *Collector) Reset() {
 	c.Registry.Reset()
 	if c.tracer != nil {
 		c.tracer.Reset()
+	}
+	if c.spans != nil {
+		c.spans.Reset()
 	}
 }
 

@@ -145,30 +145,29 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 // stall window; report writes and stride markers render as instant ("i")
 // events; region occupancy renders as per-PU counter ("C") tracks.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+	c := newChromeEmitter(w)
+	if err := c.open(); err != nil {
 		return err
 	}
-	first := true
-	emit := func(format string, args ...any) error {
-		if !first {
-			if _, err := io.WriteString(bw, ",\n"); err != nil {
-				return err
-			}
-		}
-		first = false
-		_, err := fmt.Fprintf(bw, format, args...)
+	if err := t.writeChromeEvents(c); err != nil {
 		return err
 	}
+	return c.close()
+}
+
+// writeChromeEvents emits the device events on pid 0 through the shared
+// emitter, so they can be merged with wall-clock spans (pid 1) into one
+// document (see WriteMergedChromeTrace).
+func (t *Tracer) writeChromeEvents(c *chromeEmitter) error {
 	// Name the process and each PU thread that appears in the trace.
-	if err := emit(`{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"sunder device"}}`); err != nil {
+	if err := c.emit(`{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"sunder device"}}`); err != nil {
 		return err
 	}
 	seenPU := map[int32]bool{}
 	for _, ev := range t.snapshot() {
 		if !seenPU[ev.PU] {
 			seenPU[ev.PU] = true
-			if err := emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"PU %d"}}`,
+			if err := c.emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"PU %d"}}`,
 				ev.PU, ev.PU); err != nil {
 				return err
 			}
@@ -176,24 +175,21 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		var err error
 		switch {
 		case ev.Stall > 0:
-			err = emit(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"cycle":%d,"stall_cycles":%d,"occupancy":%d}}`,
+			err = c.emit(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"cycle":%d,"stall_cycles":%d,"occupancy":%d}}`,
 				ev.PU, ev.Cycle, ev.Stall, ev.Kind.String(), ev.Cycle, ev.Stall, ev.Occ)
 		default:
-			err = emit(`{"ph":"i","pid":0,"tid":%d,"ts":%d,"s":"t","name":%q,"args":{"cycle":%d,"occupancy":%d}}`,
+			err = c.emit(`{"ph":"i","pid":0,"tid":%d,"ts":%d,"s":"t","name":%q,"args":{"cycle":%d,"occupancy":%d}}`,
 				ev.PU, ev.Cycle, ev.Kind.String(), ev.Cycle, ev.Occ)
 		}
 		if err != nil {
 			return err
 		}
 		if ev.Kind == EventReportWrite || ev.Kind == EventFlush || ev.Kind == EventOverflow || ev.Kind == EventSummarize {
-			if err := emit(`{"ph":"C","pid":0,"tid":%d,"ts":%d,"name":"occupancy PU %d","args":{"entries":%d}}`,
+			if err := c.emit(`{"ph":"C","pid":0,"tid":%d,"ts":%d,"name":"occupancy PU %d","args":{"entries":%d}}`,
 				ev.PU, ev.Cycle, ev.PU, ev.Occ); err != nil {
 				return err
 			}
 		}
 	}
-	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return nil
 }

@@ -26,7 +26,7 @@ fi
 # `go test -bench` exits 0 even when individual benchmarks fail to match or
 # a FAIL line slips through under -run '^$'; capture the output and check
 # explicitly so a silent regression cannot pass the harness.
-bench_out="$(go test -run '^$' -bench 'ScanParallel|CompileCache' -benchtime "${BENCHTIME:-1x}" . 2>&1)" || {
+bench_out="$(go test -run '^$' -bench 'ScanParallel|CompileCache|TelemetryOverhead|SpanOverhead' -benchtime "${BENCHTIME:-1x}" . 2>&1)" || {
   echo "$bench_out"
   echo "bench.sh: go test -bench failed" >&2
   exit 1
@@ -39,4 +39,29 @@ fi
 if ! grep -q '^Benchmark' <<<"$bench_out"; then
   echo "bench.sh: no benchmarks matched the pattern" >&2
   exit 1
+fi
+
+# Telemetry-overhead guard: with instrumentation disabled, the hot path
+# must stay within 1.5x of the spans-off baseline of the same benchmark
+# family (TelemetryOverhead/off vs /counters would drift apart only if a
+# guard branch turned into real work; SpanOverhead/off vs /all bounds the
+# span sites the same way). Only meaningful with a real BENCHTIME — a 1x
+# smoke run is all warm-up noise, so the guard is skipped there.
+if [ "${BENCHTIME:-1x}" != "1x" ]; then
+  overhead_guard() { # name_off name_on max_ratio
+    local off on
+    off=$(awk -v n="$1" '$1 ~ n {print $3; exit}' <<<"$bench_out")
+    on=$(awk -v n="$2" '$1 ~ n {print $3; exit}' <<<"$bench_out")
+    if [ -n "$off" ] && [ -n "$on" ]; then
+      awk -v off="$off" -v on="$on" -v max="$3" -v a="$1" -v b="$2" 'BEGIN {
+        if (off > 0 && on / off > max) {
+          printf "bench.sh: %s (%s ns/op) exceeds %.1fx of %s (%s ns/op)\n", b, on, max, a, off
+          exit 1
+        }
+      }' || exit 1
+    fi
+  }
+  overhead_guard 'BenchmarkSpanOverhead/off' 'BenchmarkSpanOverhead/sampled-16' 1.5
+  overhead_guard 'BenchmarkTelemetryOverhead/off' 'BenchmarkTelemetryOverhead/counters' 1.5
+  echo "bench.sh: telemetry overhead guard passed"
 fi

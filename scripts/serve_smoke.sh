@@ -10,7 +10,7 @@ addr="127.0.0.1:${SERVE_PORT:-8471}"
 base="http://$addr"
 
 go build -o /tmp/sunder-serve ./cmd/sunder-serve
-/tmp/sunder-serve -addr "$addr" -pool 2 &
+/tmp/sunder-serve -addr "$addr" -pool 2 -trace-sample 1 &
 srv_pid=$!
 cleanup() { kill "$srv_pid" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -55,9 +55,47 @@ echo "stream: $stream"
 grep -q '"match"' <<<"$stream" || { echo "serve_smoke: stream had no matches" >&2; exit 1; }
 grep -q '"done":true' <<<"$stream" || { echo "serve_smoke: stream had no done line" >&2; exit 1; }
 
-# Metrics reflect the traffic.
-curl -sf "$base/metrics" | grep -q '^server_scans_total [1-9]' || {
+# Metrics reflect the traffic, with the right Content-Type, the per-ruleset
+# latency quantiles and the per-reason shed counters.
+metrics_headers=$(curl -sfi "$base/metrics")
+grep -qi '^content-type: text/plain; charset=utf-8' <<<"$metrics_headers" || {
+  echo "serve_smoke: /metrics Content-Type is not text/plain" >&2; exit 1; }
+metrics=$(curl -sf "$base/metrics")
+grep -q '^server_scans_total [1-9]' <<<"$metrics" || {
   echo "serve_smoke: metrics missing scan count" >&2; exit 1; }
+grep -q 'server_scan_latency_ns_p99{ruleset="smoke"}' <<<"$metrics" || {
+  echo "serve_smoke: metrics missing per-ruleset latency quantiles" >&2; exit 1; }
+grep -q 'server_shed_total{ruleset="smoke",reason="capacity"}' <<<"$metrics" || {
+  echo "serve_smoke: metrics missing shed counters" >&2; exit 1; }
+
+# JSON metrics view: application/json, with server-side SLO quantiles.
+json_headers=$(curl -sfi "$base/metrics?format=json")
+grep -qi '^content-type: application/json' <<<"$json_headers" || {
+  echo "serve_smoke: /metrics?format=json Content-Type is not application/json" >&2; exit 1; }
+mjson=$(curl -sf "$base/metrics?format=json")
+if command -v jq >/dev/null; then
+  p50=$(jq '.rulesets.smoke.latency.p50_ns' <<<"$mjson")
+  [ "$p50" -gt 0 ] || { echo "serve_smoke: JSON metrics p50_ns not positive: $p50" >&2; exit 1; }
+  jq -e '.rulesets.smoke.shed.capacity >= 0 and .compile_cache.misses >= 1' >/dev/null <<<"$mjson" || {
+    echo "serve_smoke: JSON metrics shape wrong" >&2; exit 1; }
+else
+  grep -q '"p50_ns":[1-9]' <<<"$mjson" || {
+    echo "serve_smoke: JSON metrics missing positive p50_ns" >&2; exit 1; }
+fi
+
+# Trace smoke: the merged Chrome trace is valid JSON holding the sampled
+# request spans; ?format=spans yields one JSON object per line.
+trace=$(curl -sf "$base/trace")
+if command -v jq >/dev/null; then
+  nspans=$(jq '[.traceEvents[] | select(.pid == 1)] | length' <<<"$trace")
+  [ "$nspans" -gt 0 ] || { echo "serve_smoke: trace has no request spans" >&2; exit 1; }
+else
+  grep -q '"name":"scan"' <<<"$trace" || {
+    echo "serve_smoke: trace missing scan span" >&2; exit 1; }
+fi
+spans=$(curl -sf "$base/trace?format=spans")
+grep -q '"name":"pool_wait"' <<<"$spans" || {
+  echo "serve_smoke: span JSONL missing pool_wait child" >&2; exit 1; }
 
 # Graceful shutdown: SIGTERM, clean exit.
 kill -TERM "$srv_pid"

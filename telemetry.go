@@ -16,6 +16,16 @@ type TelemetryOptions struct {
 	// TraceCapacity caps the number of buffered trace events; events
 	// beyond it are counted as dropped. 0 selects the default (1M).
 	TraceCapacity int
+	// Spans enables wall-clock span tracing: sampled, parent-linked
+	// begin/end intervals recorded by the serve path (requests, pool
+	// waits) and the parallel scheduler (per-shard warm-up vs. productive
+	// execution). Spans live beside the cycle-level event trace and merge
+	// with it into one Chrome trace timeline (WriteMergedChromeTrace).
+	Spans bool
+	// SpanCapacity caps buffered spans (0 selects the default, 64k);
+	// SpanSampleEvery records every Nth root span (<= 1 records all).
+	SpanCapacity    int
+	SpanSampleEvery int
 }
 
 // Telemetry is a device observability collector: per-PU counters, a
@@ -36,6 +46,9 @@ func NewTelemetry(opts TelemetryOptions) *Telemetry {
 	col := telemetry.NewCollector()
 	if opts.Trace {
 		col.EnableTrace(opts.TraceCapacity)
+	}
+	if opts.Spans {
+		col.EnableSpans(opts.SpanCapacity, opts.SpanSampleEvery)
 	}
 	return &Telemetry{col: col}
 }
@@ -104,6 +117,42 @@ func (t *Telemetry) TraceEvents() (buffered int, dropped int64) {
 		return 0, 0
 	}
 	return len(tr.Events()), tr.Dropped()
+}
+
+// Spans returns the wall-clock span tracer, or nil when span tracing is
+// disabled. A nil tracer is safe to use — Root returns nil and every
+// span method no-ops — so callers instrument unconditionally. The return
+// type lives in an internal package; external callers interact with it
+// through its methods (Root/Child/End and the Write* exporters).
+func (t *Telemetry) Spans() *telemetry.SpanTracer {
+	return t.col.Spans()
+}
+
+// SpanStats returns the number of recorded spans and the number dropped
+// after the span buffer filled.
+func (t *Telemetry) SpanStats() (buffered int, dropped int64) {
+	sp := t.col.Spans()
+	if sp == nil {
+		return 0, 0
+	}
+	return len(sp.Spans()), sp.Dropped()
+}
+
+// WriteSpansJSONL writes the recorded wall-clock spans as one JSON object
+// per line ({"id":…,"parent":…,"name":…,"start_ns":…,"dur_ns":…}).
+// Without span tracing enabled it writes nothing.
+func (t *Telemetry) WriteSpansJSONL(w io.Writer) error {
+	return t.col.Spans().WriteJSONL(w)
+}
+
+// WriteMergedChromeTrace writes one Chrome trace_event document holding
+// both the device cycle trace (pid 0, one trace microsecond per device
+// cycle) and the wall-clock spans (pid 1, microseconds since the span
+// tracer's epoch), so device events and serve-path stages load on a
+// single chrome://tracing / Perfetto timeline. Disabled tracers
+// contribute no events; the document is always valid JSON.
+func (t *Telemetry) WriteMergedChromeTrace(w io.Writer) error {
+	return telemetry.WriteMergedChromeTrace(w, t.col.Tracer(), t.col.Spans())
 }
 
 // PUStats is the per-processing-unit breakdown of a scan's device
