@@ -9,6 +9,8 @@
 //	sunder-serve -loadgen                 # drive all 19 benchmark inputs through an in-process server
 //	sunder-serve -loadgen -json > BENCH_serve.json
 //	sunder-serve -loadgen -bench Snort -clients 8 -requests 16
+//	sunder-serve -cluster 3 -replicas 2   # serve a replicated in-process cluster front door
+//	sunder-serve -loadgen -cluster 3 -chaos -json > BENCH_cluster.json
 //
 // Serving endpoints:
 //
@@ -33,12 +35,15 @@ import (
 	"log"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"sunder/internal/cliutil"
+	"sunder/internal/cluster"
 	"sunder/internal/exp"
 	"sunder/internal/loadgen"
 	"sunder/internal/server"
@@ -65,6 +70,10 @@ func main() {
 		scale    = flag.Float64("scale", 0, "loadgen: override benchmark scale (0,1]")
 		inputLen = flag.Int("input", 0, "loadgen: override input length in bytes")
 		jsonOut  = flag.Bool("json", false, "loadgen: emit rows as JSON (BENCH_serve.json shape)")
+		nodes    = flag.Int("cluster", 0, "run N in-process nodes behind a replicated front door (0 = single server)")
+		replicas = flag.Int("replicas", 2, "cluster: replicas per ruleset")
+		chaosOn  = flag.Bool("chaos", false, "cluster loadgen: inject the default deterministic fault mix")
+		seed     = flag.Int64("seed", 1, "cluster: seed for client jitter, arrivals and chaos")
 		profiles = cliutil.ProfileFlags()
 	)
 	flag.Parse()
@@ -86,7 +95,27 @@ func main() {
 	}
 
 	if *loadgen {
-		if err := runLoadgen(cfg, *benches, *clients, *requests, *scale, *inputLen, *jsonOut); err != nil {
+		var err error
+		if *nodes > 0 {
+			err = runClusterLoadgen(*benches, *requests, *scale, *inputLen, *jsonOut,
+				*nodes, *replicas, *chaosOn, *seed)
+		} else {
+			err = runLoadgen(cfg, *benches, *clients, *requests, *scale, *inputLen, *jsonOut)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *nodes > 0 {
+		if err := serveCluster(ctx, cfg, *addr, *nodes, *replicas, *seed, *drain); err != nil {
 			log.Fatal(err)
 		}
 		if err := stopProfiles(); err != nil {
@@ -101,14 +130,51 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	if err := srv.Run(ctx, ln); err != nil {
 		log.Fatal(err)
 	}
 	if err := stopProfiles(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// serveCluster runs N in-process nodes behind the replicated front door on
+// one listener: requests route through the resilient client (retries,
+// hedging, circuit breaking), so a drained or failed node is invisible to
+// callers as long as a replica survives.
+func serveCluster(ctx context.Context, cfg server.Config, addr string, nodes, replicas int, seed int64, drain time.Duration) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cl := cluster.New(cluster.Config{
+		Nodes:    nodes,
+		Replicas: replicas,
+		Node:     cfg,
+		Client:   cluster.ClientConfig{Seed: seed},
+		Logger:   logger,
+	})
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	cl.StartProbes(probeCtx, time.Second)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: cl.Handler()}
+	logger.Info("cluster front door listening", "addr", ln.Addr().String(),
+		"nodes", nodes, "replicas", replicas)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return hs.Shutdown(shutCtx)
 }
 
 func runLoadgen(cfg server.Config, benches string, clients, requests int, scale float64, inputLen int, jsonOut bool) error {
@@ -145,6 +211,55 @@ func runLoadgen(cfg server.Config, benches string, clients, requests int, scale 
 	for _, r := range rows {
 		if !r.OutputOK || !r.StreamOK {
 			return fmt.Errorf("%s: service output diverged from local Scan", r.Name)
+		}
+	}
+	return nil
+}
+
+// runClusterLoadgen drives the benchmarks through an in-process replicated
+// cluster under open-loop arrivals, optionally with the default chaos mix,
+// and emits exp.Results{Cluster: rows} for -json (BENCH_cluster.json).
+func runClusterLoadgen(benches string, requests int, scale float64, inputLen int, jsonOut bool, nodes, replicas int, chaosOn bool, seed int64) error {
+	opts := exp.DefaultOptions()
+	if scale > 0 {
+		opts.Scale = scale
+	}
+	if inputLen > 0 {
+		opts.InputLen = inputLen
+	}
+	names := workload.Names()
+	if benches != "" {
+		names = nil
+		for _, n := range strings.Split(benches, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	ccfg := loadgen.ClusterConfig{
+		Nodes:    nodes,
+		Replicas: replicas,
+		Requests: requests,
+		Seed:     seed,
+	}
+	if chaosOn {
+		ccfg.Chaos = loadgen.DefaultChaos(seed)
+	}
+	rows, err := loadgen.ClusterStudy(opts, names, ccfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		res := &exp.Results{Options: opts, Cluster: rows}
+		return res.WriteJSON(os.Stdout)
+	}
+	exp.FprintClusterStudy(os.Stdout, rows)
+	for _, r := range rows {
+		if !r.OutputOK {
+			return fmt.Errorf("%s: cluster output diverged from local reference", r.Name)
+		}
+		if r.Availability < 0.999 {
+			return fmt.Errorf("%s: availability %.4f below 99.9%%", r.Name, r.Availability)
 		}
 	}
 	return nil

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic and counts failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast: the node has accumulated enough consecutive
+	// failures (transport errors, 5xx sheds, digest mismatches, failed
+	// health probes) that sending more traffic only burns the retry budget.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe after the cooldown; its outcome
+	// closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one node's circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects traffic before admitting
+	// a half-open probe (default 1s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	return c
+}
+
+// breaker is one node's circuit breaker. Time is always passed in by the
+// caller (the client's injected clock), never read here, so breaker
+// transitions are a pure function of the outcome sequence and timestamps —
+// deterministic under test clocks.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	// opens counts closed/half-open -> open transitions for /metrics.
+	opens int64
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// allow reports whether a request may be sent to this node now. An open
+// breaker past its cooldown transitions to half-open and admits exactly
+// one caller as the probe.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		// One probe is already in flight; hold further traffic until its
+		// outcome lands.
+		return false
+	}
+	return false
+}
+
+// success records a served request: any state closes.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecFails = 0
+}
+
+// failure records a failed request or probe at the given time.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		// Failed probe: straight back to open, fresh cooldown.
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.opens++
+		return
+	}
+	b.consecFails++
+	if b.state == BreakerClosed && b.consecFails >= b.cfg.FailureThreshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.opens++
+	}
+}
+
+// snapshot returns the state and the open-transition count.
+func (b *breaker) snapshot() (BreakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the full closed -> open -> half-open ->
+// closed cycle with a manual clock: breaker transitions are a pure
+// function of the outcome sequence and the timestamps passed in.
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second})
+	clock := time.Unix(1000, 0)
+
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("initial state %v, want closed", st)
+	}
+	// Failures below the threshold keep it closed.
+	b.failure(clock)
+	b.failure(clock)
+	if !b.allow(clock) {
+		t.Fatal("closed breaker under threshold must allow")
+	}
+	// A success resets the consecutive count entirely.
+	b.success()
+	b.failure(clock)
+	b.failure(clock)
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state %v after reset + 2 failures, want closed", st)
+	}
+	// Third consecutive failure opens it.
+	b.failure(clock)
+	if st, opens := b.snapshot(); st != BreakerOpen || opens != 1 {
+		t.Fatalf("state %v opens %d, want open/1", st, opens)
+	}
+	if b.allow(clock.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker inside cooldown must reject")
+	}
+	// Past the cooldown: exactly one probe admitted (half-open).
+	probeTime := clock.Add(1100 * time.Millisecond)
+	if !b.allow(probeTime) {
+		t.Fatal("open breaker past cooldown must admit one probe")
+	}
+	if b.allow(probeTime) {
+		t.Fatal("half-open breaker must hold a second caller")
+	}
+	// Failed probe: straight back to open with a fresh cooldown.
+	b.failure(probeTime)
+	if st, opens := b.snapshot(); st != BreakerOpen || opens != 2 {
+		t.Fatalf("state %v opens %d after failed probe, want open/2", st, opens)
+	}
+	if b.allow(probeTime.Add(500 * time.Millisecond)) {
+		t.Fatal("re-opened breaker must honor the fresh cooldown")
+	}
+	// Successful probe closes it.
+	probe2 := probeTime.Add(1100 * time.Millisecond)
+	if !b.allow(probe2) {
+		t.Fatal("second probe not admitted")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", st)
+	}
+	if !b.allow(probe2) {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+// TestBreakerHalfOpenFailureCountsOpen: opens increments on every
+// transition into open, including probe failures, so /metrics shows flap
+// history.
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(BreakerConfig{})
+	if b.cfg.FailureThreshold != 5 || b.cfg.Cooldown != time.Second {
+		t.Fatalf("defaults = %+v, want threshold 5, cooldown 1s", b.cfg)
+	}
+}

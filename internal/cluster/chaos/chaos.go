@@ -1,0 +1,258 @@
+// Package chaos is a deterministic network-fault process for the cluster:
+// an http.RoundTripper wrapper that drops requests, delays and truncates
+// and corrupts responses, and kills whole nodes, driven by a seeded RNG in
+// the style of internal/faults.Injector.
+//
+// Determinism guarantee: the fault decision for the k-th request a node
+// receives is a pure function of (Seed, node ID, k) — reseeded per
+// request from mix(seed, hash(node), k), exactly as the fault injector
+// reseeds per (seed, window, attempt). Re-running a workload with the same
+// seed and the same per-node request sequence replays the same faults;
+// under concurrency the assignment of logical requests to indices follows
+// the arrival interleaving, but the per-node fault stream itself (which
+// indices drop, delay, truncate, corrupt) never changes.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrDropped is the transport error surfaced for a chaos-dropped request
+// or a request to a killed node; it models a connection reset and is
+// retryable by the resilient client.
+var ErrDropped = errors.New("chaos: connection dropped")
+
+// Config sets per-request fault probabilities (each in [0, 1]) and the
+// fault magnitudes.
+type Config struct {
+	// Seed drives every fault decision. The zero seed is a valid seed.
+	Seed int64
+	// DropRate drops the request outright (transport error, nothing
+	// reaches the node).
+	DropRate float64
+	// DelayRate delays the response by up to MaxDelay (deterministic
+	// per-request duration, interruptible by request-context cancelation —
+	// a per-try timeout converts a long delay into a timeout error).
+	DelayRate float64
+	// MaxDelay bounds injected delays (default 20ms).
+	MaxDelay time.Duration
+	// TruncateRate cuts the response body at a deterministic fraction —
+	// the partial-response failure a dying connection produces.
+	TruncateRate float64
+	// CorruptRate flips one deterministic byte of the response body — the
+	// silent-corruption case only an end-to-end digest catches.
+	CorruptRate float64
+	// KillAfter kills a node (all later requests fail with ErrDropped)
+	// once it has served the given number of requests: the deterministic
+	// mid-run node failure of the differential suite. Each entry fires at
+	// most once, so Revive genuinely brings the node back.
+	KillAfter map[string]int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Counts tallies injected faults.
+type Counts struct {
+	Requests  int64 `json:"requests"`
+	Dropped   int64 `json:"dropped"`
+	Delayed   int64 `json:"delayed"`
+	Truncated int64 `json:"truncated"`
+	Corrupted int64 `json:"corrupted"`
+	Refused   int64 `json:"refused"` // requests to killed nodes
+	Kills     int64 `json:"kills"`
+}
+
+// Controller owns the fault process across every wrapped node transport.
+type Controller struct {
+	cfg Config
+
+	mu     sync.Mutex
+	reqs   map[string]int64 // per-node request index
+	killed map[string]bool
+	counts Counts
+}
+
+// NewController builds a controller for the config.
+func NewController(cfg Config) *Controller {
+	return &Controller{
+		cfg:    cfg.withDefaults(),
+		reqs:   make(map[string]int64),
+		killed: make(map[string]bool),
+	}
+}
+
+// Wrap returns node's transport behind the fault process.
+func (c *Controller) Wrap(node string, rt http.RoundTripper) http.RoundTripper {
+	return &transport{ctl: c, node: node, inner: rt}
+}
+
+// Kill marks a node dead: every request to it fails with ErrDropped until
+// Revive. Idempotent.
+func (c *Controller) Kill(node string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.killed[node] {
+		c.killed[node] = true
+		c.counts.Kills++
+	}
+}
+
+// Revive brings a killed node back.
+func (c *Controller) Revive(node string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.killed, node)
+}
+
+// Killed reports whether a node is currently dead.
+func (c *Controller) Killed(node string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed[node]
+}
+
+// Counts snapshots the fault tallies.
+func (c *Controller) Counts() Counts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// decision is the fault plan for one request, drawn deterministically.
+type decision struct {
+	refuse   bool
+	drop     bool
+	delay    time.Duration
+	truncate float64 // fraction of body kept; <0 = no truncation
+	corrupt  bool
+}
+
+// next draws the k-th decision for a node and advances the node's request
+// index, applying KillAfter.
+func (c *Controller) next(node string) decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.reqs[node]
+	c.reqs[node] = k + 1
+	c.counts.Requests++
+	if ka, ok := c.cfg.KillAfter[node]; ok && k >= ka && !c.killed[node] {
+		c.killed[node] = true
+		c.counts.Kills++
+		// One-shot: Revive genuinely restores the node instead of tripping
+		// the same threshold on its next request.
+		delete(c.cfg.KillAfter, node)
+	}
+	if c.killed[node] {
+		c.counts.Refused++
+		return decision{refuse: true}
+	}
+	rng := rand.New(rand.NewSource(mix(c.cfg.Seed, int64(hashNode(node)), k)))
+	d := decision{truncate: -1}
+	if rng.Float64() < c.cfg.DropRate {
+		d.drop = true
+		c.counts.Dropped++
+		return d
+	}
+	if rng.Float64() < c.cfg.DelayRate {
+		d.delay = time.Duration(rng.Int63n(int64(c.cfg.MaxDelay)) + 1)
+		c.counts.Delayed++
+	}
+	if rng.Float64() < c.cfg.TruncateRate {
+		d.truncate = rng.Float64()
+		c.counts.Truncated++
+	} else if rng.Float64() < c.cfg.CorruptRate {
+		d.corrupt = true
+		c.counts.Corrupted++
+	}
+	return d
+}
+
+// transport applies the controller's fault stream to one node's requests.
+type transport struct {
+	ctl   *Controller
+	node  string
+	inner http.RoundTripper
+}
+
+// RoundTrip draws this request's fault decision and applies it around the
+// inner transport. Response-body faults (truncate, corrupt) buffer the
+// body — chaos is a test/bench facility, and the bodies it handles are
+// bounded by the server's MaxBodyBytes.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.ctl.next(t.node)
+	if d.refuse || d.drop {
+		return nil, fmt.Errorf("%w (node %s)", ErrDropped, t.node)
+	}
+	if d.delay > 0 {
+		if err := sleepCtx(req.Context(), d.delay); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || (d.truncate < 0 && !d.corrupt) {
+		return resp, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if d.truncate >= 0 {
+		body = body[:int(float64(len(body))*d.truncate)]
+		// A truncated wire response arrives short without a corrected
+		// Content-Length — keep the original header so length-checking
+		// clients see the mismatch.
+	} else if d.corrupt && len(body) > 0 {
+		// Flip one deterministic byte. Position derives from the decision
+		// stream's own RNG state via the body length, keeping the choice a
+		// pure function of (seed, node, k, body).
+		pos := int(mix(t.ctl.cfg.Seed, int64(hashNode(t.node)), int64(len(body))) % int64(len(body)))
+		if pos < 0 {
+			pos += len(body)
+		}
+		body[pos] ^= 0x20
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	return resp, nil
+}
+
+// sleepCtx waits for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	tmr := time.NewTimer(d)
+	defer tmr.Stop()
+	select {
+	case <-tmr.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func hashNode(node string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	return h.Sum64()
+}
+
+// mix is splitmix64 over the seed and two stream coordinates — the same
+// construction internal/faults uses to reseed per (window, attempt).
+func mix(seed, a, b int64) int64 {
+	z := uint64(seed) ^ uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// fixedRT answers every request with the same 200 body.
+type fixedRT struct{ body []byte }
+
+func (f fixedRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode:    http.StatusOK,
+		Header:        make(http.Header),
+		Body:          io.NopCloser(bytes.NewReader(f.body)),
+		ContentLength: int64(len(f.body)),
+		Request:       req,
+	}, nil
+}
+
+var testBody = []byte(`{"ruleset":"x","results":[{"matches":[],"stats":{}}]}` + "\n")
+
+func doOne(t *testing.T, rt http.RoundTripper) (body []byte, contentLength int64, err error) {
+	t.Helper()
+	req, rerr := http.NewRequest(http.MethodGet, "http://node/x", nil)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return b, resp.ContentLength, nil
+}
+
+// outcome is one request's observable result, for replay comparison.
+type outcome struct {
+	err  bool
+	body string
+}
+
+func runSequence(t *testing.T, cfg Config, nodes []string, perNode int) ([]outcome, Counts) {
+	t.Helper()
+	ctl := NewController(cfg)
+	rts := make(map[string]http.RoundTripper, len(nodes))
+	for _, n := range nodes {
+		rts[n] = ctl.Wrap(n, fixedRT{body: testBody})
+	}
+	var out []outcome
+	for i := 0; i < perNode; i++ {
+		for _, n := range nodes {
+			b, _, err := doOne(t, rts[n])
+			out = append(out, outcome{err: err != nil, body: string(b)})
+		}
+	}
+	return out, ctl.Counts()
+}
+
+// TestChaosDeterministicReplay: the same seed over the same per-node
+// request sequence replays byte-identical faults — the guarantee the
+// differential suite and the CI chaos-smoke job rest on.
+func TestChaosDeterministicReplay(t *testing.T) {
+	cfg := Config{
+		Seed:         7,
+		DropRate:     0.2,
+		DelayRate:    0.2,
+		MaxDelay:     time.Millisecond,
+		TruncateRate: 0.2,
+		CorruptRate:  0.2,
+	}
+	a, ca := runSequence(t, cfg, []string{"node0", "node1"}, 40)
+	b, cb := runSequence(t, cfg, []string{"node0", "node1"}, 40)
+	if len(a) != len(b) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d diverged across replays: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if ca != cb {
+		t.Fatalf("fault counts diverged: %+v vs %+v", ca, cb)
+	}
+	if ca.Dropped == 0 || ca.Delayed == 0 || ca.Truncated == 0 || ca.Corrupted == 0 {
+		t.Fatalf("fault mix never exercised some fault class: %+v", ca)
+	}
+	// A different seed draws a different fault stream.
+	cfg.Seed = 8
+	c, cc := runSequence(t, cfg, []string{"node0", "node1"}, 40)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same && ca == cc {
+		t.Fatal("different seeds replayed the identical fault stream")
+	}
+}
+
+// TestChaosKillAfterOnceAndRevive: KillAfter fires deterministically at
+// the configured request index, at most once, and Revive restores the
+// node for good.
+func TestChaosKillAfterOnceAndRevive(t *testing.T) {
+	ctl := NewController(Config{Seed: 1, KillAfter: map[string]int64{"node0": 3}})
+	rt := ctl.Wrap("node0", fixedRT{body: testBody})
+	for i := 0; i < 3; i++ {
+		if _, _, err := doOne(t, rt); err != nil {
+			t.Fatalf("request %d before kill threshold failed: %v", i, err)
+		}
+	}
+	if _, _, err := doOne(t, rt); !errors.Is(err, ErrDropped) {
+		t.Fatalf("request at kill threshold: err %v, want ErrDropped", err)
+	}
+	if !ctl.Killed("node0") {
+		t.Fatal("node0 not marked killed")
+	}
+	ctl.Revive("node0")
+	if _, _, err := doOne(t, rt); err != nil {
+		t.Fatalf("revived node still failing: %v", err)
+	}
+	c := ctl.Counts()
+	if c.Kills != 1 || c.Refused != 1 {
+		t.Fatalf("counts %+v, want exactly 1 kill and 1 refused", c)
+	}
+	// Manual Kill is idempotent and counted once.
+	ctl.Kill("node1")
+	ctl.Kill("node1")
+	if c := ctl.Counts(); c.Kills != 2 {
+		t.Fatalf("kills %d after double manual kill, want 2", c.Kills)
+	}
+}
+
+// TestChaosTruncateKeepsContentLength: a truncated response arrives short
+// of its Content-Length, exactly like a dying TCP connection — so a
+// length-checking client can tell.
+func TestChaosTruncateKeepsContentLength(t *testing.T) {
+	ctl := NewController(Config{Seed: 3, TruncateRate: 1})
+	rt := ctl.Wrap("node0", fixedRT{body: testBody})
+	body, cl, err := doOne(t, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl != int64(len(testBody)) {
+		t.Fatalf("Content-Length rewritten to %d, want original %d", cl, len(testBody))
+	}
+	if len(body) >= len(testBody) {
+		t.Fatalf("body not truncated: %d bytes of %d", len(body), len(testBody))
+	}
+}
+
+// TestChaosCorruptFlipsExactlyOneByte: corruption preserves length and
+// touches one byte — the silent case only an end-to-end digest catches.
+func TestChaosCorruptFlipsExactlyOneByte(t *testing.T) {
+	ctl := NewController(Config{Seed: 5, CorruptRate: 1})
+	rt := ctl.Wrap("node0", fixedRT{body: testBody})
+	body, _, err := doOne(t, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != len(testBody) {
+		t.Fatalf("corruption changed length: %d vs %d", len(body), len(testBody))
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != testBody[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+// TestChaosDelayInterruptible: an injected delay respects request-context
+// cancelation, so a per-try timeout converts it into a timeout error
+// instead of a stall.
+func TestChaosDelayInterruptible(t *testing.T) {
+	ctl := NewController(Config{Seed: 9, DelayRate: 1, MaxDelay: 10 * time.Second})
+	rt := ctl.Wrap("node0", fixedRT{body: testBody})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://node0/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = rt.RoundTrip(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("delay not interrupted: took %v", elapsed)
+	}
+}

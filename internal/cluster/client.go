@@ -1,0 +1,423 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sunder/internal/server"
+	"sunder/internal/telemetry"
+)
+
+// ErrNoReplicas is returned when a key's replica set is empty or every
+// replica is exhausted without a terminal response.
+var ErrNoReplicas = errors.New("cluster: no replica produced a response")
+
+// errDigest marks a response whose body failed the end-to-end integrity
+// check (digest mismatch or short body) — always retryable.
+var errDigest = errors.New("cluster: response failed integrity check")
+
+// ClientConfig tunes the resilient client.
+type ClientConfig struct {
+	// TryTimeout bounds each individual try (default 5s).
+	TryTimeout time.Duration
+	// MaxAttempts bounds the total tries (first + retries + hedges) of one
+	// logical request (default 2*replicas, min 3).
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between sequential retries: delay = min(cap, base<<(retry-1)), plus
+	// up to 50% deterministic jitter (defaults 10ms and 1s). A 503's
+	// Retry-After raises the delay up to BackoffCap.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HedgeDelay is how long the primary try may run before a hedge fires
+	// on the next replica. Zero derives it from observed try latency: the
+	// p99 of the client's own latency histogram, floored at HedgeFloor.
+	// Negative disables hedging.
+	HedgeDelay time.Duration
+	// HedgeFloor floors the adaptive hedge delay (default 2ms) so a burst
+	// of fast tries cannot collapse the hedge delay to zero and double
+	// every request.
+	HedgeFloor time.Duration
+	// Seed drives the backoff jitter. Deterministic by construction: equal
+	// seeds replay equal jitter sequences.
+	Seed int64
+	// Breaker configures every node's circuit breaker.
+	Breaker BreakerConfig
+	// Spans, when non-nil, records one root span per logical request with
+	// a child span per try (retry and hedge attempts included).
+	Spans *telemetry.SpanTracer
+}
+
+func (c ClientConfig) withDefaults(replicas int) ClientConfig {
+	if c.TryTimeout <= 0 {
+		c.TryTimeout = 5 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2 * replicas
+		if c.MaxAttempts < 3 {
+			c.MaxAttempts = 3
+		}
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = time.Second
+	}
+	if c.HedgeFloor <= 0 {
+		c.HedgeFloor = 2 * time.Millisecond
+	}
+	return c
+}
+
+// nodeHandle is the client's view of one node: its transport, breaker and
+// traffic counters.
+type nodeHandle struct {
+	id       string
+	rt       http.RoundTripper
+	breaker  *breaker
+	requests atomic.Int64
+	errors   atomic.Int64
+	healthy  atomic.Bool
+}
+
+// Client routes requests to replica sets with per-try timeouts, capped
+// exponential backoff with seeded jitter, hedged requests, per-node
+// circuit breaking and Retry-After honoring. It is safe for concurrent
+// use.
+type Client struct {
+	cfg      ClientConfig
+	ring     *ring
+	nodes    map[string]*nodeHandle
+	replicas int
+
+	// rng feeds backoff jitter; seeded, never wall-clock. Guarded by mu.
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// tryLat observes successful try latencies; its p99 is the adaptive
+	// hedge delay.
+	tryLat *telemetry.Histogram
+
+	// now and sleep are the injected clock (wall time in production,
+	// virtual in tests). Jitter and backoff computation never read them.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+
+	requests          atomic.Int64
+	retries           atomic.Int64
+	hedges            atomic.Int64
+	hedgeWins         atomic.Int64
+	failures          atomic.Int64
+	retryAfterHonored atomic.Int64
+	digestFailures    atomic.Int64
+	breakerRejects    atomic.Int64
+}
+
+// newClient builds a client over the handles. replicas sizes the default
+// attempt budget.
+func newClient(cfg ClientConfig, r *ring, nodes map[string]*nodeHandle, replicas int) *Client {
+	c := &Client{
+		cfg:      cfg.withDefaults(replicas),
+		ring:     r,
+		nodes:    nodes,
+		replicas: replicas,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		tryLat:   telemetry.NewHistogram(telemetry.DurationBounds()),
+		now:      time.Now,
+		sleep:    sleepContext,
+	}
+	for _, n := range nodes {
+		n.healthy.Store(true)
+	}
+	return c
+}
+
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	tmr := time.NewTimer(d)
+	defer tmr.Stop()
+	select {
+	case <-tmr.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoffDelay computes the wait before sequential retry number `retry`
+// (1-based): capped exponential with up to 50% seeded jitter, raised to
+// any Retry-After hint (itself capped at BackoffCap). Pure function of
+// (config, seed state, inputs) — no wall clock.
+func (c *Client) backoffDelay(retry int, retryAfter time.Duration) time.Duration {
+	d := c.cfg.BackoffBase << uint(retry-1)
+	if d > c.cfg.BackoffCap || d <= 0 {
+		d = c.cfg.BackoffCap
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	d += jitter
+	if retryAfter > d {
+		d = retryAfter
+		c.retryAfterHonored.Add(1)
+	}
+	if d > c.cfg.BackoffCap {
+		d = c.cfg.BackoffCap
+	}
+	return d
+}
+
+// hedgeDelay returns the current hedge trigger: the configured delay, or
+// the observed p99 try latency floored at HedgeFloor. Before any latency
+// sample exists the floor is used.
+func (c *Client) hedgeDelay() time.Duration {
+	if c.cfg.HedgeDelay != 0 {
+		return c.cfg.HedgeDelay
+	}
+	d := time.Duration(c.tryLat.Quantile(0.99))
+	if d < c.cfg.HedgeFloor {
+		d = c.cfg.HedgeFloor
+	}
+	return d
+}
+
+// Response is the outcome of one logical cluster request.
+type Response struct {
+	Status int
+	Header http.Header
+	Body   []byte
+	// Node served the winning try; Attempts counts tries issued (hedges
+	// included); Hedged reports whether the winner was a hedge.
+	Node     string
+	Attempts int
+	Hedged   bool
+}
+
+// tryResult carries one try's outcome.
+type tryResult struct {
+	node   *nodeHandle
+	resp   *Response
+	err    error
+	status int
+	// retryAfter is the parsed Retry-After hint of a 503, if any.
+	retryAfter time.Duration
+	hedged     bool
+	latency    time.Duration
+}
+
+// do runs one logical request against key's replica set. Bodies are byte
+// slices so every try can resend them. verifyDigest enables the scan
+// integrity check. Terminal non-2xx responses (4xx) return as a Response
+// with that status; transport errors, 5xx and integrity failures burn
+// attempts until MaxAttempts or the replica list is exhausted twice.
+func (c *Client) do(ctx context.Context, op, key, method, path, contentType string, body []byte, verifyDigest bool) (*Response, error) {
+	replicas := c.orderedReplicas(key)
+	if len(replicas) == 0 {
+		return nil, ErrNoReplicas
+	}
+	c.requests.Add(1)
+	sp := c.cfg.Spans.Root(op)
+	sp.SetAttr(`key="` + key + `"`)
+	defer sp.End()
+
+	results := make(chan tryResult, c.cfg.MaxAttempts)
+	attempts := 0
+	nextIdx := 0
+	inflight := 0
+	tryCtx, cancelTries := context.WithCancel(ctx)
+	defer cancelTries()
+
+	launch := func(hedged bool) bool {
+		if attempts >= c.cfg.MaxAttempts {
+			return false
+		}
+		n := replicas[nextIdx%len(replicas)]
+		nextIdx++
+		attempts++
+		inflight++
+		tsp := sp.Child("try")
+		tsp.SetAttr(`node="` + n.id + `" attempt=` + strconv.Itoa(attempts) + ` hedge=` + strconv.FormatBool(hedged))
+		go func() {
+			r := c.tryOnce(tryCtx, n, method, path, contentType, body, verifyDigest)
+			r.hedged = hedged
+			tsp.End()
+			select {
+			case results <- r:
+			case <-tryCtx.Done():
+			}
+		}()
+		return true
+	}
+	launch(false)
+
+	var lastErr error
+	var lastResp *Response
+	for inflight > 0 {
+		var hedgeC <-chan time.Time
+		var hedgeTimer *time.Timer
+		if c.cfg.HedgeDelay >= 0 && attempts < c.cfg.MaxAttempts {
+			hedgeTimer = time.NewTimer(c.hedgeDelay())
+			hedgeC = hedgeTimer.C
+		}
+		select {
+		case r := <-results:
+			inflight--
+			if hedgeTimer != nil {
+				hedgeTimer.Stop()
+			}
+			if r.err == nil && r.resp != nil && r.resp.Status < 500 && r.resp.Status != http.StatusNotFound {
+				// Terminal: success or a 4xx the caller must see. A 404 is
+				// NOT terminal here: under degraded replication one replica
+				// can be missing a ruleset its peer holds, so 404s burn an
+				// attempt and fail over; a genuinely unknown ruleset still
+				// yields 404 once every replica has answered it (lastResp).
+				r.node.breaker.success()
+				if r.resp.Status < 400 {
+					c.tryLat.Observe(r.latency.Nanoseconds())
+					if r.hedged {
+						c.hedgeWins.Add(1)
+					}
+				}
+				r.resp.Attempts = attempts
+				r.resp.Hedged = r.hedged
+				return r.resp, nil
+			}
+			// Failed try: transport error, 5xx or integrity failure.
+			r.node.breaker.failure(c.now())
+			r.node.errors.Add(1)
+			if r.err != nil {
+				lastErr = r.err
+			} else {
+				if r.resp != nil {
+					lastResp = r.resp
+				}
+				lastErr = fmt.Errorf("cluster: node %s: HTTP %d", r.node.id, r.status)
+			}
+			if inflight > 0 {
+				// A hedge is still running; let it race to completion.
+				continue
+			}
+			if attempts >= c.cfg.MaxAttempts {
+				break
+			}
+			c.retries.Add(1)
+			if err := c.sleep(ctx, c.backoffDelay(attempts, r.retryAfter)); err != nil {
+				c.failures.Add(1)
+				return nil, err
+			}
+			launch(false)
+		case <-hedgeC:
+			if attempts < c.cfg.MaxAttempts {
+				c.hedges.Add(1)
+				launch(true)
+			}
+		case <-ctx.Done():
+			c.failures.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	c.failures.Add(1)
+	if lastResp != nil {
+		// Attempts exhausted but some replica did answer: relay its status
+		// (404 from every replica, a 5xx shed, ...) rather than wrapping it
+		// in an opaque transport error.
+		lastResp.Attempts = attempts
+		return lastResp, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoReplicas
+	}
+	return nil, lastErr
+}
+
+// orderedReplicas returns key's replica handles with breaker-allowed nodes
+// first (ring order preserved within each class). Only the key's R true
+// replicas are candidates — failing over to a node that never held the
+// ruleset would turn a transient fault into a spurious 404. Blocked nodes
+// stay in the list as a last resort: when every breaker is open, failing
+// fast on all of them is worse than probing one.
+func (c *Client) orderedReplicas(key string) []*nodeHandle {
+	ids := c.ring.replicas(key, c.replicas)
+	now := c.now()
+	allowed := make([]*nodeHandle, 0, len(ids))
+	blocked := make([]*nodeHandle, 0)
+	for _, id := range ids {
+		n := c.nodes[id]
+		if n == nil {
+			continue
+		}
+		if n.breaker.allow(now) {
+			allowed = append(allowed, n)
+		} else {
+			c.breakerRejects.Add(1)
+			blocked = append(blocked, n)
+		}
+	}
+	return append(allowed, blocked...)
+}
+
+// tryOnce issues a single try against one node with the per-try timeout.
+func (c *Client) tryOnce(ctx context.Context, n *nodeHandle, method, path, contentType string, body []byte, verifyDigest bool) tryResult {
+	n.requests.Add(1)
+	tctx, cancel := context.WithTimeout(ctx, c.cfg.TryTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, method, "http://"+n.id+path, bytes.NewReader(body))
+	if err != nil {
+		return tryResult{node: n, err: err}
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	start := c.now()
+	resp, err := n.rt.RoundTrip(req)
+	if err != nil {
+		return tryResult{node: n, err: fmt.Errorf("cluster: node %s: %w", n.id, err)}
+	}
+	respBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return tryResult{node: n, err: fmt.Errorf("cluster: node %s: read body: %w", n.id, err), status: resp.StatusCode}
+	}
+	r := tryResult{
+		node:    n,
+		status:  resp.StatusCode,
+		latency: c.now().Sub(start),
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if secs, perr := strconv.Atoi(resp.Header.Get(server.RetryAfterHeader)); perr == nil && secs > 0 {
+			r.retryAfter = time.Duration(secs) * time.Second
+		}
+		return r
+	}
+	if resp.ContentLength >= 0 && resp.ContentLength != int64(len(respBody)) {
+		c.digestFailures.Add(1)
+		r.err = fmt.Errorf("%w: node %s: body %d bytes, Content-Length %d", errDigest, n.id, len(respBody), resp.ContentLength)
+		return r
+	}
+	if verifyDigest && resp.StatusCode == http.StatusOK {
+		if want := resp.Header.Get(server.DigestHeader); want != "" {
+			sum := sha256.Sum256(respBody)
+			if got := hex.EncodeToString(sum[:]); got != want {
+				c.digestFailures.Add(1)
+				r.err = fmt.Errorf("%w: node %s: digest %s != %s", errDigest, n.id, got, want)
+				return r
+			}
+		}
+	}
+	r.resp = &Response{Status: resp.StatusCode, Header: resp.Header, Body: respBody, Node: n.id}
+	return r
+}

@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"sunder/internal/server"
+)
+
+// rtFunc adapts a function to http.RoundTripper.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// canned builds an *http.Response with a correct Content-Length.
+func canned(status int, body []byte, hdr map[string]string) *http.Response {
+	h := make(http.Header)
+	for k, v := range hdr {
+		h.Set(k, v)
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+	}
+}
+
+// digestOf is the server's scan digest: hex sha256 of the body bytes.
+func digestOf(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// vclock is a virtual clock for the client: now() is advanced only by
+// sleep(), and every sleep is recorded, so backoff behavior is asserted
+// without real waiting.
+type vclock struct {
+	mu    sync.Mutex
+	t     time.Time
+	slept []time.Duration
+}
+
+func newVClock() *vclock { return &vclock{t: time.Unix(1000, 0)} }
+
+func (v *vclock) now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.t
+}
+
+func (v *vclock) advance(d time.Duration) {
+	v.mu.Lock()
+	v.t = v.t.Add(d)
+	v.mu.Unlock()
+}
+
+func (v *vclock) sleep(_ context.Context, d time.Duration) error {
+	v.mu.Lock()
+	v.slept = append(v.slept, d)
+	v.t = v.t.Add(d)
+	v.mu.Unlock()
+	return nil
+}
+
+func (v *vclock) sleeps() []time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]time.Duration(nil), v.slept...)
+}
+
+// testClient wires a Client over scripted transports. The per-node
+// behavior map is consulted at request time, so tests can key behavior
+// off the ring's actual primary/secondary assignment (and change it
+// mid-test).
+func testClient(cfg ClientConfig, replicas int, ids []string) (*Client, map[string]func(*http.Request) (*http.Response, error), *vclock) {
+	sort.Strings(ids)
+	behavior := make(map[string]func(*http.Request) (*http.Response, error))
+	var mu sync.Mutex
+	handles := make(map[string]*nodeHandle, len(ids))
+	for _, id := range ids {
+		id := id
+		handles[id] = &nodeHandle{
+			id: id,
+			rt: rtFunc(func(r *http.Request) (*http.Response, error) {
+				mu.Lock()
+				fn := behavior[id]
+				mu.Unlock()
+				return fn(r)
+			}),
+			breaker: newBreaker(cfg.Breaker),
+		}
+	}
+	c := newClient(cfg, newRing(ids, 64), handles, replicas)
+	clk := newVClock()
+	c.now = clk.now
+	c.sleep = clk.sleep
+	return c, behavior, clk
+}
+
+// TestBackoffDelayDeterministicAndCapped: equal seeds replay equal jitter;
+// delays never exceed the cap; a Retry-After hint raises the delay and is
+// itself capped.
+func TestBackoffDelayDeterministicAndCapped(t *testing.T) {
+	mk := func(seed int64) *Client {
+		c, _, _ := testClient(ClientConfig{Seed: seed, BackoffBase: 10 * time.Millisecond, BackoffCap: time.Second, HedgeDelay: -1}, 2, []string{"a", "b"})
+		return c
+	}
+	c1, c2 := mk(42), mk(42)
+	for retry := 1; retry <= 8; retry++ {
+		d1 := c1.backoffDelay(retry, 0)
+		d2 := c2.backoffDelay(retry, 0)
+		if d1 != d2 {
+			t.Fatalf("retry %d: same seed gave %v vs %v", retry, d1, d2)
+		}
+		if d1 <= 0 || d1 > time.Second {
+			t.Fatalf("retry %d: delay %v outside (0, cap]", retry, d1)
+		}
+	}
+	// Retry-After raises the delay, and the cap still binds.
+	c3 := mk(42)
+	if d := c3.backoffDelay(1, 700*time.Millisecond); d != 700*time.Millisecond {
+		t.Errorf("delay %v, want raised to Retry-After 700ms", d)
+	}
+	if d := c3.backoffDelay(1, 30*time.Second); d != time.Second {
+		t.Errorf("delay %v, want capped at 1s", d)
+	}
+	if got := c3.retryAfterHonored.Load(); got != 2 {
+		t.Errorf("retryAfterHonored = %d, want 2", got)
+	}
+}
+
+// TestClientRetriesShedHonoringRetryAfter: a 503 with Retry-After backs
+// the client off at least that long before the retry lands on the next
+// replica.
+func TestClientRetriesShedHonoringRetryAfter(t *testing.T) {
+	cfg := ClientConfig{Seed: 1, BackoffBase: 10 * time.Millisecond, BackoffCap: 5 * time.Second, HedgeDelay: -1, MaxAttempts: 4}
+	c, behavior, clk := testClient(cfg, 2, []string{"node0", "node1"})
+	order := c.ring.replicas("key", 2)
+	body := []byte(`{"ok":true}` + "\n")
+	behavior[order[0]] = func(*http.Request) (*http.Response, error) {
+		return canned(http.StatusServiceUnavailable, []byte(`{"error":"draining"}`+"\n"),
+			map[string]string{server.RetryAfterHeader: "2"}), nil
+	}
+	behavior[order[1]] = func(*http.Request) (*http.Response, error) {
+		return canned(http.StatusOK, body, nil), nil
+	}
+
+	resp, err := c.do(context.Background(), "t", "key", http.MethodPost, "/x", "", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || resp.Node != order[1] || resp.Attempts != 2 {
+		t.Fatalf("resp %+v, want 200 from %s in 2 attempts", resp, order[1])
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Fatalf("body %q, want %q", resp.Body, body)
+	}
+	sleeps := clk.sleeps()
+	if len(sleeps) != 1 || sleeps[0] < 2*time.Second {
+		t.Fatalf("sleeps %v, want one backoff >= the 2s Retry-After", sleeps)
+	}
+	if c.retries.Load() != 1 || c.retryAfterHonored.Load() != 1 {
+		t.Fatalf("retries=%d honored=%d, want 1/1", c.retries.Load(), c.retryAfterHonored.Load())
+	}
+}
+
+// TestClientHedgeWins: when the primary stalls past the hedge delay, a
+// hedge fires on the next replica and its response wins.
+func TestClientHedgeWins(t *testing.T) {
+	cfg := ClientConfig{Seed: 1, HedgeDelay: 3 * time.Millisecond, TryTimeout: 5 * time.Second, MaxAttempts: 3}
+	c, behavior, _ := testClient(cfg, 2, []string{"node0", "node1"})
+	// Hedging needs the real clock for its timer; latencies are irrelevant
+	// here, so leave now/sleep real.
+	c.now = time.Now
+	c.sleep = sleepContext
+	order := c.ring.replicas("key", 2)
+	body := []byte(`{"ok":true}` + "\n")
+	behavior[order[0]] = func(r *http.Request) (*http.Response, error) {
+		<-r.Context().Done() // stall until the try is abandoned
+		return nil, r.Context().Err()
+	}
+	behavior[order[1]] = func(*http.Request) (*http.Response, error) {
+		return canned(http.StatusOK, body, nil), nil
+	}
+
+	resp, err := c.do(context.Background(), "t", "key", http.MethodPost, "/x", "", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Node != order[1] || !resp.Hedged {
+		t.Fatalf("resp node=%s hedged=%v, want hedge win on %s", resp.Node, resp.Hedged, order[1])
+	}
+	if c.hedges.Load() < 1 || c.hedgeWins.Load() != 1 {
+		t.Fatalf("hedges=%d wins=%d, want >=1 and exactly 1", c.hedges.Load(), c.hedgeWins.Load())
+	}
+}
+
+// TestClientDigestMismatchRetries: a response whose body fails the
+// end-to-end digest is treated as a transport failure and retried on the
+// next replica — the defense against silent wire corruption.
+func TestClientDigestMismatchRetries(t *testing.T) {
+	cfg := ClientConfig{Seed: 1, HedgeDelay: -1, MaxAttempts: 4}
+	c, behavior, _ := testClient(cfg, 2, []string{"node0", "node1"})
+	order := c.ring.replicas("key", 2)
+	good := []byte(`{"ruleset":"key","results":[]}` + "\n")
+	bad := append([]byte(nil), good...)
+	bad[4] ^= 0x20
+	behavior[order[0]] = func(*http.Request) (*http.Response, error) {
+		// Corrupted body under the original digest header.
+		return canned(http.StatusOK, bad, map[string]string{server.DigestHeader: digestOf(good)}), nil
+	}
+	behavior[order[1]] = func(*http.Request) (*http.Response, error) {
+		return canned(http.StatusOK, good, map[string]string{server.DigestHeader: digestOf(good)}), nil
+	}
+
+	resp, err := c.do(context.Background(), "t", "key", http.MethodPost, "/x", "", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Node != order[1] || !bytes.Equal(resp.Body, good) {
+		t.Fatalf("winner %s body %q, want clean body from %s", resp.Node, resp.Body, order[1])
+	}
+	if c.digestFailures.Load() != 1 {
+		t.Fatalf("digestFailures = %d, want 1", c.digestFailures.Load())
+	}
+}
+
+// TestClientShortBodyRetries: a body shorter than Content-Length (wire
+// truncation) is likewise rejected and retried.
+func TestClientShortBodyRetries(t *testing.T) {
+	cfg := ClientConfig{Seed: 1, HedgeDelay: -1, MaxAttempts: 4}
+	c, behavior, _ := testClient(cfg, 2, []string{"node0", "node1"})
+	order := c.ring.replicas("key", 2)
+	good := []byte(`{"ruleset":"key","results":[]}` + "\n")
+	behavior[order[0]] = func(*http.Request) (*http.Response, error) {
+		r := canned(http.StatusOK, good[:10], nil)
+		r.ContentLength = int64(len(good)) // truncated on the wire
+		return r, nil
+	}
+	behavior[order[1]] = func(*http.Request) (*http.Response, error) {
+		return canned(http.StatusOK, good, nil), nil
+	}
+	resp, err := c.do(context.Background(), "t", "key", http.MethodPost, "/x", "", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Node != order[1] || !bytes.Equal(resp.Body, good) {
+		t.Fatalf("winner %s, want full body from %s", resp.Node, order[1])
+	}
+	if c.digestFailures.Load() != 1 {
+		t.Fatalf("digestFailures = %d, want 1", c.digestFailures.Load())
+	}
+}
+
+// TestClientNotFoundFailsOver: a 404 from one replica is not terminal —
+// under degraded replication the peer may hold the ruleset. Only when
+// every attempt 404s does the caller see the 404.
+func TestClientNotFoundFailsOver(t *testing.T) {
+	cfg := ClientConfig{Seed: 1, HedgeDelay: -1, MaxAttempts: 3}
+	c, behavior, _ := testClient(cfg, 2, []string{"node0", "node1"})
+	order := c.ring.replicas("key", 2)
+	good := []byte(`{"ruleset":"key","results":[]}` + "\n")
+	notFound := func(*http.Request) (*http.Response, error) {
+		return canned(http.StatusNotFound, []byte(`{"error":"unknown ruleset"}`+"\n"), nil), nil
+	}
+	behavior[order[0]] = notFound
+	behavior[order[1]] = func(*http.Request) (*http.Response, error) {
+		return canned(http.StatusOK, good, nil), nil
+	}
+	resp, err := c.do(context.Background(), "t", "key", http.MethodPost, "/x", "", nil, false)
+	if err != nil || resp.Status != http.StatusOK || resp.Node != order[1] {
+		t.Fatalf("resp %+v err %v, want 200 via failover", resp, err)
+	}
+
+	// All replicas 404 -> the caller gets the 404 back.
+	behavior[order[1]] = notFound
+	resp, err = c.do(context.Background(), "t", "key", http.MethodPost, "/x", "", nil, false)
+	if err != nil || resp.Status != http.StatusNotFound {
+		t.Fatalf("resp %+v err %v, want relayed 404", resp, err)
+	}
+}
+
+// TestClientBreakerOpensBlocksRecovers: consecutive failures open a
+// node's breaker, open breakers are deprioritized (counted as rejects),
+// and after the cooldown a half-open probe's success closes the breaker.
+func TestClientBreakerOpensBlocksRecovers(t *testing.T) {
+	cfg := ClientConfig{
+		Seed: 1, HedgeDelay: -1, MaxAttempts: 4,
+		Breaker: BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute},
+	}
+	c, behavior, clk := testClient(cfg, 2, []string{"node0", "node1"})
+	order := c.ring.replicas("key", 2)
+	boom := func(*http.Request) (*http.Response, error) {
+		return canned(http.StatusInternalServerError, []byte(`{"error":"boom"}`+"\n"), nil), nil
+	}
+	behavior[order[0]] = boom
+	behavior[order[1]] = boom
+
+	// 4 attempts alternate the two replicas: 2 failures each -> both open.
+	resp, err := c.do(context.Background(), "t", "key", http.MethodPost, "/x", "", nil, false)
+	if err != nil || resp.Status != http.StatusInternalServerError {
+		t.Fatalf("resp %+v err %v, want relayed 500 after exhaustion", resp, err)
+	}
+	for _, id := range order {
+		if st, _ := c.nodes[id].breaker.snapshot(); st != BreakerOpen {
+			t.Fatalf("node %s breaker %v, want open", id, st)
+		}
+	}
+
+	// With both breakers open the replicas are last-resort: the request is
+	// still attempted (better than failing fast on everything) and the
+	// rejects are counted.
+	before := c.breakerRejects.Load()
+	if _, err := c.do(context.Background(), "t", "key", http.MethodPost, "/x", "", nil, false); err != nil {
+		t.Fatalf("last-resort request errored: %v", err)
+	}
+	if c.breakerRejects.Load() <= before {
+		t.Fatal("breakerRejects did not grow while breakers were open")
+	}
+
+	// Recovery: the node heals, the cooldown passes, the half-open probe
+	// succeeds and traffic resumes.
+	good := []byte(`{"ok":true}` + "\n")
+	behavior[order[0]] = func(*http.Request) (*http.Response, error) { return canned(http.StatusOK, good, nil), nil }
+	behavior[order[1]] = behavior[order[0]]
+	clk.advance(2 * time.Minute)
+	resp, err = c.do(context.Background(), "t", "key", http.MethodPost, "/x", "", nil, false)
+	if err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("post-cooldown resp %+v err %v, want 200", resp, err)
+	}
+	if st, _ := c.nodes[resp.Node].breaker.snapshot(); st != BreakerClosed {
+		t.Fatalf("winning node breaker %v after successful probe, want closed", st)
+	}
+}
+
+// TestHedgeDelayAdaptive: with no configured delay the hedge trigger is
+// the observed p99 try latency, floored so fast bursts cannot collapse it
+// to zero.
+func TestHedgeDelayAdaptive(t *testing.T) {
+	cfg := ClientConfig{Seed: 1, HedgeFloor: 2 * time.Millisecond}
+	c, _, _ := testClient(cfg, 2, []string{"a", "b"})
+	if d := c.hedgeDelay(); d != 2*time.Millisecond {
+		t.Fatalf("pre-sample hedge delay %v, want the 2ms floor", d)
+	}
+	for i := 0; i < 1000; i++ {
+		c.tryLat.Observe((50 * time.Millisecond).Nanoseconds())
+	}
+	if d := c.hedgeDelay(); d < 10*time.Millisecond {
+		t.Fatalf("hedge delay %v after 50ms samples, want p99-derived (>=10ms)", d)
+	}
+	c2, _, _ := testClient(ClientConfig{Seed: 1, HedgeDelay: 7 * time.Millisecond}, 2, []string{"a", "b"})
+	if d := c2.hedgeDelay(); d != 7*time.Millisecond {
+		t.Fatalf("fixed hedge delay %v, want 7ms", d)
+	}
+}

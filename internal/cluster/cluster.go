@@ -1,0 +1,661 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"sunder/internal/server"
+	"sunder/internal/telemetry"
+)
+
+// Config sizes the cluster.
+type Config struct {
+	// Nodes is the node count (default 3); Replicas is how many nodes hold
+	// each ruleset (default 2, clamped to Nodes).
+	Nodes    int
+	Replicas int
+	// VNodes is the consistent-hash virtual-node count per node
+	// (default 64).
+	VNodes int
+	// Node configures every node's underlying scan server.
+	Node server.Config
+	// Client tunes the resilient routing client.
+	Client ClientConfig
+	// Transport, when non-nil, wraps each node's in-process transport —
+	// the chaos injection point (chaos.Controller.Wrap).
+	Transport func(node string, rt http.RoundTripper) http.RoundTripper
+	// TraceSampleEvery > 0 records cluster request spans (one root per
+	// logical request, a child per try) for every Nth request;
+	// TraceCapacity caps the buffer (default 64k).
+	TraceSampleEvery int
+	TraceCapacity    int
+	// Logger receives cluster lifecycle logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > c.Nodes {
+		c.Replicas = c.Nodes
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// node is one cluster member: a full scan server plus its swap point.
+type node struct {
+	id string
+
+	mu  sync.RWMutex
+	srv *server.Server
+}
+
+func (n *node) server() *server.Server {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.srv
+}
+
+func (n *node) handler() http.Handler { return n.server().Handler() }
+
+// Cluster is N in-process scan servers behind consistent-hash routing,
+// replication and a resilient client. Create with New; expose with
+// Handler (the front door) or drive programmatically.
+type Cluster struct {
+	cfg    Config
+	log    *slog.Logger
+	ring   *ring
+	client *Client
+	spans  *telemetry.SpanTracer
+	mux    *http.ServeMux
+
+	mu       sync.RWMutex
+	nodes    map[string]*node
+	order    []string
+	rulesets map[string]server.RulesetRequest
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	var spans *telemetry.SpanTracer
+	if cfg.TraceSampleEvery > 0 {
+		spans = telemetry.NewSpanTracer(cfg.TraceCapacity, cfg.TraceSampleEvery)
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		spans:    spans,
+		mux:      http.NewServeMux(),
+		nodes:    make(map[string]*node, cfg.Nodes),
+		rulesets: make(map[string]server.RulesetRequest),
+	}
+	handles := make(map[string]*nodeHandle, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		id := fmt.Sprintf("node%d", i)
+		n := &node{id: id, srv: server.New(c.nodeServerConfig())}
+		c.nodes[id] = n
+		c.order = append(c.order, id)
+		var rt http.RoundTripper = handlerTransport{handler: n.handler}
+		if cfg.Transport != nil {
+			rt = cfg.Transport(id, rt)
+		}
+		handles[id] = &nodeHandle{id: id, rt: rt, breaker: newBreaker(cfg.Client.Breaker)}
+	}
+	c.ring = newRing(c.order, cfg.VNodes)
+	clientCfg := cfg.Client
+	if clientCfg.Spans == nil {
+		clientCfg.Spans = spans
+	}
+	c.client = newClient(clientCfg, c.ring, handles, cfg.Replicas)
+
+	c.mux.HandleFunc("PUT /rulesets/{id}", c.handlePutRuleset)
+	c.mux.HandleFunc("GET /rulesets/{id}", c.handleGetRuleset)
+	c.mux.HandleFunc("DELETE /rulesets/{id}", c.handleDeleteRuleset)
+	c.mux.HandleFunc("POST /rulesets/{id}/scan", c.handleScan)
+	c.mux.HandleFunc("POST /rulesets/{id}/stream", c.handleStream)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /trace", c.handleTrace)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /nodes", c.handleNodes)
+	return c
+}
+
+func (c *Cluster) nodeServerConfig() server.Config {
+	nc := c.cfg.Node
+	if nc.Logger == nil {
+		nc.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return nc
+}
+
+// Handler returns the cluster front door.
+func (c *Cluster) Handler() http.Handler { return c.mux }
+
+// Client exposes the resilient client for programmatic use.
+func (c *Cluster) Client() *Client { return c.client }
+
+// Nodes returns the node IDs in creation order.
+func (c *Cluster) Nodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// Replicas returns the replica node IDs a ruleset routes to, primary
+// first.
+func (c *Cluster) Replicas(rulesetID string) []string {
+	return c.ring.replicas(rulesetID, c.cfg.Replicas)
+}
+
+// ---------------------------------------------------------------------------
+// Ruleset replication
+
+// PutRuleset stores the ruleset definition and uploads it to every
+// replica. It succeeds when at least one replica accepted (degraded
+// replication is reported in the error-free return via the per-node PUT
+// outcomes on /metrics); it fails only when no replica accepted.
+func (c *Cluster) PutRuleset(ctx context.Context, id string, req server.RulesetRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.rulesets[id] = req
+	c.mu.Unlock()
+	var firstErr error
+	accepted := 0
+	for _, nid := range c.Replicas(id) {
+		resp, err := c.client.doNode(ctx, "cluster_put", nid, http.MethodPut, "/rulesets/"+id, "application/json", body)
+		if err == nil && resp.Status < 300 {
+			accepted++
+			continue
+		}
+		if err == nil {
+			err = fmt.Errorf("cluster: node %s: PUT ruleset: HTTP %d: %s", nid, resp.Status, resp.Body)
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		c.log.Warn("ruleset replication degraded", "ruleset", id, "node", nid, "err", err)
+	}
+	if accepted == 0 {
+		c.mu.Lock()
+		delete(c.rulesets, id)
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no replica accepted ruleset %q: %w", id, firstErr)
+	}
+	return nil
+}
+
+// doNode routes one request to a single named node (no failover), still
+// with the client's per-try timeout, backoff and attempt budget.
+func (cl *Client) doNode(ctx context.Context, op, nodeID, method, path, contentType string, body []byte) (*Response, error) {
+	n := cl.nodes[nodeID]
+	if n == nil {
+		return nil, fmt.Errorf("cluster: unknown node %q", nodeID)
+	}
+	cl.requests.Add(1)
+	sp := cl.cfg.Spans.Root(op)
+	sp.SetAttr(`node="` + nodeID + `"`)
+	defer sp.End()
+	var lastErr error
+	for attempt := 1; attempt <= cl.cfg.MaxAttempts; attempt++ {
+		r := cl.tryOnce(ctx, n, method, path, contentType, body, false)
+		if r.err == nil && r.resp != nil && r.resp.Status < 500 {
+			n.breaker.success()
+			r.resp.Attempts = attempt
+			return r.resp, nil
+		}
+		n.breaker.failure(cl.now())
+		n.errors.Add(1)
+		if r.err != nil {
+			lastErr = r.err
+		} else {
+			lastErr = fmt.Errorf("cluster: node %s: HTTP %d", nodeID, r.status)
+		}
+		if attempt == cl.cfg.MaxAttempts {
+			break
+		}
+		cl.retries.Add(1)
+		if err := cl.sleep(ctx, cl.backoffDelay(attempt, r.retryAfter)); err != nil {
+			return nil, err
+		}
+	}
+	cl.failures.Add(1)
+	return nil, lastErr
+}
+
+// Scan routes one input through the ruleset's replica set with the full
+// resilience stack and verifies the response digest end to end.
+func (c *Cluster) Scan(ctx context.Context, rulesetID string, input []byte) (*Response, error) {
+	return c.client.do(ctx, "cluster_scan", rulesetID, http.MethodPost,
+		"/rulesets/"+rulesetID+"/scan", "application/octet-stream", input, true)
+}
+
+// ---------------------------------------------------------------------------
+// Node lifecycle: drain, rejoin
+
+// DrainNode puts one node into graceful drain: it sheds new work with
+// 503 + Retry-After, the client's breaker opens on the sheds, and traffic
+// re-routes to the remaining replicas.
+func (c *Cluster) DrainNode(nodeID string) error {
+	c.mu.RLock()
+	n := c.nodes[nodeID]
+	c.mu.RUnlock()
+	if n == nil {
+		return fmt.Errorf("cluster: unknown node %q", nodeID)
+	}
+	n.server().Drain()
+	c.log.Info("node draining", "node", nodeID)
+	return nil
+}
+
+// RejoinNode replaces a drained (or killed) node with a fresh server and
+// re-replicates every ruleset whose replica set includes it, then swaps
+// the new server into the node's transport. Replication happens before
+// the swap, so the node never serves a ruleset-less window: the rebalance
+// reuses the graceful-Drain machinery on the way down and full re-upload
+// on the way back.
+func (c *Cluster) RejoinNode(nodeID string) error {
+	c.mu.RLock()
+	n := c.nodes[nodeID]
+	resets := make(map[string]server.RulesetRequest, len(c.rulesets))
+	for id, req := range c.rulesets {
+		resets[id] = req
+	}
+	c.mu.RUnlock()
+	if n == nil {
+		return fmt.Errorf("cluster: unknown node %q", nodeID)
+	}
+	fresh := server.New(c.nodeServerConfig())
+	for id, req := range resets {
+		owned := false
+		for _, rid := range c.Replicas(id) {
+			if rid == nodeID {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			continue
+		}
+		// Direct in-process upload to the fresh server: it is not yet
+		// reachable through the (possibly chaos-wrapped) transport, which
+		// is exactly why rejoin replication cannot be lost to chaos.
+		if err := putDirect(fresh, id, req); err != nil {
+			return fmt.Errorf("cluster: rejoin %s: re-replicate %q: %w", nodeID, id, err)
+		}
+	}
+	n.mu.Lock()
+	n.srv = fresh
+	n.mu.Unlock()
+	// A rejoined node starts clean; let traffic prove it healthy again
+	// through the breaker's half-open probe.
+	c.log.Info("node rejoined", "node", nodeID)
+	return nil
+}
+
+// putDirect uploads a ruleset to a server through its handler, bypassing
+// transports.
+func putDirect(s *server.Server, id string, req server.RulesetRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	rt := handlerTransport{handler: s.Handler}
+	hreq, err := http.NewRequest(http.MethodPut, "http://rejoin/rulesets/"+id, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := rt.RoundTrip(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// ProbeHealth probes every node's /healthz once through its transport and
+// feeds the outcomes to the breakers: a failed or draining node opens its
+// breaker without burning any real request's retry budget. Call it
+// periodically (the front door's caller owns the cadence) or on demand in
+// tests.
+func (c *Cluster) ProbeHealth(ctx context.Context) {
+	c.mu.RLock()
+	ids := append([]string(nil), c.order...)
+	c.mu.RUnlock()
+	for _, id := range ids {
+		h := c.client.nodes[id]
+		if h == nil {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.client.cfg.TryTimeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, "http://"+id+"/healthz", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := h.rt.RoundTrip(req)
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+		h.healthy.Store(ok)
+		if ok {
+			h.breaker.success()
+		} else {
+			h.breaker.failure(c.client.now())
+		}
+	}
+}
+
+// StartProbes runs ProbeHealth every interval until ctx ends.
+func (c *Cluster) StartProbes(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.ProbeHealth(ctx)
+			}
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------------
+// Front door
+
+func (c *Cluster) handlePutRuleset(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req server.RulesetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decode ruleset: %v", err))
+		return
+	}
+	if err := c.PutRuleset(r.Context(), id, req); err != nil {
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	// Report the primary's view of the compiled ruleset.
+	resp, err := c.client.do(r.Context(), "cluster_get", id, http.MethodGet, "/rulesets/"+id, "", nil, false)
+	if err != nil {
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	relay(w, resp)
+}
+
+func (c *Cluster) handleGetRuleset(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	resp, err := c.client.do(r.Context(), "cluster_get", id, http.MethodGet, "/rulesets/"+id, "", nil, false)
+	if err != nil {
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	relay(w, resp)
+}
+
+func (c *Cluster) handleDeleteRuleset(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	_, known := c.rulesets[id]
+	delete(c.rulesets, id)
+	c.mu.Unlock()
+	status := http.StatusNotFound
+	for _, nid := range c.Replicas(id) {
+		resp, err := c.client.doNode(r.Context(), "cluster_delete", nid, http.MethodDelete, "/rulesets/"+id, "", nil)
+		if err == nil && resp.Status == http.StatusNoContent {
+			status = http.StatusNoContent
+		}
+	}
+	if known && status == http.StatusNotFound {
+		// The definition existed cluster-side even if no replica confirmed.
+		status = http.StatusNoContent
+	}
+	w.WriteHeader(status)
+}
+
+func (c *Cluster) handleScan(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	input, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	// JSON batch bodies pass through verbatim; the node distinguishes by
+	// Content-Type exactly as the single-node API does.
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		ct = "application/octet-stream"
+	}
+	resp, err := c.client.do(r.Context(), "cluster_scan", id, http.MethodPost,
+		"/rulesets/"+id+"/scan?"+r.URL.RawQuery, ct, input, true)
+	if err != nil {
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	relay(w, resp)
+}
+
+// handleStream forwards a streaming scan to the first available replica.
+// Streams are never hedged or retried mid-flight (the response is already
+// underway); failover applies only before a replica accepts. Through the
+// in-process transport the stream degrades to store-and-forward.
+func (c *Cluster) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	input, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	replicas := c.client.orderedReplicas(id)
+	if len(replicas) == 0 {
+		writeJSONError(w, http.StatusServiceUnavailable, ErrNoReplicas.Error())
+		return
+	}
+	var last tryResult
+	for _, n := range replicas[:min(len(replicas), c.cfg.Replicas)] {
+		last = c.client.tryOnce(r.Context(), n, http.MethodPost, "/rulesets/"+id+"/stream", "application/octet-stream", input, false)
+		if last.err == nil && last.resp != nil && last.resp.Status == http.StatusOK {
+			n.breaker.success()
+			relay(w, last.resp)
+			return
+		}
+		n.breaker.failure(c.client.now())
+	}
+	if last.err != nil {
+		writeJSONError(w, http.StatusServiceUnavailable, last.err.Error())
+		return
+	}
+	if last.resp != nil {
+		relay(w, last.resp)
+		return
+	}
+	writeJSONError(w, http.StatusServiceUnavailable, ErrNoReplicas.Error())
+}
+
+func (c *Cluster) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "nodes": len(c.Nodes())})
+}
+
+func (c *Cluster) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.Metrics().Nodes)
+}
+
+func (c *Cluster) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if c.spans == nil {
+		writeJSONError(w, http.StatusNotFound, "tracing disabled: configure TraceSampleEvery > 0")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = c.spans.WriteJSONL(w)
+}
+
+func relay(w http.ResponseWriter, resp *Response) {
+	for _, h := range []string{"Content-Type", server.DigestHeader, server.RetryAfterHeader} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.Status)
+	w.Write(resp.Body)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(server.ErrorResponse{Error: msg})
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+// NodeMetrics is one node's health snapshot.
+type NodeMetrics struct {
+	ID       string `json:"id"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	Breaker  string `json:"breaker"`
+	// BreakerOpens counts this node's breaker open transitions.
+	BreakerOpens int64 `json:"breaker_opens"`
+	Requests     int64 `json:"requests"`
+	Errors       int64 `json:"errors"`
+}
+
+// ClientMetrics snapshots the resilient client's counters.
+type ClientMetrics struct {
+	Requests          int64 `json:"requests"`
+	Retries           int64 `json:"retries"`
+	Hedges            int64 `json:"hedges"`
+	HedgeWins         int64 `json:"hedge_wins"`
+	Failures          int64 `json:"failures"`
+	RetryAfterHonored int64 `json:"retry_after_honored"`
+	DigestFailures    int64 `json:"digest_failures"`
+	BreakerRejects    int64 `json:"breaker_rejects"`
+	// HedgeDelayNS is the current adaptive hedge trigger.
+	HedgeDelayNS int64 `json:"hedge_delay_ns"`
+}
+
+// MetricsJSON is the cluster /metrics?format=json document.
+type MetricsJSON struct {
+	Nodes    []NodeMetrics `json:"nodes"`
+	Replicas int           `json:"replicas"`
+	Client   ClientMetrics `json:"client"`
+}
+
+// Metrics snapshots cluster health: per-node breaker and traffic state
+// plus the client counters.
+func (c *Cluster) Metrics() MetricsJSON {
+	c.mu.RLock()
+	ids := append([]string(nil), c.order...)
+	c.mu.RUnlock()
+	sort.Strings(ids)
+	m := MetricsJSON{Replicas: c.cfg.Replicas, Client: c.clientMetrics()}
+	for _, id := range ids {
+		h := c.client.nodes[id]
+		n := c.nodes[id]
+		if h == nil || n == nil {
+			continue
+		}
+		state, opens := h.breaker.snapshot()
+		m.Nodes = append(m.Nodes, NodeMetrics{
+			ID:           id,
+			Healthy:      h.healthy.Load(),
+			Draining:     n.server().Draining(),
+			Breaker:      state.String(),
+			BreakerOpens: opens,
+			Requests:     h.requests.Load(),
+			Errors:       h.errors.Load(),
+		})
+	}
+	return m
+}
+
+func (c *Cluster) clientMetrics() ClientMetrics {
+	cl := c.client
+	return ClientMetrics{
+		Requests:          cl.requests.Load(),
+		Retries:           cl.retries.Load(),
+		Hedges:            cl.hedges.Load(),
+		HedgeWins:         cl.hedgeWins.Load(),
+		Failures:          cl.failures.Load(),
+		RetryAfterHonored: cl.retryAfterHonored.Load(),
+		DigestFailures:    cl.digestFailures.Load(),
+		BreakerRejects:    cl.breakerRejects.Load(),
+		HedgeDelayNS:      int64(cl.hedgeDelay()),
+	}
+}
+
+// handleMetrics writes cluster-level counters in the flat text format of
+// the node /metrics (JSON with ?format=json). Per-node device and SLO
+// metrics stay on each node's own /metrics.
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := c.Metrics()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "cluster_nodes %d\n", len(m.Nodes))
+	fmt.Fprintf(w, "cluster_replicas %d\n", m.Replicas)
+	fmt.Fprintf(w, "cluster_requests_total %d\n", m.Client.Requests)
+	fmt.Fprintf(w, "cluster_retries_total %d\n", m.Client.Retries)
+	fmt.Fprintf(w, "cluster_hedges_total %d\n", m.Client.Hedges)
+	fmt.Fprintf(w, "cluster_hedge_wins_total %d\n", m.Client.HedgeWins)
+	fmt.Fprintf(w, "cluster_failures_total %d\n", m.Client.Failures)
+	fmt.Fprintf(w, "cluster_retry_after_honored_total %d\n", m.Client.RetryAfterHonored)
+	fmt.Fprintf(w, "cluster_digest_failures_total %d\n", m.Client.DigestFailures)
+	fmt.Fprintf(w, "cluster_breaker_rejects_total %d\n", m.Client.BreakerRejects)
+	fmt.Fprintf(w, "cluster_hedge_delay_ns %d\n", m.Client.HedgeDelayNS)
+	for _, n := range m.Nodes {
+		label := `node="` + n.ID + `"`
+		fmt.Fprintf(w, "cluster_node_requests_total{%s} %d\n", label, n.Requests)
+		fmt.Fprintf(w, "cluster_node_errors_total{%s} %d\n", label, n.Errors)
+		fmt.Fprintf(w, "cluster_node_breaker_opens_total{%s} %d\n", label, n.BreakerOpens)
+		fmt.Fprintf(w, "cluster_node_healthy{%s} %d\n", label, b2i(n.Healthy))
+		fmt.Fprintf(w, "cluster_node_draining{%s} %d\n", label, b2i(n.Draining))
+		fmt.Fprintf(w, "cluster_node_breaker{%s} %q\n", label, n.Breaker)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

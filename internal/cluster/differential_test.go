@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"sunder/internal/cluster/chaos"
+	"sunder/internal/server"
+	"sunder/internal/workload"
+)
+
+// chaosHarness is the differential suite's fixture: a 3-node cluster with
+// R=2 replication behind a seeded chaos transport, the per-workload
+// reference bodies from a pristine single-node server, and the chaos
+// controller for kill/revive choreography.
+type chaosHarness struct {
+	cl     *Cluster
+	ctl    *chaos.Controller
+	req    server.RulesetRequest
+	id     string
+	inputs map[string][]byte // workload name -> generated input
+	want   map[string][]byte // workload name -> canonical response body
+}
+
+// newChaosHarness builds the fixture. killAfter deterministically kills
+// the ruleset's PRIMARY replica once it has served that many requests —
+// the mid-run node failure. The replica set is computed up front from the
+// same ring construction the cluster itself uses, so the kill target is
+// known before the cluster exists.
+func newChaosHarness(t *testing.T, names []string, seed int64, killAfter int64) (*chaosHarness, string) {
+	t.Helper()
+	const rulesetID = "chaoswl"
+	order := []string{"node0", "node1", "node2"}
+	victim := newRing(order, 64).replicas(rulesetID, 2)[0]
+
+	ctl := chaos.NewController(chaos.Config{
+		Seed:         seed,
+		DropRate:     0.04,
+		DelayRate:    0.05,
+		MaxDelay:     2 * time.Millisecond,
+		TruncateRate: 0.02,
+		CorruptRate:  0.02,
+		KillAfter:    map[string]int64{victim: killAfter},
+	})
+	cl := New(Config{
+		Nodes:     3,
+		Replicas:  2,
+		Node:      server.Config{DrainTimeout: time.Second},
+		Transport: ctl.Wrap,
+		Client: ClientConfig{
+			Seed:        seed,
+			TryTimeout:  5 * time.Second,
+			MaxAttempts: 8,
+			BackoffBase: 2 * time.Millisecond,
+			BackoffCap:  20 * time.Millisecond,
+			Breaker:     BreakerConfig{FailureThreshold: 3, Cooldown: 100 * time.Millisecond},
+		},
+		Logger: discardLogger(),
+	})
+
+	h := &chaosHarness{
+		cl:     cl,
+		ctl:    ctl,
+		req:    testRulesetReq(),
+		id:     rulesetID,
+		inputs: make(map[string][]byte, len(names)),
+		want:   make(map[string][]byte, len(names)),
+	}
+	// Reference bodies come from one pristine server holding the same
+	// ruleset: scan stats are a pure function of (rules, options, input),
+	// so the canonical body is byte-stable across server instances.
+	refSrv := server.New(server.Config{Logger: discardLogger()})
+	if err := putDirect(refSrv, rulesetID, h.req); err != nil {
+		t.Fatal(err)
+	}
+	rt := hand(refSrv)
+	for _, name := range names {
+		w, err := workload.Get(name, workload.DefaultScale, workload.DefaultInputLen)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h.inputs[name] = w.Input
+		hreq, err := http.NewRequest(http.MethodPost, "http://ref/rulesets/"+rulesetID+"/scan", bytes.NewReader(w.Input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := rt.RoundTrip(hreq)
+		if err != nil {
+			t.Fatalf("%s: reference scan: %v", name, err)
+		}
+		body := make([]byte, 0, resp.ContentLength)
+		buf := bytes.NewBuffer(body)
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: reference scan HTTP %d", name, resp.StatusCode)
+		}
+		h.want[name] = buf.Bytes()
+	}
+	if err := cl.PutRuleset(context.Background(), rulesetID, h.req); err != nil {
+		t.Fatalf("replicated upload: %v", err)
+	}
+	return h, victim
+}
+
+// scanAll drives every workload through the cluster once and asserts each
+// response is byte-identical to the local reference.
+func (h *chaosHarness) scanAll(t *testing.T, names []string, phase string) {
+	t.Helper()
+	for _, name := range names {
+		resp, err := h.cl.Scan(context.Background(), h.id, h.inputs[name])
+		if err != nil {
+			t.Fatalf("[%s] %s: scan failed: %v", phase, name, err)
+		}
+		if resp.Status != http.StatusOK {
+			t.Fatalf("[%s] %s: HTTP %d: %s", phase, name, resp.Status, resp.Body)
+		}
+		if !bytes.Equal(resp.Body, h.want[name]) {
+			t.Fatalf("[%s] %s: response diverged from local Scan (%d vs %d bytes)",
+				phase, name, len(resp.Body), len(h.want[name]))
+		}
+	}
+}
+
+// TestClusterChaosDifferential is the acceptance suite: with R=2
+// replication and seeded chaos (drops, delays, truncation, corruption)
+// killing the primary replica mid-run, every scan response across all 19
+// workloads stays byte-identical to the local reference — then again
+// while the revived node's peer drains, and again after everyone has
+// rejoined. Zero failed logical requests allowed: availability through
+// the whole choreography is 100%.
+func TestClusterChaosDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 19-workload chaos differential; TestClusterChaosSmoke covers -short")
+	}
+	names := workload.Names()
+	if len(names) != 19 {
+		t.Fatalf("workload catalog has %d entries, suite expects 19", len(names))
+	}
+	// Kill the primary after ~half of phase-1 traffic has reached it.
+	h, victim := newChaosHarness(t, names, 42, 12)
+	reps := h.cl.Replicas(h.id)
+	if reps[0] != victim {
+		t.Fatalf("harness victim %s is not the primary %s", victim, reps[0])
+	}
+	peer := reps[1]
+
+	// Phase 1: node failure. The primary dies mid-run (KillAfter); scans
+	// keep succeeding byte-identically via retries, hedges and the peer.
+	h.scanAll(t, names, "kill")
+	if got := h.ctl.Counts().Kills; got != 1 {
+		t.Fatalf("kills = %d, want the one mid-run kill", got)
+	}
+	if !h.ctl.Killed(victim) {
+		t.Fatal("victim is not dead after phase 1")
+	}
+
+	// Phase 2: the dead node revives and rejoins (re-replication before
+	// the swap), then its peer drains — the rejoined node must carry the
+	// ruleset alone, still byte-identically.
+	h.ctl.Revive(victim)
+	if err := h.cl.RejoinNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	h.cl.ProbeHealth(context.Background())
+	if err := h.cl.DrainNode(peer); err != nil {
+		t.Fatal(err)
+	}
+	h.cl.ProbeHealth(context.Background())
+	h.scanAll(t, names, "drain")
+
+	// Phase 3: the drained peer rejoins; the full replica set serves again.
+	if err := h.cl.RejoinNode(peer); err != nil {
+		t.Fatal(err)
+	}
+	h.cl.ProbeHealth(context.Background())
+	h.scanAll(t, names, "rejoined")
+
+	m := h.cl.Metrics()
+	if m.Client.Failures != 0 {
+		t.Errorf("availability breached: %d failed logical requests", m.Client.Failures)
+	}
+	if m.Client.Retries == 0 {
+		t.Error("suite never exercised a retry — chaos too weak to prove anything")
+	}
+	counts := h.ctl.Counts()
+	if counts.Dropped == 0 && counts.Truncated == 0 && counts.Corrupted == 0 {
+		t.Errorf("chaos injected no faults: %+v", counts)
+	}
+	t.Logf("chaos: %+v", counts)
+	t.Logf("client: %+v", m.Client)
+}
+
+// TestClusterChaosSmoke is the CI chaos-smoke job: a short seeded chaos
+// run over 3 nodes and 3 workloads with a mid-run primary kill, asserting
+// zero output divergence. Runs under -short.
+func TestClusterChaosSmoke(t *testing.T) {
+	names := workload.Names()[:3]
+	// The victim serves the replicated PUT (request 0) then one try per
+	// scan: KillAfter 3 fires during the last of the three scans.
+	h, victim := newChaosHarness(t, names, 7, 3)
+	h.scanAll(t, names, "smoke-kill")
+	if !h.ctl.Killed(victim) {
+		t.Fatalf("victim %s not killed; KillAfter threshold never reached", victim)
+	}
+	h.ctl.Revive(victim)
+	if err := h.cl.RejoinNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	h.cl.ProbeHealth(context.Background())
+	h.scanAll(t, names, "smoke-rejoined")
+	if f := h.cl.Metrics().Client.Failures; f != 0 {
+		t.Fatalf("%d failed logical requests, want 0", f)
+	}
+}

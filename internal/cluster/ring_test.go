@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingReplicasDistinctAndOrdered: every key maps to n distinct nodes,
+// primary first, and asking for more replicas than nodes clamps.
+func TestRingReplicasDistinctAndOrdered(t *testing.T) {
+	nodes := []string{"node0", "node1", "node2"}
+	r := newRing(nodes, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("ruleset-%d", i)
+		reps := r.replicas(key, 2)
+		if len(reps) != 2 {
+			t.Fatalf("key %q: %d replicas, want 2", key, len(reps))
+		}
+		if reps[0] == reps[1] {
+			t.Fatalf("key %q: duplicate replica %q", key, reps[0])
+		}
+		all := r.replicas(key, 10)
+		if len(all) != len(nodes) {
+			t.Fatalf("key %q: over-ask returned %d nodes, want %d", key, len(all), len(nodes))
+		}
+		if all[0] != reps[0] || all[1] != reps[1] {
+			t.Fatalf("key %q: replica order not a prefix: %v vs %v", key, reps, all)
+		}
+	}
+}
+
+// TestRingDeterministic: two rings over the same nodes agree on every
+// assignment — routing is a pure function of (nodes, vnodes, key).
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"node0", "node1", "node2", "node3"}
+	a := newRing(nodes, 64)
+	b := newRing(nodes, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		ra, rb := a.replicas(key, 2), b.replicas(key, 2)
+		if ra[0] != rb[0] || ra[1] != rb[1] {
+			t.Fatalf("key %q: rings disagree: %v vs %v", key, ra, rb)
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes the primary assignment spreads; no
+// node owns everything and no node starves (loose bounds — consistent
+// hashing is only statistically balanced).
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"node0", "node1", "node2", "node3"}
+	r := newRing(nodes, 64)
+	counts := make(map[string]int)
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.replicas(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.08 || share > 0.50 {
+			t.Errorf("node %s primary share %.2f outside [0.08, 0.50]: %v", n, share, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderNodeRemoval: removing one node only moves keys
+// that listed it as primary — the consistent-hashing property the
+// rebalance story rests on.
+func TestRingStabilityUnderNodeRemoval(t *testing.T) {
+	full := newRing([]string{"node0", "node1", "node2", "node3"}, 64)
+	reduced := newRing([]string{"node0", "node1", "node3"}, 64)
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.replicas(key, 1)[0]
+		after := reduced.replicas(key, 1)[0]
+		if before == "node2" {
+			continue // had to move
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+			t.Errorf("key %q moved %s -> %s though its primary survived", key, before, after)
+		}
+	}
+	if kept == 0 {
+		t.Fatal("no keys kept their primary; ring is not consistent")
+	}
+}

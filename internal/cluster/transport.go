@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// handlerTransport is an in-process http.RoundTripper over a node's
+// handler: requests dispatch as direct ServeHTTP calls, with no sockets
+// in between. The handler is read through a getter so a node rejoin can
+// swap the server underneath without disturbing the (possibly
+// chaos-wrapped) transport chain above it.
+type handlerTransport struct {
+	handler func() http.Handler
+}
+
+// RoundTrip serves the request synchronously and returns the recorded
+// response. The response body is fully buffered: scan bodies are bounded
+// by the server's MaxBodyBytes, and the streaming endpoint degrades to
+// store-and-forward (documented on Cluster.Stream).
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header), code: http.StatusOK}
+	out := req.Clone(req.Context())
+	out.RequestURI = req.URL.RequestURI()
+	if out.Body == nil {
+		out.Body = http.NoBody
+	}
+	t.handler().ServeHTTP(rec, out)
+	resp := &http.Response{
+		StatusCode:    rec.code,
+		Status:        fmt.Sprintf("%d %s", rec.code, http.StatusText(rec.code)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}
+	return resp, nil
+}
+
+// responseRecorder is the minimal ResponseWriter the scan service needs:
+// status, headers, body, Flush (a no-op — the body is buffered) and
+// EnableFullDuplex (trivially satisfied in-process, which lets the
+// streaming handler run unmodified).
+type responseRecorder struct {
+	header      http.Header
+	body        bytes.Buffer
+	code        int
+	wroteHeader bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.code = code
+		r.wroteHeader = true
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
+	return r.body.Write(p)
+}
+
+func (r *responseRecorder) Flush() {}
+
+// EnableFullDuplex satisfies http.NewResponseController: in-process there
+// is no half-duplex buffering to disable.
+func (r *responseRecorder) EnableFullDuplex() error { return nil }

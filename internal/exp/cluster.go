@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// ClusterRow measures the fault-tolerant scan cluster on one benchmark's
+// input under open-loop load: requests arrive on a seeded Poisson clock
+// regardless of completions (so queueing is measured, not hidden), route
+// through consistent-hash replication with retries, hedging and circuit
+// breaking, and every response is checked byte-for-byte against the local
+// reference scan.
+//
+// Rows are produced by loadgen.ClusterStudy (sunder-serve -loadgen
+// -cluster N) and exported as BENCH_cluster.json.
+type ClusterRow struct {
+	Name  string `json:"name"`
+	Bytes int    `json:"bytes"`
+	// Nodes/Replicas record the cluster shape the row measured.
+	Nodes    int `json:"nodes"`
+	Replicas int `json:"replicas"`
+	// Requests is the logical request count; Failed is how many exhausted
+	// every retry and hedge. Availability is (Requests-Failed)/Requests.
+	Requests     int     `json:"requests"`
+	Failed       int     `json:"failed"`
+	Availability float64 `json:"availability"`
+	// Retried counts logical requests that needed more than one attempt;
+	// Hedged counts those whose winning response came from a hedge. Rates
+	// are per logical request.
+	Retried   int     `json:"retried"`
+	Hedged    int     `json:"hedged"`
+	HedgeRate float64 `json:"hedge_rate"`
+	RetryRate float64 `json:"retry_rate"`
+	// OutputOK asserts every served response was byte-identical to the
+	// local reference body.
+	OutputOK bool  `json:"output_ok"`
+	TotalNS  int64 `json:"total_ns"`
+	// MBps is served throughput over the open-loop phase wall clock.
+	MBps float64 `json:"mbps"`
+	// End-to-end logical-request latency quantiles (exact, nearest-rank
+	// over raw latencies): includes every retry backoff and hedge.
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+}
+
+// FprintClusterStudy renders the cluster rows as a table.
+func FprintClusterStudy(w io.Writer, rows []ClusterRow) {
+	fmt.Fprintf(w, "Fault-tolerant scan cluster load test (open-loop arrivals, responses byte-checked against local Scan)\n")
+	fmt.Fprintf(w, "%-14s %9s %6s %8s %7s %7s %7s %10s %10s %10s %10s %6s\n",
+		"Benchmark", "Bytes", "Reqs", "avail%", "retry%", "hedge%", "failed",
+		"MB/s", "p50(ms)", "p99(ms)", "p999(ms)", "Out")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %9d %6d %8.3f %7.1f %7.1f %7d %10.2f %10.3f %10.3f %10.3f %6v\n",
+			r.Name, r.Bytes, r.Requests, r.Availability*100,
+			r.RetryRate*100, r.HedgeRate*100, r.Failed, r.MBps,
+			float64(r.P50NS)/1e6, float64(r.P99NS)/1e6, float64(r.P999NS)/1e6,
+			r.OutputOK)
+	}
+}

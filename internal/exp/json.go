@@ -27,6 +27,10 @@ type Results struct {
 	// CollectAll): the network scan service driven over every benchmark
 	// input (BENCH_serve.json).
 	Serve []ServeRow `json:"serve,omitempty"`
+	// Cluster is populated by `sunder-serve -loadgen -cluster N` only
+	// (excluded from CollectAll): the replicated scan cluster under
+	// open-loop load, optionally with chaos (BENCH_cluster.json).
+	Cluster []ClusterRow `json:"cluster,omitempty"`
 }
 
 // CollectAll runs every table and figure and bundles the rows.

@@ -42,6 +42,15 @@ type ServeRow struct {
 	// Matches is the per-request match count (identical across requests —
 	// every request scans the same input).
 	Matches int64 `json:"matches"`
+	// Failed requests split into two honest buckets instead of aborting
+	// the study: TransportErrors (connection refused/reset, unreadable
+	// body) and HTTPErrors (non-200 statuses — 503 sheds, 504 deadline
+	// misses). Availability is the served fraction, (Requests-Failed)/
+	// Requests; quantiles and MBps cover only served requests.
+	Failed          int     `json:"failed"`
+	TransportErrors int     `json:"transport_errors"`
+	HTTPErrors      int     `json:"http_errors"`
+	Availability    float64 `json:"availability"`
 	// OutputOK asserts every batched response, and StreamOK the NDJSON
 	// stream, reproduced the local reference scan match-for-match.
 	OutputOK bool `json:"output_ok"`
@@ -53,12 +62,12 @@ type ServeRow struct {
 // server-side handler quantiles and the pool-wait share of served time.
 func FprintServeStudy(w io.Writer, rows []ServeRow) {
 	fmt.Fprintf(w, "Network scan service load test (clients x requests per benchmark, checked against local Scan)\n")
-	fmt.Fprintf(w, "%-14s %9s %8s %10s %10s %10s %10s %10s %10s %7s %9s %6s %6s\n",
-		"Benchmark", "Bytes", "Reqs", "MB/s", "p50(ms)", "p99(ms)",
+	fmt.Fprintf(w, "%-14s %9s %8s %6s %6s %7s %10s %10s %10s %10s %10s %10s %7s %9s %6s %6s\n",
+		"Benchmark", "Bytes", "Reqs", "xport", "http", "avail%", "MB/s", "p50(ms)", "p99(ms)",
 		"sp50(ms)", "sp99(ms)", "sp999(ms)", "wait%", "Matches", "Out", "Strm")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-14s %9d %8d %10.2f %10.3f %10.3f %10.3f %10.3f %10.3f %7.1f %9d %6v %6v\n",
-			r.Name, r.Bytes, r.Requests, r.MBps,
+		fmt.Fprintf(w, "%-14s %9d %8d %6d %6d %7.2f %10.2f %10.3f %10.3f %10.3f %10.3f %10.3f %7.1f %9d %6v %6v\n",
+			r.Name, r.Bytes, r.Requests, r.TransportErrors, r.HTTPErrors, r.Availability*100, r.MBps,
 			float64(r.P50NS)/1e6, float64(r.P99NS)/1e6,
 			float64(r.SrvP50NS)/1e6, float64(r.SrvP99NS)/1e6, float64(r.SrvP999NS)/1e6,
 			r.PoolWaitShare*100,

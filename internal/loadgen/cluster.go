@@ -1,0 +1,283 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"sunder/internal/cluster"
+	"sunder/internal/cluster/chaos"
+	"sunder/internal/exp"
+	"sunder/internal/server"
+	"sunder/internal/telemetry"
+	"sunder/internal/workload"
+)
+
+// ClusterConfig sizes the cluster load generation.
+type ClusterConfig struct {
+	// Nodes and Replicas shape the cluster (defaults 3 and 2).
+	Nodes    int
+	Replicas int
+	// Requests is the number of logical scan requests per benchmark
+	// (default 24).
+	Requests int
+	// RatePerSec is the open-loop arrival rate: requests are launched on a
+	// seeded exponential (Poisson) clock independent of completions, so
+	// server-side queueing shows up in the measured latency instead of
+	// being absorbed by a closed loop (default 400/s).
+	RatePerSec float64
+	// Seed drives the arrival process, the client's backoff jitter and any
+	// chaos (default 1).
+	Seed int64
+	// Chaos enables the deterministic fault process with this mix. The
+	// study's availability and hedge/retry rates are only interesting with
+	// some chaos on; nil runs clean.
+	Chaos *chaos.Config
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Requests <= 0 {
+		c.Requests = 24
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 400
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// DefaultChaos is the bench's standard fault mix: light enough that a
+// replicated cluster should hold availability >= 99.9%, heavy enough to
+// exercise retries, hedges and the end-to-end digest.
+func DefaultChaos(seed int64) *chaos.Config {
+	return &chaos.Config{
+		Seed:         seed,
+		DropRate:     0.02,
+		DelayRate:    0.05,
+		MaxDelay:     2 * time.Millisecond,
+		TruncateRate: 0.01,
+		CorruptRate:  0.01,
+	}
+}
+
+// ClusterStudy builds an in-process scan cluster, uploads one rule set,
+// and drives every named benchmark's generated input through it under
+// open-loop arrivals, checking each response byte-for-byte against a
+// pristine single-node reference.
+func ClusterStudy(opts exp.Options, names []string, cfg ClusterConfig) ([]exp.ClusterRow, error) {
+	cfg = cfg.withDefaults()
+
+	ccfg := cluster.Config{
+		Nodes:    cfg.Nodes,
+		Replicas: cfg.Replicas,
+		Client: cluster.ClientConfig{
+			Seed:        cfg.Seed,
+			BackoffBase: 2 * time.Millisecond,
+			BackoffCap:  50 * time.Millisecond,
+		},
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	var ctl *chaos.Controller
+	if cfg.Chaos != nil {
+		ctl = chaos.NewController(*cfg.Chaos)
+		ccfg.Transport = ctl.Wrap
+	}
+	cl := cluster.New(ccfg)
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	cl.StartProbes(probeCtx, 100*time.Millisecond)
+
+	const rulesetID = "loadgen"
+	ruleReq := server.RulesetRequest{Patterns: serveRules(), Options: &server.OptionsJSON{Prune: true}}
+	if err := cl.PutRuleset(context.Background(), rulesetID, ruleReq); err != nil {
+		return nil, err
+	}
+
+	// Reference bodies come from a pristine single-node server with the
+	// same ruleset: the cluster must reproduce them byte-for-byte.
+	refSrv := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err := putRulesetDirect(refSrv, rulesetID, ruleReq); err != nil {
+		return nil, err
+	}
+
+	arrivals := rand.New(rand.NewSource(cfg.Seed))
+	var rows []exp.ClusterRow
+	for _, name := range names {
+		w, err := workload.Get(name, opts.Scale, opts.InputLen)
+		if err != nil {
+			return nil, err
+		}
+		want, err := referenceBody(refSrv, rulesetID, w.Input)
+		if err != nil {
+			return nil, fmt.Errorf("%s: reference scan: %w", name, err)
+		}
+		row, err := clusterOne(cl, rulesetID, w.Input, want, cfg, arrivals)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		row.Name = name
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// putRulesetDirect uploads a ruleset straight to a server handler.
+func putRulesetDirect(s *server.Server, id string, req server.RulesetRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := serveDirect(s, http.MethodPut, "/rulesets/"+id, "application/json", body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("put ruleset: HTTP %d: %s", resp.StatusCode, resp.Body)
+	}
+	return nil
+}
+
+// referenceBody computes the canonical scan response bytes for an input.
+func referenceBody(s *server.Server, id string, input []byte) ([]byte, error) {
+	resp, err := serveDirect(s, http.MethodPost, "/rulesets/"+id+"/scan", "application/octet-stream", input)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, resp.Body)
+	}
+	return resp.Body, nil
+}
+
+// directResponse is a buffered in-process response.
+type directResponse struct {
+	StatusCode int
+	Body       []byte
+}
+
+// serveDirect dispatches one request to a server handler in process.
+func serveDirect(s *server.Server, method, path, contentType string, body []byte) (*directResponse, error) {
+	req, err := http.NewRequest(method, "http://local"+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := newBufferingRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return &directResponse{StatusCode: rec.status, Body: rec.buf.Bytes()}, nil
+}
+
+// bufferingRecorder is the minimal ResponseWriter the handlers need.
+type bufferingRecorder struct {
+	hdr    http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func newBufferingRecorder() *bufferingRecorder {
+	return &bufferingRecorder{hdr: make(http.Header), status: http.StatusOK}
+}
+
+func (r *bufferingRecorder) Header() http.Header         { return r.hdr }
+func (r *bufferingRecorder) WriteHeader(code int)        { r.status = code }
+func (r *bufferingRecorder) Write(p []byte) (int, error) { return r.buf.Write(p) }
+func (r *bufferingRecorder) Flush()                      {}
+func (r *bufferingRecorder) EnableFullDuplex() error     { return nil }
+
+// clusterOne drives one benchmark's input through the cluster under
+// open-loop arrivals and reduces the outcomes to a row.
+func clusterOne(cl *cluster.Cluster, id string, input, want []byte, cfg ClusterConfig, arrivals *rand.Rand) (*exp.ClusterRow, error) {
+	row := &exp.ClusterRow{
+		Bytes:    len(input),
+		Nodes:    cfg.Nodes,
+		Replicas: cfg.Replicas,
+		Requests: cfg.Requests,
+		OutputOK: true,
+	}
+
+	type outcome struct {
+		latNS    int64
+		failed   bool
+		retried  bool
+		hedged   bool
+		diverged bool
+	}
+	outcomes := make([]outcome, cfg.Requests)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < cfg.Requests; i++ {
+		// Open loop: the next arrival is scheduled from the seeded
+		// exponential clock whether or not earlier requests finished.
+		if i > 0 {
+			time.Sleep(time.Duration(arrivals.ExpFloat64() / cfg.RatePerSec * float64(time.Second)))
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := cl.Scan(context.Background(), id, input)
+			outcomes[i].latNS = time.Since(start).Nanoseconds()
+			if err != nil || resp.Status != http.StatusOK {
+				outcomes[i].failed = true
+				return
+			}
+			outcomes[i].retried = resp.Attempts > 1
+			outcomes[i].hedged = resp.Hedged
+			outcomes[i].diverged = !bytes.Equal(resp.Body, want)
+		}(i)
+	}
+	wg.Wait()
+	row.TotalNS = time.Since(t0).Nanoseconds()
+	if row.TotalNS < 1 {
+		row.TotalNS = 1
+	}
+
+	latencies := make([]int64, 0, cfg.Requests)
+	for _, o := range outcomes {
+		if o.failed {
+			row.Failed++
+			continue
+		}
+		latencies = append(latencies, o.latNS)
+		if o.retried {
+			row.Retried++
+		}
+		if o.hedged {
+			row.Hedged++
+		}
+		if o.diverged {
+			row.OutputOK = false
+		}
+	}
+	row.Availability = float64(row.Requests-row.Failed) / float64(row.Requests)
+	row.RetryRate = float64(row.Retried) / float64(row.Requests)
+	row.HedgeRate = float64(row.Hedged) / float64(row.Requests)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		row.P50NS = telemetry.NearestRank(latencies, 0.50)
+		row.P99NS = telemetry.NearestRank(latencies, 0.99)
+		row.P999NS = telemetry.NearestRank(latencies, 0.999)
+		row.MBps = float64(len(input)*len(latencies)) / 1e6 / (float64(row.TotalNS) / 1e9)
+	} else {
+		row.OutputOK = false
+	}
+	return row, nil
+}

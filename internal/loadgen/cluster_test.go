@@ -1,0 +1,68 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+
+	"sunder/internal/exp"
+)
+
+// TestClusterStudy drives two benchmarks through a 3-node cluster with
+// the default chaos mix: open-loop arrivals, every served response
+// byte-identical to the pristine reference, availability carried per row.
+func TestClusterStudy(t *testing.T) {
+	opts := exp.DefaultOptions()
+	rows, err := ClusterStudy(opts, []string{"Snort", "ExactMatch"}, ClusterConfig{
+		Nodes:      3,
+		Replicas:   2,
+		Requests:   8,
+		RatePerSec: 2000,
+		Seed:       42,
+		Chaos:      DefaultChaos(42),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OutputOK {
+			t.Errorf("%s: cluster responses diverged from local reference", r.Name)
+		}
+		if r.Requests != 8 || r.Nodes != 3 || r.Replicas != 2 {
+			t.Errorf("%s: row shape %+v", r.Name, r)
+		}
+		if r.Availability < 0.999 {
+			t.Errorf("%s: availability %.4f below 99.9%%", r.Name, r.Availability)
+		}
+		if r.Failed != r.Requests-int(r.Availability*float64(r.Requests)+0.5) {
+			t.Errorf("%s: failed %d inconsistent with availability %v", r.Name, r.Failed, r.Availability)
+		}
+		if r.P50NS <= 0 || r.P99NS < r.P50NS || r.P999NS < r.P99NS {
+			t.Errorf("%s: quantiles malformed: %d/%d/%d", r.Name, r.P50NS, r.P99NS, r.P999NS)
+		}
+		if r.RetryRate < 0 || r.RetryRate > 1 || r.HedgeRate < 0 || r.HedgeRate > 1 {
+			t.Errorf("%s: rates out of range: retry %v hedge %v", r.Name, r.RetryRate, r.HedgeRate)
+		}
+	}
+
+	var buf bytes.Buffer
+	exp.FprintClusterStudy(&buf, rows)
+	if !bytes.Contains(buf.Bytes(), []byte("Snort")) || !bytes.Contains(buf.Bytes(), []byte("avail%")) {
+		t.Errorf("table output malformed:\n%s", buf.String())
+	}
+}
+
+// TestClusterStudyCleanRun: without chaos nothing fails and nothing needs
+// retrying — the honest-bucket accounting reports a quiet run as quiet.
+func TestClusterStudyCleanRun(t *testing.T) {
+	rows, err := ClusterStudy(exp.DefaultOptions(), []string{"ExactMatch"}, ClusterConfig{Requests: 4, RatePerSec: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Failed != 0 || r.Availability != 1 || !r.OutputOK {
+		t.Fatalf("clean run reported faults: %+v", r)
+	}
+}

@@ -166,7 +166,6 @@ func serveOne(base, id string, input []byte, want []sunder.Match, cfg Config) (*
 	latencies := make([]int64, 0, row.Requests)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	errs := make(chan error, cfg.Clients)
 	t0 := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -176,19 +175,29 @@ func serveOne(base, id string, input []byte, want []sunder.Match, cfg Config) (*
 				reqStart := time.Now()
 				resp, err := http.Post(base+"/rulesets/"+id+"/scan", "application/octet-stream", bytes.NewReader(input))
 				if err != nil {
-					errs <- err
-					return
+					// Transport failures and HTTP-level errors are separate
+					// buckets: a refused connection and a 503 shed are
+					// different capacity signals, and neither aborts the
+					// study — the row reports them honestly instead.
+					mu.Lock()
+					row.TransportErrors++
+					mu.Unlock()
+					continue
 				}
 				var out server.ScanResponse
-				err = json.NewDecoder(resp.Body).Decode(&out)
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
 				resp.Body.Close()
-				if err != nil {
-					errs <- err
-					return
-				}
 				if resp.StatusCode != http.StatusOK {
-					errs <- fmt.Errorf("scan: HTTP %d", resp.StatusCode)
-					return
+					mu.Lock()
+					row.HTTPErrors++
+					mu.Unlock()
+					continue
+				}
+				if decErr != nil {
+					mu.Lock()
+					row.TransportErrors++
+					mu.Unlock()
+					continue
 				}
 				lat := time.Since(reqStart).Nanoseconds()
 				ok := len(out.Results) == 1 && sameMatches(out.Results[0].Matches, want)
@@ -206,10 +215,18 @@ func serveOne(base, id string, input []byte, want []sunder.Match, cfg Config) (*
 	if row.TotalNS < 1 {
 		row.TotalNS = 1
 	}
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+	row.Failed = row.TransportErrors + row.HTTPErrors
+	row.Availability = float64(row.Requests-row.Failed) / float64(row.Requests)
+	if len(latencies) == 0 {
+		// Nothing succeeded: quantiles and throughput are meaningless, but
+		// the row (availability 0, full error buckets) still tells the story.
+		row.OutputOK = false
+		streamed, err := streamMatches(base, id, input)
+		if err != nil {
+			return row, nil
+		}
+		row.StreamOK = sameMatches(streamed, want)
+		return row, nil
 	}
 
 	// Exact nearest-rank quantiles over the raw sorted latencies — the
@@ -220,11 +237,14 @@ func serveOne(base, id string, input []byte, want []sunder.Match, cfg Config) (*
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	row.P50NS = telemetry.NearestRank(latencies, 0.50)
 	row.P99NS = telemetry.NearestRank(latencies, 0.99)
-	row.MBps = float64(len(input)*row.Requests) / 1e6 / (float64(row.TotalNS) / 1e9)
+	// Throughput counts only bytes actually served.
+	row.MBps = float64(len(input)*len(latencies)) / 1e6 / (float64(row.TotalNS) / 1e9)
 
 	streamed, err := streamMatches(base, id, input)
 	if err != nil {
-		return nil, err
+		// A failed stream is a row-level finding, not a study abort.
+		row.StreamOK = false
+		return row, nil
 	}
 	row.StreamOK = sameMatches(streamed, want)
 	return row, nil

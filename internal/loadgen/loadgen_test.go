@@ -35,6 +35,10 @@ func TestServeStudy(t *testing.T) {
 		if r.Requests != 4 || r.Bytes != opts.InputLen {
 			t.Errorf("%s: unexpected row shape: %+v", r.Name, r)
 		}
+		// Honest error buckets: a healthy loopback run serves everything.
+		if r.Failed != 0 || r.TransportErrors != 0 || r.HTTPErrors != 0 || r.Availability != 1 {
+			t.Errorf("%s: error buckets non-zero on a clean run: %+v", r.Name, r)
+		}
 		if r.Matches > 0 {
 			matched = true
 		}

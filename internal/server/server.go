@@ -15,6 +15,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +36,17 @@ import (
 	"sunder"
 	"sunder/internal/telemetry"
 )
+
+// DigestHeader carries the hex sha256 of the exact scan response body. It
+// is the end-to-end integrity check for proxies and the cluster client: a
+// truncated or bit-flipped response fails the digest and is retried on a
+// replica instead of being delivered as silently wrong matches.
+const DigestHeader = "X-Sunder-Scan-Digest"
+
+// RetryAfterHeader is the standard header set on every 503 shed response,
+// telling well-behaved clients (the cluster's resilient client included)
+// how many seconds to back off before retrying this node.
+const RetryAfterHeader = "Retry-After"
 
 // Config tunes the service. The zero value serves with sensible defaults.
 type Config struct {
@@ -298,7 +311,7 @@ func (w *logWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 func (s *Server) handlePutRuleset(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if s.Draining() {
-		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeShed(w, s.cfg.retryAfterDraining(), "draining")
 		return
 	}
 	var req RulesetRequest
@@ -424,7 +437,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	if s.Draining() {
 		rs.shedDraining.Inc()
-		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeShed(w, s.cfg.retryAfterDraining(), "draining")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -519,7 +532,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		rs.lat.Observe(total.Nanoseconds())
 		rs.waitNS.Add(waitDur.Nanoseconds())
 		rs.servedNS.Add(total.Nanoseconds())
-		s.writeJSON(w, http.StatusOK, resp)
+		s.writeScanResponse(w, resp)
 	}
 }
 
@@ -544,7 +557,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	if s.Draining() {
 		rs.shedDraining.Inc()
-		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeShed(w, s.cfg.retryAfterDraining(), "draining")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ScanTimeout)
@@ -844,6 +857,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // ---------------------------------------------------------------------------
 // Response helpers
 
+// retryAfterCapacity and retryAfterDraining are the Retry-After hints on
+// shed responses, in seconds. A capacity shed is transient — the pool queue
+// was full this instant — so the hint is the minimum representable backoff;
+// a draining shed means this node is going away for good, so the hint is
+// the drain budget: by then the request belongs on another node (or the
+// restarted process).
+func (c Config) retryAfterCapacity() int { return 1 }
+
+func (c Config) retryAfterDraining() int {
+	secs := int((c.DrainTimeout + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeShed writes a 503 with a Retry-After hint.
+func (s *Server) writeShed(w http.ResponseWriter, retryAfterSecs int, msg string) {
+	w.Header().Set(RetryAfterHeader, strconv.Itoa(retryAfterSecs))
+	s.writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+// writeScanResponse writes a scan response with the end-to-end integrity
+// digest header (hex sha256 of the exact body bytes, trailing newline
+// included, matching json.Encoder framing).
+func (s *Server) writeScanResponse(w http.ResponseWriter, resp ScanResponse) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("encode response: %v", err))
+		return
+	}
+	body = append(body, '\n')
+	sum := sha256.Sum256(body)
+	w.Header().Set(DigestHeader, hex.EncodeToString(sum[:]))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(body); err != nil {
+		s.log.Warn("write response", "err", err)
+	}
+}
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -864,13 +921,13 @@ func (s *Server) writeAcquireError(w http.ResponseWriter, rs *ruleset, err error
 	switch {
 	case errors.Is(err, ErrPoolBusy):
 		rs.shedCapacity.Inc()
-		s.writeError(w, http.StatusServiceUnavailable, "engine pool saturated, retry later")
+		s.writeShed(w, s.cfg.retryAfterCapacity(), "engine pool saturated, retry later")
 	case errors.Is(err, context.DeadlineExceeded):
 		rs.shedDeadline.Inc()
 		s.writeError(w, http.StatusGatewayTimeout, "timed out waiting for an engine")
 	default:
 		rs.shedCapacity.Inc()
-		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.writeShed(w, s.cfg.retryAfterCapacity(), err.Error())
 	}
 }
 

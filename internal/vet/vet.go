@@ -60,6 +60,17 @@ type Config struct {
 	// BannedImports are the import paths banned from deterministic
 	// packages.
 	BannedImports []string
+	// SeededRandPkgs are import paths that may use math/rand, but only
+	// through explicitly seeded generators (rand.New, rand.NewSource):
+	// calling package-level rand functions there draws from the global
+	// source and breaks chaos/jitter replay. The same packages must not
+	// read the wall clock inside retry/jitter paths (see ClockFreeFuncs).
+	SeededRandPkgs map[string]bool
+	// ClockFreeFuncs are lowercase substrings of function names that mark
+	// retry/jitter paths in SeededRandPkgs: a raw time.Now() call inside
+	// such a function is flagged — those paths must take the clock as an
+	// input so tests can replay them virtually.
+	ClockFreeFuncs []string
 }
 
 // DefaultConfig returns the repository's rule configuration.
@@ -76,6 +87,11 @@ func DefaultConfig() Config {
 			"sunder/internal/analysis":  true,
 		},
 		BannedImports: []string{"time", "math/rand", "math/rand/v2"},
+		SeededRandPkgs: map[string]bool{
+			"sunder/internal/cluster":       true,
+			"sunder/internal/cluster/chaos": true,
+		},
+		ClockFreeFuncs: []string{"retry", "backoff", "jitter", "hedge"},
 	}
 }
 
@@ -160,6 +176,7 @@ func Lint(fset *token.FileSet, pkgs []*Package, cfg Config) []Finding {
 	nocopy := buildNocopyIndex(pkgs)
 	for _, p := range pkgs {
 		out = append(out, lintDeterminism(fset, p, cfg)...)
+		out = append(out, lintSeededRand(fset, p, cfg)...)
 		out = append(out, lintNocopy(fset, p, nocopy)...)
 		out = append(out, lintFaultHook(fset, p)...)
 		out = append(out, lintAtomicField(fset, p)...)

@@ -23,6 +23,21 @@ if [ "${SERVE_BENCH:-0}" != "0" ]; then
   echo "wrote $serve_out"
 fi
 
+# Optionally record the fault-tolerant cluster study: all 19 benchmark
+# inputs through a replicated in-process cluster under open-loop arrivals
+# with the default deterministic chaos mix (availability, retry/hedge
+# rates, p50/p99/p999). Off by default like SERVE_BENCH.
+if [ "${CLUSTER_BENCH:-0}" != "0" ]; then
+  cluster_out="${CLUSTER_BENCH_OUT:-BENCH_cluster.json}"
+  go run ./cmd/sunder-serve -loadgen -json -chaos \
+    -cluster "${CLUSTER_NODES:-3}" -replicas "${CLUSTER_REPLICAS:-2}" \
+    -requests "${CLUSTER_REQUESTS:-24}" > "$cluster_out"
+  test -s "$cluster_out" || { echo "bench.sh: $cluster_out is empty" >&2; exit 1; }
+  grep -q '"availability"' "$cluster_out" || {
+    echo "bench.sh: $cluster_out missing availability rows" >&2; exit 1; }
+  echo "wrote $cluster_out"
+fi
+
 # `go test -bench` exits 0 even when individual benchmarks fail to match or
 # a FAIL line slips through under -run '^$'; capture the output and check
 # explicitly so a silent regression cannot pass the harness.
