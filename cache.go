@@ -30,6 +30,9 @@ type compiledArtifact struct {
 	// from a hit must report it through Info().PrunedStates like the
 	// original compile did.
 	pruned int
+	// pre is the compiled prefilter plan (nil when Options.Prefilter is
+	// off); immutable and read-only at scan time, so hits share it.
+	pre *prefilterPlan
 }
 
 var compileCache = sched.NewLRU[*compiledArtifact](DefaultCompileCacheCapacity)
@@ -69,6 +72,7 @@ func CompileCachedTraced(patterns []Pattern, opts Options) (*Engine, bool, error
 			proto:   art.proto,
 			place:   art.place,
 			pruned:  art.pruned,
+			pre:     art.pre,
 		}
 		compileHitNS.Add(time.Since(start).Nanoseconds())
 		return eng, true, nil
@@ -84,6 +88,7 @@ func CompileCachedTraced(patterns []Pattern, opts Options) (*Engine, bool, error
 		place:   eng.place,
 		proto:   eng.proto,
 		pruned:  eng.pruned,
+		pre:     eng.pre,
 	})
 	compileMissNS.Add(time.Since(start).Nanoseconds())
 	return eng, false, nil
@@ -121,6 +126,8 @@ func compileKey(patterns []Pattern, opts Options) string {
 	// TestCompileKeyCoversOptions enumerates Options by reflection so a
 	// future compile-affecting field cannot be forgotten here silently.
 	writeBool(opts.Prune)
+	// Prefilter changes the cached artifact (the literal plan rides in it).
+	writeInt(int64(opts.Prefilter))
 	writeInt(int64(len(patterns)))
 	for _, p := range patterns {
 		writeInt(int64(len(p.Expr)))

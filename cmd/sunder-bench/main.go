@@ -24,6 +24,7 @@ import (
 
 	"sunder/internal/cliutil"
 	"sunder/internal/exp"
+	"sunder/internal/exp/prefilterstudy"
 	"sunder/internal/workload"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit every table and figure as JSON instead of text")
 		prune      = flag.Bool("prune", false, "run the dead-state pruning study across all benchmarks")
 		pruneRate  = flag.Int("prunerate", 4, "processing rate for the -prune study (1,2,4)")
+		prefilter  = flag.Bool("prefilter", false, "run the literal-prefilter study across all benchmarks")
+		prefMin    = flag.Float64("prefilter-min-speedup", 0, "fail unless every engaged benchmark beats this speedup on literal-free input")
 		telFlags   = cliutil.RegisterTelemetryFlags()
 		faultFlags = cliutil.RegisterFaultFlags()
 		parFlags   = cliutil.RegisterParallelFlags()
@@ -87,6 +90,21 @@ func main() {
 		scalingWorkers = []int{parFlags.Workers}
 	}
 	if *jsonOut {
+		if *prefilter {
+			rows, err := prefilterstudy.PrefilterStudy(opts, workload.Names())
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := &exp.Results{Options: opts, Prefilter: rows}
+			if err := res.WriteJSON(out); err != nil {
+				log.Fatal(err)
+			}
+			if err := exp.CheckPrefilterStudy(rows, *prefMin); err != nil {
+				log.Fatal(err)
+			}
+			finish()
+			return
+		}
 		if *prune {
 			rows, err := exp.PruningStudy(opts, workload.Names(), *pruneRate)
 			if err != nil {
@@ -128,7 +146,7 @@ func main() {
 	// The fault study runs only when a policy is given (like -ablations
 	// and the -par scaling study, it is excluded from the default
 	// everything run).
-	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled() && !parFlags.Enabled() && !*prune
+	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled() && !parFlags.Enabled() && !*prune && !*prefilter
 
 	var t4 []exp.Table4Row
 	needT4 := runAll || *table == 4 || *fig == 8
@@ -230,6 +248,17 @@ func main() {
 			if !r.OutputOK {
 				log.Fatalf("pruning changed the output of %s at rate %d", r.Name, r.Rate)
 			}
+		}
+	}
+	if *prefilter {
+		rows, err := prefilterstudy.PrefilterStudy(opts, workload.Names())
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintPrefilterStudy(out, rows)
+		fmt.Fprintln(out)
+		if err := exp.CheckPrefilterStudy(rows, *prefMin); err != nil {
+			log.Fatal(err)
 		}
 	}
 	if faultFlags.Enabled() {

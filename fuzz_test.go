@@ -31,6 +31,61 @@ func FuzzCompile(f *testing.F) {
 	})
 }
 
+// FuzzPrefilterExtract fuzzes the prefilter's soundness contract end to
+// end: for any pattern that compiles with PrefilterOn and any input, the
+// filtered scan must agree with an unfiltered engine exactly — and when
+// the extracted literals do not occur in the input (and cannot complete in
+// the pad tail), the unfiltered engine must report nothing, proving every
+// extracted literal really is required.
+func FuzzPrefilterExtract(f *testing.F) {
+	f.Add(`needle`, "a needle in a haystack")
+	f.Add(`foo[01]bar`, "xfoo0barx")
+	f.Add(`ab+c`, "xabbcx")
+	f.Add(`abc|wxyz`, "no hits here")
+	f.Add(`a.{2}b`, "axxb")
+	f.Add(`(up|dn)load`, "upload dnload")
+	f.Fuzz(func(t *testing.T, expr string, input string) {
+		if len(expr) > 48 || len(input) > 256 {
+			t.Skip("cap work per case")
+		}
+		opts := DefaultOptions()
+		opts.Prefilter = PrefilterOn
+		filt, err := Compile([]Pattern{{Expr: expr, Code: 1}}, opts)
+		if err != nil {
+			return
+		}
+		base, err := Compile([]Pattern{{Expr: expr, Code: 1}}, DefaultOptions())
+		if err != nil {
+			t.Fatalf("unfiltered compile diverged: %v", err)
+		}
+		want, err := base.Scan([]byte(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := filt.Scan([]byte(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(sortedMatches(want.Matches), sortedMatches(got.Matches)) {
+			t.Fatalf("Compile(%q).Scan(%q): filtered %v != unfiltered %v",
+				expr, input, got.Matches, want.Matches)
+		}
+		if want.Stats.Reports != got.Stats.Reports || want.Stats.ReportCycles != got.Stats.ReportCycles {
+			t.Fatalf("Compile(%q).Scan(%q): reports %d/%d != %d/%d",
+				expr, input, got.Stats.Reports, got.Stats.ReportCycles,
+				want.Stats.Reports, want.Stats.ReportCycles)
+		}
+		// The required-literal property itself: a full skip (no literal
+		// occurrence, no pad-tail hazard) implies the unfiltered engine saw
+		// no reports at all.
+		if filt.pre.enabled() && got.Stats.KernelCycles == 0 && got.Stats.PrefilterWindows == 0 &&
+			want.Stats.Reports != 0 {
+			t.Fatalf("Compile(%q).Scan(%q): prefilter skipped everything but the unfiltered engine reported %d times",
+				expr, input, want.Stats.Reports)
+		}
+	})
+}
+
 // FuzzStream fuzzes the incremental front end: chunked streaming must
 // produce exactly the matches of a batch scan of the same bytes.
 func FuzzStream(f *testing.F) {

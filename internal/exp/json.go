@@ -31,6 +31,10 @@ type Results struct {
 	// (excluded from CollectAll): the replicated scan cluster under
 	// open-loop load, optionally with chaos (BENCH_cluster.json).
 	Cluster []ClusterRow `json:"cluster,omitempty"`
+	// Prefilter is populated by the -prefilter study only (excluded from
+	// CollectAll): the literal fast path, filtered vs unfiltered
+	// (BENCH_prefilter.json).
+	Prefilter []PrefilterRow `json:"prefilter,omitempty"`
 }
 
 // CollectAll runs every table and figure and bundles the rows.

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PrefilterRow measures the literal-prefilter fast path on one benchmark:
+// the compiled strategy, wall-clock time filtered vs unfiltered on the
+// workload's own (match-bearing) input and on a literal-free input of the
+// same length, and the fraction of device cycles the filter proved
+// match-free. OutputOK asserts the filtered engine reproduced the
+// unfiltered matches and report statistics exactly on both inputs — the
+// prefilter's central proof obligation, checked on every row.
+type PrefilterRow struct {
+	Name     string `json:"name"`
+	Strategy string `json:"strategy"`
+	Literals int    `json:"literals"`
+	// The workload's own input.
+	BaseMatchNS  int64   `json:"base_match_ns"`
+	FiltMatchNS  int64   `json:"filt_match_ns"`
+	MatchSpeedup float64 `json:"match_speedup"`
+	SkippedPct   float64 `json:"skipped_pct"`
+	// A literal-free input of the same length: the no-match fast path.
+	BaseNoMatchNS  int64   `json:"base_nomatch_ns"`
+	FiltNoMatchNS  int64   `json:"filt_nomatch_ns"`
+	NoMatchSpeedup float64 `json:"nomatch_speedup"`
+	// FullSkip is true when the filter skipped the literal-free input
+	// entirely (zero device cycles executed).
+	FullSkip bool `json:"full_skip"`
+	OutputOK bool `json:"output_ok"`
+}
+
+// Engaged reports whether the row's filter compiled to a real scanner
+// (rather than the conservative no-filter verdict).
+func (r PrefilterRow) Engaged() bool {
+	return r.Strategy != "" && !strings.HasPrefix(r.Strategy, "off")
+}
+
+// FprintPrefilterStudy renders the prefilter table. The rows come from
+// prefilterstudy.PrefilterStudy, which lives in its own package because it
+// drives the public façade: exp itself must stay importable from the
+// façade's in-package benchmarks (bench_test.go) without an import cycle.
+func FprintPrefilterStudy(w io.Writer, rows []PrefilterRow) {
+	fprintf(w, "Prefilter: literal fast path, filtered vs unfiltered wall time (output equality checked per row)\n")
+	fprintf(w, "%-18s %-28s %5s %9s %8s %9s %9s %8s %8s\n",
+		"Benchmark", "strategy", "lits", "match x", "skipped", "nomatch x", "fullskip", "base ms", "output")
+	for _, r := range rows {
+		verdict := "OK"
+		if !r.OutputOK {
+			verdict = "DIVERGED"
+		}
+		full := "-"
+		if r.FullSkip {
+			full = "yes"
+		}
+		strategy := r.Strategy
+		if len(strategy) > 28 {
+			strategy = strategy[:25] + "..."
+		}
+		fprintf(w, "%-18s %-28s %5d %8.2fx %7.1f%% %8.2fx %9s %8.2f %8s\n",
+			r.Name, strategy, r.Literals, r.MatchSpeedup, r.SkippedPct,
+			r.NoMatchSpeedup, full, float64(r.BaseNoMatchNS)/1e6, verdict)
+	}
+}
+
+// CheckPrefilterStudy enforces the study's acceptance gates: every row's
+// output must be identical, and every row whose filter engaged and fully
+// skipped the literal-free input must beat the unfiltered engine by at
+// least minSpeedup there. Returns nil when minSpeedup <= 0 rows all pass.
+func CheckPrefilterStudy(rows []PrefilterRow, minSpeedup float64) error {
+	for _, r := range rows {
+		if !r.OutputOK {
+			return fmt.Errorf("prefilter changed the output of %s", r.Name)
+		}
+		if minSpeedup > 0 && r.FullSkip && r.NoMatchSpeedup < minSpeedup {
+			return fmt.Errorf("prefilter no-match speedup on %s is %.2fx, want >= %.1fx",
+				r.Name, r.NoMatchSpeedup, minSpeedup)
+		}
+	}
+	return nil
+}

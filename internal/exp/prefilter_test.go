@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckPrefilterStudyGates(t *testing.T) {
+	bad := []PrefilterRow{{Name: "x", Strategy: "swar", OutputOK: false}}
+	if err := CheckPrefilterStudy(bad, 0); err == nil {
+		t.Error("diverged output must fail the check")
+	}
+	slow := []PrefilterRow{{Name: "y", Strategy: "swar", OutputOK: true, FullSkip: true, NoMatchSpeedup: 1.2}}
+	if err := CheckPrefilterStudy(slow, 5); err == nil {
+		t.Error("sub-threshold speedup must fail the check")
+	}
+	if err := CheckPrefilterStudy(slow, 0); err != nil {
+		t.Errorf("no threshold set: %v", err)
+	}
+	if !slow[0].Engaged() {
+		t.Error("swar row must report engaged")
+	}
+	off := PrefilterRow{Strategy: "off (no usable literal)"}
+	if off.Engaged() {
+		t.Error("off row must not report engaged")
+	}
+	var sb strings.Builder
+	FprintPrefilterStudy(&sb, append(bad, off))
+	if !strings.Contains(sb.String(), "DIVERGED") {
+		t.Errorf("table must flag diverged rows:\n%s", sb.String())
+	}
+}

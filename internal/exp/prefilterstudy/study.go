@@ -1,0 +1,131 @@
+// Package prefilterstudy measures the literal-prefilter fast path through
+// the public façade. It is separate from internal/exp because it imports
+// the sunder package itself: exp must remain importable from the façade's
+// in-package benchmarks (bench_test.go) without an import cycle, so the
+// row type, printer and acceptance gate live in exp and only the runner
+// lives here.
+package prefilterstudy
+
+import (
+	"fmt"
+	"time"
+
+	"sunder"
+	"sunder/internal/exp"
+	"sunder/internal/workload"
+)
+
+// PrefilterStudy compiles every named benchmark twice — with and without
+// Options.Prefilter — and measures both engines on the benchmark input and
+// on a literal-free stream of equal length. Workloads whose rule sets
+// yield no usable literal take the conservative verdict and appear with
+// strategy "off (...)" and unit speedups; they are the pass-through rows.
+func PrefilterStudy(opts exp.Options, names []string) ([]exp.PrefilterRow, error) {
+	var rows []exp.PrefilterRow
+	for _, name := range names {
+		w, err := workload.Get(name, opts.Scale, opts.InputLen)
+		if err != nil {
+			return nil, err
+		}
+		base, err := sunder.CompileAutomaton(w.Automaton, sunder.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		fopts := sunder.DefaultOptions()
+		fopts.Prefilter = sunder.PrefilterOn
+		filt, err := sunder.CompileAutomaton(w.Automaton, fopts)
+		if err != nil {
+			return nil, fmt.Errorf("%s (prefiltered): %w", name, err)
+		}
+		info := filt.Info()
+
+		// Low byte values stay outside every benchmark's literal alphabet
+		// (generated rule literals are printable), giving a no-match stream;
+		// FullSkip below verifies rather than assumes this.
+		quiet := make([]byte, len(w.Input))
+		for i := range quiet {
+			quiet[i] = byte(i % 4)
+		}
+
+		bm, bmNS, err := timeScan(base, w.Input)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		fm, fmNS, err := timeScan(filt, w.Input)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		bq, bqNS, err := timeScan(base, quiet)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		fq, fqNS, err := timeScan(filt, quiet)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+
+		total := fm.Stats.KernelCycles + fm.Stats.SkippedCycles
+		skippedPct := 0.0
+		if total > 0 {
+			skippedPct = 100 * float64(fm.Stats.SkippedCycles) / float64(total)
+		}
+		rows = append(rows, exp.PrefilterRow{
+			Name:           name,
+			Strategy:       info.PrefilterStrategy,
+			Literals:       len(info.PrefilterLiterals),
+			BaseMatchNS:    bmNS,
+			FiltMatchNS:    fmNS,
+			MatchSpeedup:   ratio(bmNS, fmNS),
+			SkippedPct:     skippedPct,
+			BaseNoMatchNS:  bqNS,
+			FiltNoMatchNS:  fqNS,
+			NoMatchSpeedup: ratio(bqNS, fqNS),
+			FullSkip:       fq.Stats.KernelCycles == 0 && fq.Stats.SkippedCycles > 0,
+			OutputOK: sameScan(bm, fm) && sameScan(bq, fq) &&
+				fm.Stats.KernelCycles+fm.Stats.SkippedCycles == bm.Stats.KernelCycles,
+		})
+	}
+	return rows, nil
+}
+
+// timeScan runs the scan three times and returns the last result with the
+// fastest wall time, so one-off warm-up noise does not distort a ratio.
+func timeScan(e *sunder.Engine, input []byte) (*sunder.ScanResult, int64, error) {
+	var res *sunder.ScanResult
+	best := int64(0)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		r, err := e.Scan(input)
+		ns := time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, 0, err
+		}
+		res = r
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return res, best, nil
+}
+
+func sameScan(a, b *sunder.ScanResult) bool {
+	if a.Stats.Reports != b.Stats.Reports || a.Stats.ReportCycles != b.Stats.ReportCycles {
+		return false
+	}
+	if len(a.Matches) != len(b.Matches) {
+		return false
+	}
+	for i := range a.Matches {
+		if a.Matches[i] != b.Matches[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func ratio(base, filt int64) float64 {
+	if filt <= 0 {
+		return 0
+	}
+	return float64(base) / float64(filt)
+}

@@ -1,0 +1,38 @@
+package prefilterstudy
+
+import (
+	"strings"
+	"testing"
+
+	"sunder/internal/exp"
+)
+
+func TestPrefilterStudy(t *testing.T) {
+	opts := exp.DefaultOptions()
+	opts.InputLen = 4000
+	rows, err := PrefilterStudy(opts, []string{"ExactMatch", "Snort", "ClamAV"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if err := exp.CheckPrefilterStudy(rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]exp.PrefilterRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["ExactMatch"]; !r.Engaged() || r.Literals == 0 || !r.FullSkip {
+		t.Errorf("ExactMatch should engage and fully skip literal-free input: %+v", r)
+	}
+	if r := byName["Snort"]; r.Engaged() || !strings.HasPrefix(r.Strategy, "off") {
+		t.Errorf("Snort should take the no-filter verdict: %+v", r)
+	}
+	var sb strings.Builder
+	exp.FprintPrefilterStudy(&sb, rows)
+	if !strings.Contains(sb.String(), "ExactMatch") {
+		t.Errorf("table missing rows:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,191 @@
+package prefilter
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/bits"
+)
+
+// Scanner locates every occurrence of every literal in a byte stream.
+//
+// Scan calls emit(start, end) once per occurrence data[start:end] of each
+// literal, in nondecreasing start order (ends at one start may arrive in any
+// order when literals of different lengths share it). Scanners are
+// stateless after construction and safe for concurrent Scan calls.
+type Scanner interface {
+	Scan(data []byte, emit func(start, end int))
+	// Strategy names the scanning algorithm ("memchr", "swar",
+	// "aho-corasick") for Info() and telemetry.
+	Strategy() string
+}
+
+// swarMaxLiterals is the widest literal set the SWAR bucketed-fingerprint
+// scanner accepts; beyond it Aho-Corasick wins.
+const swarMaxLiterals = 8
+
+// NewScanner builds the best scanner for a literal set: memchr-style
+// single-byte skipping for one literal, the SWAR bucketed-fingerprint path
+// for 2..8 literals, Aho-Corasick beyond that. The set must be non-empty
+// with non-empty literals (Extract guarantees both).
+func NewScanner(lits [][]byte) Scanner {
+	if len(lits) == 0 {
+		panic("prefilter: NewScanner on empty literal set")
+	}
+	for _, l := range lits {
+		if len(l) == 0 {
+			panic("prefilter: NewScanner on empty literal")
+		}
+	}
+	switch {
+	case len(lits) == 1:
+		return newMemchrScanner(lits[0])
+	case len(lits) <= swarMaxLiterals:
+		return newSWARScanner(lits)
+	default:
+		return newACScanner(lits)
+	}
+}
+
+const swarLo = 0x0101010101010101
+
+// eqMask returns a word with the high bit of lane i set iff byte lane i of
+// w equals the byte broadcast in bc. Exact for every lane (no borrow
+// pollution across lanes, unlike the cheaper haszero trick): a lane of
+// x = w^bc is zero iff neither its low 7 bits nor its high bit survive the
+// saturating add below.
+func eqMask(w, bc uint64) uint64 {
+	x := w ^ bc
+	y := (x & 0x7f7f7f7f7f7f7f7f) + 0x7f7f7f7f7f7f7f7f
+	return ^(y | x | 0x7f7f7f7f7f7f7f7f)
+}
+
+// broadcast replicates b into every byte lane.
+func broadcast(b byte) uint64 { return uint64(b) * swarLo }
+
+// byteRarity ranks how selective a byte is as a skip anchor in typical
+// text-like traffic: lower is more common. Purely a heuristic — any choice
+// is correct, a rarer anchor just skips faster.
+func byteRarity(b byte) int {
+	switch {
+	case b == ' ' || b == 'e' || b == 't' || b == 'a' || b == 'o' || b == 'i' || b == 'n':
+		return 0
+	case b >= 'a' && b <= 'z':
+		return 1
+	case (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9'):
+		return 2
+	case b >= 0x20 && b < 0x7f:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// rareIndex picks the anchor position inside lit: the rarest byte, earliest
+// on ties.
+func rareIndex(lit []byte) int {
+	best, bestRank := 0, -1
+	for i, b := range lit {
+		if r := byteRarity(b); r > bestRank {
+			best, bestRank = i, r
+		}
+	}
+	return best
+}
+
+// memchrScanner finds one literal by SWAR-scanning for its rarest byte and
+// verifying the full literal around each anchor hit.
+type memchrScanner struct {
+	lit []byte
+	off int // anchor offset within lit
+	bc  uint64
+}
+
+func newMemchrScanner(lit []byte) *memchrScanner {
+	off := rareIndex(lit)
+	return &memchrScanner{lit: lit, off: off, bc: broadcast(lit[off])}
+}
+
+func (s *memchrScanner) Strategy() string { return "memchr" }
+
+func (s *memchrScanner) Scan(data []byte, emit func(start, end int)) {
+	n, ln := len(data), len(s.lit)
+	anchor := s.lit[s.off]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		m := eqMask(binary.LittleEndian.Uint64(data[i:]), s.bc)
+		for m != 0 {
+			lane := bits.TrailingZeros64(m) >> 3
+			m &= m - 1
+			start := i + lane - s.off
+			if start >= 0 && start+ln <= n && bytes.Equal(data[start:start+ln], s.lit) {
+				emit(start, start+ln)
+			}
+		}
+	}
+	for ; i < n; i++ {
+		if data[i] == anchor {
+			start := i - s.off
+			if start >= 0 && start+ln <= n && bytes.Equal(data[start:start+ln], s.lit) {
+				emit(start, start+ln)
+			}
+		}
+	}
+}
+
+// swarScanner is the bucketed-fingerprint path for 2..8 literals: the
+// fingerprint is each literal's lead byte, literals sharing a lead byte
+// share a bucket, and one SWAR pass per distinct lead byte marks candidate
+// lanes in each 8-byte word. Candidate positions are verified against their
+// bucket's literals.
+type swarScanner struct {
+	lits    [][]byte
+	bcs     []uint64   // broadcast lead bytes, one per distinct lead
+	buckets [256][]int // lead byte -> literal indices
+}
+
+func newSWARScanner(lits [][]byte) *swarScanner {
+	s := &swarScanner{lits: lits}
+	var seen [256]bool
+	for i, l := range lits {
+		b := l[0]
+		s.buckets[b] = append(s.buckets[b], i)
+		if !seen[b] {
+			seen[b] = true
+			s.bcs = append(s.bcs, broadcast(b))
+		}
+	}
+	return s
+}
+
+func (s *swarScanner) Strategy() string { return "swar" }
+
+func (s *swarScanner) Scan(data []byte, emit func(start, end int)) {
+	n := len(data)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := binary.LittleEndian.Uint64(data[i:])
+		var m uint64
+		for _, bc := range s.bcs {
+			m |= eqMask(w, bc)
+		}
+		for m != 0 {
+			lane := bits.TrailingZeros64(m) >> 3
+			m &= m - 1
+			s.verify(data, i+lane, emit)
+		}
+	}
+	for ; i < n; i++ {
+		if len(s.buckets[data[i]]) > 0 {
+			s.verify(data, i, emit)
+		}
+	}
+}
+
+func (s *swarScanner) verify(data []byte, pos int, emit func(start, end int)) {
+	for _, li := range s.buckets[data[pos]] {
+		l := s.lits[li]
+		if pos+len(l) <= len(data) && bytes.Equal(data[pos:pos+len(l)], l) {
+			emit(pos, pos+len(l))
+		}
+	}
+}

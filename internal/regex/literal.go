@@ -1,0 +1,243 @@
+package regex
+
+// Required-literal extraction for the prefilter fast path. For a pattern's
+// AST this file computes a set of byte strings such that EVERY match of the
+// pattern contains at least one of them as a contiguous substring. A scanner
+// that finds no literal occurrence has therefore proven the pattern cannot
+// match — the soundness contract internal/prefilter builds on.
+//
+// The extractor works on "islands": maximal concatenation runs of small
+// character classes. A star, optional, wide class or empty node breaks a
+// run (the bytes it matches are not required to appear); an alternation is
+// required only if every branch yields a required set (the union is then
+// required); a plus contributes its sub-expression's set (the body occurs
+// at least once). Among a concatenation's islands the best one — longest
+// guaranteed literal, fewest variants — is chosen, since any single island
+// suffices for soundness.
+
+// Extraction caps, mirroring prefilter.DefaultConfig so both extraction
+// paths produce comparable literal sets.
+const (
+	litMaxClass    = 4  // widest class expanded into variants
+	litMaxVariants = 16 // per-pattern variant cap
+	litMaxLen      = 24 // literal length cap (truncation stays sound)
+	litMinLen      = 2  // shorter literals filter nothing
+)
+
+// RequiredLiterals parses expr and returns a required-literal set: every
+// string matched by expr contains at least one returned literal. ok is
+// false when the pattern admits matches with no usable literal (wide
+// classes everywhere, too many variants, or all islands shorter than the
+// minimum); callers must then disable prefiltering for the rule set.
+func RequiredLiterals(expr string) (lits [][]byte, ok bool) {
+	p := &parser{src: expr}
+	root, err := p.parse()
+	if err != nil || root.nullable() {
+		return nil, false
+	}
+	isl, ok := bestIsland(root)
+	if !ok {
+		return nil, false
+	}
+	return isl.variants(), true
+}
+
+// island is a run of byte alternatives: positions[i] holds the candidate
+// bytes at offset i. Its variant expansion is the cross product.
+type island struct {
+	positions [][]byte
+	// union holds pre-expanded literals (from alternations) instead of a
+	// positional run; positions is nil when union is set.
+	union [][]byte
+}
+
+func (is island) minLen() int {
+	if is.positions != nil {
+		return len(is.positions)
+	}
+	ml := 0
+	for _, l := range is.union {
+		if ml == 0 || len(l) < ml {
+			ml = len(l)
+		}
+	}
+	return ml
+}
+
+func (is island) variantCount() int {
+	if is.union != nil {
+		return len(is.union)
+	}
+	n := 1
+	for _, p := range is.positions {
+		n *= len(p)
+		if n > litMaxVariants {
+			return n
+		}
+	}
+	return n
+}
+
+// variants expands the island into concrete literals.
+func (is island) variants() [][]byte {
+	if is.union != nil {
+		return is.union
+	}
+	out := [][]byte{nil}
+	for _, p := range is.positions {
+		next := make([][]byte, 0, len(out)*len(p))
+		for _, prefix := range out {
+			for _, b := range p {
+				v := make([]byte, len(prefix)+1)
+				copy(v, prefix)
+				v[len(prefix)] = b
+				next = append(next, v)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// trim shrinks a positional run to fit the length and variant caps by
+// dropping positions from whichever end has the wider class (keeping the
+// most selective window). A substring of a required literal is still
+// required, so trimming preserves soundness.
+func (is island) trim() (island, bool) {
+	if is.union != nil {
+		return is, len(is.union) <= litMaxVariants && is.minLen() >= litMinLen
+	}
+	pos := is.positions
+	for len(pos) > 0 {
+		n := 1
+		for _, p := range pos {
+			n *= len(p)
+		}
+		if len(pos) <= litMaxLen && n <= litMaxVariants {
+			break
+		}
+		if len(pos[0]) >= len(pos[len(pos)-1]) {
+			pos = pos[1:]
+		} else {
+			pos = pos[:len(pos)-1]
+		}
+	}
+	if len(pos) < litMinLen {
+		return island{}, false
+	}
+	return island{positions: pos}, true
+}
+
+// better reports whether a beats b: longer guaranteed literal first, then
+// fewer variants.
+func better(a, b island) bool {
+	if a.minLen() != b.minLen() {
+		return a.minLen() > b.minLen()
+	}
+	return a.variantCount() < b.variantCount()
+}
+
+// bestIsland returns the strongest required island of n, if any.
+func bestIsland(n node) (island, bool) {
+	switch n := n.(type) {
+	case *classNode:
+		bytes, small := classBytes(n)
+		if !small {
+			return island{}, false
+		}
+		return island{positions: [][]byte{bytes}}.trim()
+	case *concatNode:
+		return bestConcatIsland(n.subs)
+	case *altNode:
+		return altIsland(n)
+	case *plusNode:
+		return bestIsland(n.sub)
+	default:
+		// star, opt, empty: their bytes may be absent from a match.
+		return island{}, false
+	}
+}
+
+// altIsland requires every branch to yield a set; the union is required.
+func altIsland(n *altNode) (island, bool) {
+	var u [][]byte
+	for _, sub := range n.subs {
+		isl, ok := bestIsland(sub)
+		if !ok {
+			return island{}, false
+		}
+		u = append(u, isl.variants()...)
+	}
+	if len(u) > litMaxVariants {
+		return island{}, false
+	}
+	return island{union: u}, true
+}
+
+// bestConcatIsland scans a concatenation, accumulating runs of small
+// classes and closing them at breakers; nested alt/plus nodes contribute
+// their own sets as standalone islands.
+func bestConcatIsland(subs []node) (island, bool) {
+	var best island
+	found := false
+	consider := func(is island, ok bool) {
+		if !ok {
+			return
+		}
+		if is2, ok2 := is.trim(); ok2 && (!found || better(is2, best)) {
+			best, found = is2, true
+		}
+	}
+	var run [][]byte
+	closeRun := func() {
+		if len(run) > 0 {
+			consider(island{positions: run}, true)
+			run = nil
+		}
+	}
+	for _, sub := range flattenConcat(subs) {
+		if c, isClass := sub.(*classNode); isClass {
+			if bytes, small := classBytes(c); small {
+				run = append(run, bytes)
+				continue
+			}
+		}
+		closeRun()
+		// A non-class element can still carry its own required set
+		// (nested concat, alt of literals, plus of a literal).
+		if _, isClass := sub.(*classNode); !isClass {
+			consider(bestIsland(sub))
+		}
+	}
+	closeRun()
+	return best, found
+}
+
+// flattenConcat splices nested concatenations (bounded repetition expands
+// into nested concat nodes) so literal runs extend across them.
+func flattenConcat(subs []node) []node {
+	flat := make([]node, 0, len(subs))
+	for _, sub := range subs {
+		if c, ok := sub.(*concatNode); ok {
+			flat = append(flat, flattenConcat(c.subs)...)
+			continue
+		}
+		flat = append(flat, sub)
+	}
+	return flat
+}
+
+// classBytes expands a class node's symbol set when it is small enough to
+// enumerate as literal variants.
+func classBytes(c *classNode) ([]byte, bool) {
+	var out []byte
+	for b := 0; b < 256; b++ {
+		if c.set.Get(b) {
+			out = append(out, byte(b))
+			if len(out) > litMaxClass {
+				return nil, false
+			}
+		}
+	}
+	return out, len(out) > 0
+}

@@ -1,0 +1,111 @@
+package regex
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func litStrings(t *testing.T, expr string) []string {
+	t.Helper()
+	lits, ok := RequiredLiterals(expr)
+	if !ok {
+		t.Fatalf("RequiredLiterals(%q) failed", expr)
+	}
+	out := make([]string, len(lits))
+	for i, l := range lits {
+		out[i] = string(l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestRequiredLiteralsPlain(t *testing.T) {
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"needle", []string{"needle"}},
+		{"foo[01]bar", []string{"foo0bar", "foo1bar"}},
+		{"abc|xyz", []string{"abc", "xyz"}},
+		{"a+bcde", []string{"bcde"}},             // plus breaks the run; suffix island wins
+		{"(abc)+", []string{"abc"}},              // plus body required once
+		{"x*longlit", []string{"longlit"}},       // star prefix optional
+		{"^GET /[a-z]+ HTTP", []string{"GET /"}}, // anchored, wide class splits islands
+		{"ab{3}cd", []string{"abbbcd"}},          // bounded repeat expands
+	}
+	for _, c := range cases {
+		got := litStrings(t, c.expr)
+		want := append([]string(nil), c.want...)
+		sort.Strings(want)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("RequiredLiterals(%q) = %v, want %v", c.expr, got, want)
+		}
+	}
+}
+
+func TestRequiredLiteralsIslandChoice(t *testing.T) {
+	// Two islands split by ".*": the longer one must win.
+	got := litStrings(t, "ab.*wxyz")
+	if len(got) != 1 || got[0] != "wxyz" {
+		t.Fatalf("islands = %v, want [wxyz]", got)
+	}
+}
+
+func TestRequiredLiteralsNoFilter(t *testing.T) {
+	for _, expr := range []string{
+		".+",         // wide class only
+		"[a-z]{4}",   // class too wide to enumerate
+		"a",          // below the minimum length
+		"abc|[0-9]+", // one branch has no literal -> union invalid
+		"aa|bb|cc|dd|ee|ff|gg|hh|ii|jj|kk|ll|mm|nn|oo|pp|qq", // union past the variant cap
+	} {
+		if lits, ok := RequiredLiterals(expr); ok {
+			t.Errorf("RequiredLiterals(%q) = %q, want no-filter verdict", expr, lits)
+		}
+	}
+}
+
+func TestRequiredLiteralsLengthCap(t *testing.T) {
+	long := strings.Repeat("a", 100)
+	lits, ok := RequiredLiterals(long)
+	if !ok || len(lits) != 1 {
+		t.Fatalf("long literal extraction = %q, ok=%v", lits, ok)
+	}
+	if len(lits[0]) != litMaxLen {
+		t.Fatalf("capped length = %d, want %d", len(lits[0]), litMaxLen)
+	}
+	if string(lits[0]) != strings.Repeat("a", litMaxLen) {
+		t.Fatalf("capped literal %q not a substring of the pattern literal", lits[0])
+	}
+}
+
+// TestRequiredLiteralsSound cross-checks the core soundness property on
+// compiled automata: deleting every literal occurrence from a matching
+// input must kill the match. Covered far more broadly by the facade fuzz
+// battery; this is the package-local smoke version.
+func TestRequiredLiteralsSound(t *testing.T) {
+	cases := []struct {
+		expr  string
+		match string
+	}{
+		{"foo[01]bar", "xxfoo1barxx"},
+		{"abc|xyz", "..xyz.."},
+		{"a+bcde", "aaabcde!"},
+	}
+	for _, c := range cases {
+		lits, ok := RequiredLiterals(c.expr)
+		if !ok {
+			t.Fatalf("RequiredLiterals(%q) failed", c.expr)
+		}
+		found := false
+		for _, l := range lits {
+			if strings.Contains(c.match, string(l)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("match %q of %q contains no extracted literal %q", c.match, c.expr, lits)
+		}
+	}
+}

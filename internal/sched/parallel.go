@@ -201,14 +201,22 @@ type dedupKey struct {
 // owned range, reproducing core.Machine.Run's per-cycle (offset, origin)
 // deduplication so the emitted events match the sequential stream exactly.
 func runShard(proto *core.Machine, a *automata.UnitAutomaton, units []funcsim.Unit, sh Shard, rc RunConfig, sp *telemetry.SpanCtx) shardOut {
-	m := proto.Clone()
+	return runShardOnSpan(proto.Clone(), a, units, sh, rc, sp)
+}
+
+// runShardOn is runShard on a caller-provided machine (reset, telemetry
+// detached): WindowedRun reuses one clone per worker across many windows.
+func runShardOn(m *core.Machine, a *automata.UnitAutomaton, units []funcsim.Unit, sh Shard, rc RunConfig) shardOut {
+	return runShardOnSpan(m, a, units, sh, rc, nil)
+}
+
+func runShardOnSpan(m *core.Machine, a *automata.UnitAutomaton, units []funcsim.Unit, sh Shard, rc RunConfig, sp *telemetry.SpanCtx) shardOut {
 	rate := m.Config().Rate
-	if sh.BaseCycle > 0 {
-		// Local cycle zero is mid-stream: anchored states must stay quiet.
-		// When the warm-up clamps to the input start the replay *is* the
-		// sequential prefix and start-of-data injection stays live.
-		m.SuppressStartOfData(true)
-	}
+	// With BaseCycle > 0, local cycle zero is mid-stream: anchored states
+	// must stay quiet. When the warm-up clamps to the input start the
+	// replay *is* the sequential prefix and start-of-data injection stays
+	// live. Set unconditionally — a reused machine may carry either state.
+	m.SuppressStartOfData(sh.BaseCycle > 0)
 	warm := sp.Child("warmup")
 	var scratch []automata.StateID
 	for c := sh.BaseCycle; c < sh.StartCycle; c++ {

@@ -773,6 +773,15 @@ func (s *Server) metricsJSON() MetricsJSON {
 		Compile:  latencySLO(s.compileNS),
 		Rulesets: rulesets,
 	}
+	if scans := s.tel.CounterValue(sunder.MetricPrefilterScans); scans > 0 {
+		m.Prefilter = &PrefilterMetricsJSON{
+			Scans:         scans,
+			Hits:          s.tel.CounterValue(sunder.MetricPrefilterHits),
+			Windows:       s.tel.CounterValue(sunder.MetricPrefilterWindows),
+			ScannedCycles: s.tel.CounterValue(sunder.MetricPrefilterScannedCycles),
+			SkippedCycles: s.tel.CounterValue(sunder.MetricPrefilterSkippedCycles),
+		}
+	}
 	if s.spans != nil {
 		buffered, dropped := s.tel.SpanStats()
 		m.Spans = &SpanStatsJSON{Buffered: buffered, Dropped: dropped}

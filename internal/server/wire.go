@@ -26,6 +26,7 @@ type OptionsJSON struct {
 	FIFO            *bool `json:"fifo,omitempty"`
 	SummarizeOnFull bool  `json:"summarize_on_full,omitempty"`
 	Prune           bool  `json:"prune,omitempty"`
+	Prefilter       bool  `json:"prefilter,omitempty"`
 }
 
 // Options resolves the wire form against the library defaults.
@@ -48,6 +49,9 @@ func (o *OptionsJSON) Options() sunder.Options {
 	}
 	opts.SummarizeOnFull = o.SummarizeOnFull
 	opts.Prune = o.Prune
+	if o.Prefilter {
+		opts.Prefilter = sunder.PrefilterOn
+	}
 	return opts
 }
 
@@ -78,19 +82,24 @@ type RulesetInfo struct {
 	Bytes    int64         `json:"bytes"`
 }
 
-// InfoJSON mirrors sunder.Info.
+// InfoJSON mirrors sunder.Info. PrefilterStrategy is present when the
+// ruleset was compiled with the prefilter option ("memchr", "swar",
+// "aho-corasick", or "off (<reason>)" when the rule set yields no usable
+// literal); PrefilterLiterals lists the extracted required literals.
 type InfoJSON struct {
-	Rate           int `json:"rate"`
-	ByteStates     int `json:"byte_states"`
-	DeviceStates   int `json:"device_states"`
-	PUs            int `json:"pus"`
-	ReportColumns  int `json:"report_columns"`
-	RegionCapacity int `json:"region_capacity"`
-	PrunedStates   int `json:"pruned_states"`
+	Rate              int      `json:"rate"`
+	ByteStates        int      `json:"byte_states"`
+	DeviceStates      int      `json:"device_states"`
+	PUs               int      `json:"pus"`
+	ReportColumns     int      `json:"report_columns"`
+	RegionCapacity    int      `json:"region_capacity"`
+	PrunedStates      int      `json:"pruned_states"`
+	PrefilterStrategy string   `json:"prefilter_strategy,omitempty"`
+	PrefilterLiterals []string `json:"prefilter_literals,omitempty"`
 }
 
 func infoJSON(i sunder.Info) InfoJSON {
-	return InfoJSON{
+	out := InfoJSON{
 		Rate:           i.Rate,
 		ByteStates:     i.ByteStates,
 		DeviceStates:   i.DeviceStates,
@@ -99,6 +108,11 @@ func infoJSON(i sunder.Info) InfoJSON {
 		RegionCapacity: i.RegionCapacity,
 		PrunedStates:   i.PrunedStates,
 	}
+	if i.PrefilterStrategy != "off" {
+		out.PrefilterStrategy = i.PrefilterStrategy
+		out.PrefilterLiterals = i.PrefilterLiterals
+	}
+	return out
 }
 
 // PoolStatsJSON snapshots a ruleset's engine pool.
@@ -152,22 +166,28 @@ type MatchJSON struct {
 	Code     int32 `json:"code"`
 }
 
-// StatsJSON mirrors sunder.Stats.
+// StatsJSON mirrors sunder.Stats. PrefilterWindows and SkippedCycles are
+// non-zero only on prefiltered scans: candidate windows executed and
+// device cycles proven match-free without execution.
 type StatsJSON struct {
-	KernelCycles int64 `json:"kernel_cycles"`
-	StallCycles  int64 `json:"stall_cycles"`
-	Flushes      int64 `json:"flushes"`
-	Reports      int64 `json:"reports"`
-	ReportCycles int64 `json:"report_cycles"`
+	KernelCycles     int64 `json:"kernel_cycles"`
+	StallCycles      int64 `json:"stall_cycles"`
+	Flushes          int64 `json:"flushes"`
+	Reports          int64 `json:"reports"`
+	ReportCycles     int64 `json:"report_cycles"`
+	PrefilterWindows int64 `json:"prefilter_windows,omitempty"`
+	SkippedCycles    int64 `json:"skipped_cycles,omitempty"`
 }
 
 func statsJSON(s sunder.Stats) StatsJSON {
 	return StatsJSON{
-		KernelCycles: s.KernelCycles,
-		StallCycles:  s.StallCycles,
-		Flushes:      s.Flushes,
-		Reports:      s.Reports,
-		ReportCycles: s.ReportCycles,
+		KernelCycles:     s.KernelCycles,
+		StallCycles:      s.StallCycles,
+		Flushes:          s.Flushes,
+		Reports:          s.Reports,
+		ReportCycles:     s.ReportCycles,
+		PrefilterWindows: s.PrefilterWindows,
+		SkippedCycles:    s.SkippedCycles,
 	}
 }
 
@@ -271,11 +291,24 @@ type SpanStatsJSON struct {
 	Dropped  int64 `json:"dropped"`
 }
 
+// PrefilterMetricsJSON aggregates the literal-prefilter counters across
+// every prefiltered scan the server has run: scans filtered, literal
+// occurrences found, candidate windows executed, and the split of device
+// cycles into scanned (executed) and skipped (proven match-free).
+type PrefilterMetricsJSON struct {
+	Scans         int64 `json:"scans"`
+	Hits          int64 `json:"hits"`
+	Windows       int64 `json:"windows"`
+	ScannedCycles int64 `json:"scanned_cycles"`
+	SkippedCycles int64 `json:"skipped_cycles"`
+}
+
 // MetricsJSON is the GET /metrics?format=json response.
 type MetricsJSON struct {
 	Service      ServiceMetricsJSON            `json:"service"`
 	CompileCache CompileCacheJSON              `json:"compile_cache"`
 	Compile      LatencySLOJSON                `json:"compile"`
 	Rulesets     map[string]RulesetMetricsJSON `json:"rulesets"`
+	Prefilter    *PrefilterMetricsJSON         `json:"prefilter,omitempty"`
 	Spans        *SpanStatsJSON                `json:"spans,omitempty"`
 }

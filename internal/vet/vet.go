@@ -85,6 +85,8 @@ func DefaultConfig() Config {
 			"sunder/internal/mapping":   true,
 			"sunder/internal/sched":     true,
 			"sunder/internal/analysis":  true,
+			"sunder/internal/prefilter": true,
+			"sunder/internal/regex":     true,
 		},
 		BannedImports: []string{"time", "math/rand", "math/rand/v2"},
 		SeededRandPkgs: map[string]bool{

@@ -47,6 +47,9 @@ func (e *Engine) ScanParallel(input []byte, opts ScanOptions) (*ScanResult, erro
 	if e.injector != nil {
 		return e.Scan(input)
 	}
+	if e.pre.enabled() {
+		return e.scanPrefiltered(input, opts.workers())
+	}
 	units := funcsim.BytesToUnits(input, 4)
 	rr := sched.ParallelRun(e.proto, e.nibble, units, sched.RunConfig{
 		Workers:      opts.workers(),
@@ -118,7 +121,17 @@ func (e *Engine) ScanBatch(inputs [][]byte, opts ScanOptions) ([]*ScanResult, er
 	}
 	pool := sched.NewPool(workers, queue)
 	for i, in := range inputs {
-		i, units := i, funcsim.BytesToUnits(in, 4)
+		i, in := i, in
+		if e.pre.enabled() {
+			pool.Submit(func(int) {
+				// The filtered scan clones its own window machines; the
+				// pool's pre-built clones stay idle for this input.
+				res, _ := e.scanPrefiltered(in, 1)
+				results[i] = res
+			})
+			continue
+		}
+		units := funcsim.BytesToUnits(in, 4)
 		pool.Submit(func(worker int) {
 			m := machines[worker]
 			m.Reset()
@@ -163,5 +176,6 @@ func (e *Engine) Clone() *Engine {
 		proto:   e.proto,
 		place:   e.place,
 		pruned:  e.pruned,
+		pre:     e.pre,
 	}
 }

@@ -1,0 +1,314 @@
+package sunder
+
+import (
+	"sunder/internal/funcsim"
+	"sunder/internal/prefilter"
+	"sunder/internal/sched"
+)
+
+// streamFilter is the incremental literal prefilter behind Stream when the
+// engine compiled with Options.Prefilter. It scans arriving bytes for the
+// required literals, executes the device only inside candidate windows
+// (warm-up replayed from buffered history), and skips everything else,
+// while keeping the match stream and the Reports/ReportCycles accounting
+// byte-identical to an unfiltered stream.
+//
+// Decision finality: a window's start is anchored at the *end* byte of the
+// literal occurrence, so an occurrence not yet seen can only create
+// windows at or beyond the current completion frontier. Holding execution
+// back align+1 cycles behind the frontier therefore makes every skip
+// decision final — a later chunk can never un-skip a cycle, including a
+// candidate window straddling the chunk boundary (the window simply opens
+// once the straddling literal's end arrives, and its warm-up replays from
+// the history buffer across the boundary).
+//
+// With an unbounded dependence window (cyclic automaton) warm-up cannot be
+// bounded, so the filter defers instead: units are buffered unexecuted
+// until the first literal hit, at which point the machine replays the
+// whole buffer (provably silent before the hit) and the stream goes live,
+// executing everything from then on. A hit-free stream skips every cycle.
+type streamFilter struct {
+	s *Stream
+	p *prefilterPlan
+
+	// carry holds the last maxLit-1 raw bytes so literals straddling a
+	// Write boundary are still found; scanned is the absolute byte offset
+	// the scanner has covered.
+	carry   []byte
+	scanned int64
+
+	// hist buffers input units for warm-up replay (bounded mode trims it
+	// to the dependence window behind the decision frontier; deferred mode
+	// keeps everything until live). histBase is the absolute unit index of
+	// hist[0].
+	hist     []funcsim.Unit
+	histBase int64
+
+	// spans are pending candidate windows, Start-ordered; proc is the next
+	// cycle to decide; hot reports that the machine state equals the
+	// sequential state entering cycle proc.
+	spans []sched.CycleSpan
+	proc  int64
+	hot   bool
+
+	// live is the deferred-start switch for unbounded automata.
+	live bool
+
+	// Accounting. kernel counts executed owned cycles, skipped the cycles
+	// proven match-free; stall/flushes accumulate machine counters
+	// harvested before each window reset.
+	kernel  int64
+	skipped int64
+	stall   int64
+	flushes int64
+	hits    int64
+	windows int64
+}
+
+// maxDeferredUnits caps the deferred-start buffer of unbounded automata:
+// past it the stream goes live even without a hit, bounding memory.
+const maxDeferredUnits = 4 << 20
+
+func newStreamFilter(s *Stream) *streamFilter {
+	// A previous filtered stream's window warm-up may have left
+	// start-of-data injection suppressed on the shared machine; a fresh
+	// stream starts at true input start.
+	s.eng.machine.SuppressStartOfData(false)
+	return &streamFilter{s: s, p: s.eng.pre, hot: true}
+}
+
+// write scans the chunk for literals and advances execution up to the
+// decision frontier.
+func (f *streamFilter) write(p []byte) {
+	f.scanChunk(p)
+	f.hist = append(f.hist, funcsim.BytesToUnits(p, 4)...)
+	if !f.p.bounded {
+		f.advanceDeferred()
+		return
+	}
+	complete := (f.histBase + int64(len(f.hist))) / int64(f.p.rate)
+	limit := complete - f.p.align - 1
+	if limit > 0 {
+		f.advance(limit)
+	}
+	f.trim()
+}
+
+// scanChunk runs the literal scanner over carry+chunk, keeping only
+// occurrences that end inside the new bytes (the rest were counted by the
+// previous call), and converts them to candidate cycle spans.
+func (f *streamFilter) scanChunk(p []byte) {
+	data := p
+	base := f.scanned
+	if len(f.carry) > 0 {
+		data = append(f.carry, p...)
+		base -= int64(len(f.carry))
+	}
+	f.p.scanner.Scan(data, func(q, e int) {
+		if base+int64(e) <= f.scanned {
+			return
+		}
+		f.hits++
+		f.spans = append(f.spans, f.p.hitSpan(int(base)+q, int(base)+e))
+	})
+	f.scanned += int64(len(p))
+	if keep := f.p.maxLit - 1; keep > 0 {
+		if len(data) < keep {
+			keep = len(data)
+		}
+		f.carry = append(f.carry[:0], data[len(data)-keep:]...)
+	}
+}
+
+// vec returns the unit vector of the absolute cycle c from the history
+// buffer.
+func (f *streamFilter) vec(c int64) []funcsim.Unit {
+	off := c*int64(f.p.rate) - f.histBase
+	return f.hist[off : off+int64(f.p.rate)]
+}
+
+// advance decides every cycle below limit: skip it, or execute it inside a
+// window (opening the window with a silent warm-up replay when the machine
+// is cold).
+func (f *streamFilter) advance(limit int64) {
+	for f.proc < limit {
+		// Drop spans fully behind the frontier (their cycles executed).
+		for len(f.spans) > 0 && f.spans[0].End <= f.proc {
+			f.spans = f.spans[1:]
+		}
+		if len(f.spans) == 0 {
+			f.skip(limit)
+			return
+		}
+		sp := f.spans[0]
+		start := sp.Start - sp.Start%f.p.align
+		if start > f.proc {
+			// A short gap is cheaper to execute through than to re-warm
+			// after; skip only gaps wider than the warm-up window.
+			if !f.hot || start-f.proc > f.p.overlap {
+				f.skip(min64(start, limit))
+				if f.proc >= limit {
+					return
+				}
+				continue
+			}
+		}
+		if !f.hot {
+			f.openWindow(f.proc)
+		}
+		end := min64(roundUp(sp.End, f.p.align), limit)
+		if end <= f.proc {
+			// Span tail beyond the frontier: wait for more input.
+			return
+		}
+		f.exec(f.proc, end)
+	}
+}
+
+func (f *streamFilter) skip(to int64) {
+	if to > f.proc {
+		f.skipped += to - f.proc
+		f.proc = to
+		f.hot = false
+	}
+}
+
+// exec steps cycles [from, to) with emission through the stream's
+// deduplicating emit, exactly as the unfiltered stream does.
+func (f *streamFilter) exec(from, to int64) {
+	m := f.s.eng.machine
+	for c := from; c < to; c++ {
+		f.s.scratch = m.Step(f.vec(c), f.s.scratch[:0])
+		f.kernel++
+		if len(f.s.scratch) > 0 {
+			f.s.emit(c, f.s.scratch)
+		}
+	}
+	f.proc = to
+	f.hot = true
+}
+
+// openWindow prepares the cold machine for owned execution at cycle start:
+// counters are harvested, the machine reset, and the dependence window
+// replayed silently from the history buffer. Mid-stream bases suppress
+// start-of-data injection exactly like batch shard warm-up.
+func (f *streamFilter) openWindow(start int64) {
+	m := f.s.eng.machine
+	f.stall += m.StallCycles()
+	f.flushes += m.Flushes()
+	col := f.s.eng.telemetryCollector()
+	if col != nil {
+		m.AttachTelemetry(nil)
+	}
+	m.Reset()
+	base := start - f.p.overlap
+	if base < 0 {
+		base = 0
+	}
+	base -= base % f.p.align
+	if base*int64(f.p.rate) < f.histBase {
+		base = (f.histBase + int64(f.p.rate) - 1) / int64(f.p.rate)
+	}
+	m.SuppressStartOfData(base > 0)
+	for c := base; c < start; c++ {
+		f.s.scratch = m.Step(f.vec(c), f.s.scratch[:0])
+	}
+	if col != nil {
+		m.AttachTelemetry(col)
+	}
+	f.windows++
+}
+
+// trim drops history the warm-up of any future window can no longer reach:
+// windows open at or after proc, so units older than overlap+2·align
+// cycles behind it are dead. The buffer is compacted only when the dead
+// prefix dominates, amortizing the copy.
+func (f *streamFilter) trim() {
+	keepFrom := (f.proc - f.p.overlap - 2*f.p.align - 2) * int64(f.p.rate)
+	if keepFrom <= f.histBase {
+		return
+	}
+	dead := keepFrom - f.histBase
+	if dead*2 < int64(len(f.hist)) {
+		return
+	}
+	n := copy(f.hist, f.hist[dead:])
+	f.hist = f.hist[:n]
+	f.histBase = keepFrom
+}
+
+// advanceDeferred is the unbounded-dependence path: buffer until a hit,
+// then replay everything and stay live.
+func (f *streamFilter) advanceDeferred() {
+	if !f.live {
+		if len(f.spans) == 0 && f.hits == 0 && len(f.hist) <= maxDeferredUnits {
+			return
+		}
+		f.live = true
+		f.windows++
+	}
+	complete := (f.histBase + int64(len(f.hist))) / int64(f.p.rate)
+	// Replay/execute with emission: the pre-hit prefix contains no literal,
+	// hence no match, hence no report — emission is provably silent there.
+	f.exec(f.proc, complete)
+}
+
+// close pads the final vector, folds in the pad-tail hazard, executes the
+// remaining undecided cycles and returns the filtered stream statistics.
+func (f *streamFilter) close() Stats {
+	su := f.p.su
+	totalUnits := f.scanned * int64(su)
+	padded := roundUp(totalUnits, int64(f.p.rate))
+	padUnits := int(padded - totalUnits)
+	for i := 0; i < padUnits; i++ {
+		f.hist = append(f.hist, funcsim.Pad)
+	}
+	totalCycles := padded / int64(f.p.rate)
+	if padUnits > 0 && f.p.maxLit > 0 {
+		padBytes := (padUnits + su - 1) / su
+		tail := f.carry
+		if prefilter.TailHit(tail, f.p.lits, padBytes) {
+			// A literal can complete inside the pad: phantom pad reports
+			// fire in the final cycle of an unfiltered run and must be
+			// counted here identically.
+			f.spans = append(f.spans, sched.CycleSpan{Start: totalCycles - 1, End: totalCycles})
+			f.hits++
+		}
+	}
+	if f.p.bounded {
+		f.advance(totalCycles)
+	} else {
+		f.advanceDeferred()
+		if !f.live {
+			f.skip(totalCycles)
+		}
+	}
+	m := f.s.eng.machine
+	notePrefilter(f.s.eng.telemetryCollector(), f.hits, f.windows, f.kernel, f.skipped)
+	return Stats{
+		KernelCycles:     f.kernel,
+		StallCycles:      f.stall + m.StallCycles(),
+		Flushes:          f.flushes + m.Flushes(),
+		Reports:          f.s.reports,
+		ReportCycles:     f.s.reportCycles,
+		PrefilterWindows: f.windows,
+		SkippedCycles:    f.skipped,
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func roundUp(v, align int64) int64 {
+	if align <= 1 {
+		return v
+	}
+	if r := v % align; r != 0 {
+		return v + align - r
+	}
+	return v
+}

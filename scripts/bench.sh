@@ -13,6 +13,19 @@ go run ./cmd/sunder-bench -par -json > "$out"
 test -s "$out" || { echo "bench.sh: $out is empty" >&2; exit 1; }
 echo "wrote $out"
 
+# Record the literal-prefilter study: every benchmark filtered vs
+# unfiltered, on its own input and on a literal-free stream. The binary
+# enforces the acceptance gates itself — byte-identical output on every
+# row, and at least PREFILTER_MIN_SPEEDUP (default 5x) on literal-free
+# input wherever the filter engaged — so a regression fails this script.
+prefilter_out="${PREFILTER_BENCH_OUT:-BENCH_prefilter.json}"
+go run ./cmd/sunder-bench -prefilter \
+  -prefilter-min-speedup "${PREFILTER_MIN_SPEEDUP:-5}" -json > "$prefilter_out"
+test -s "$prefilter_out" || { echo "bench.sh: $prefilter_out is empty" >&2; exit 1; }
+grep -q '"strategy"' "$prefilter_out" || {
+  echo "bench.sh: $prefilter_out missing prefilter rows" >&2; exit 1; }
+echo "wrote $prefilter_out"
+
 # Optionally record the network scan service study (all 19 benchmark
 # inputs through sunder-serve's in-process server). Off by default: it is
 # a service-level measurement, not a simulator one.

@@ -9,8 +9,12 @@ import (
 
 // String returns a one-line summary of the scan statistics.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d kernel + %d stall cycles (overhead %.4fx), %d reports in %d report cycles, %d flushes",
+	out := fmt.Sprintf("%d kernel + %d stall cycles (overhead %.4fx), %d reports in %d report cycles, %d flushes",
 		s.KernelCycles, s.StallCycles, s.Overhead(), s.Reports, s.ReportCycles, s.Flushes)
+	if s.SkippedCycles > 0 || s.PrefilterWindows > 0 {
+		out += fmt.Sprintf(", prefilter skipped %d cycles in %d windows", s.SkippedCycles, s.PrefilterWindows)
+	}
+	return out
 }
 
 // WriteText writes a multi-line rendering of the statistics, including
@@ -24,5 +28,9 @@ func (s Stats) WriteText(w io.Writer, bitsPerCycle int) error {
 		s.KernelCycles, s.StallCycles, s.Overhead(), s.Flushes,
 		s.Reports, s.ReportCycles,
 		hardware.ThroughputAtRate(bitsPerCycle, s.Overhead()))
+	if err == nil && (s.SkippedCycles > 0 || s.PrefilterWindows > 0) {
+		_, err = fmt.Fprintf(w, "  prefilter skipped %d cycles across %d windows\n",
+			s.SkippedCycles, s.PrefilterWindows)
+	}
 	return err
 }

@@ -31,10 +31,16 @@ type Stream struct {
 	err   error
 	// pending buffers input units until a full vector is available.
 	pending []funcsim.Unit
-	scratch []automata.StateID
-	seen    map[streamKey]bool
-	bytesIn int64
-	closed  bool
+	// filt is the incremental literal prefilter; non-nil when the engine
+	// compiled with Options.Prefilter (input then flows through it instead
+	// of pending/consume).
+	filt *streamFilter
+	// filtStats memoizes the filtered Close result (Close is idempotent).
+	filtStats Stats
+	scratch   []automata.StateID
+	seen      map[streamKey]bool
+	bytesIn   int64
+	closed    bool
 	// reports / reportCycles accumulate the same per-cycle deduplicated
 	// counts as Engine.Scan, so Close returns identical Stats.
 	reports      int64
@@ -65,6 +71,9 @@ func (e *Engine) NewStream(onMatch func(Match)) (*Stream, error) {
 		return s, nil
 	}
 	e.machine.Reset()
+	if e.pre.enabled() {
+		s.filt = newStreamFilter(s)
+	}
 	return s, nil
 }
 
@@ -89,8 +98,12 @@ func (s *Stream) Write(p []byte) (int, error) {
 		}
 		return len(p), nil
 	}
-	s.pending = append(s.pending, funcsim.BytesToUnits(p, 4)...)
 	s.bytesIn += int64(len(p))
+	if s.filt != nil {
+		s.filt.write(p)
+		return len(p), nil
+	}
+	s.pending = append(s.pending, funcsim.BytesToUnits(p, 4)...)
 	s.consume()
 	return len(p), nil
 }
@@ -152,6 +165,13 @@ func (s *Stream) emit(cycle int64, ids []automata.StateID) {
 // further writes return ErrClosedStream. Under a fault policy, a failure
 // in the final window is reported through Err.
 func (s *Stream) Close() Stats {
+	if s.filt != nil {
+		if !s.closed {
+			s.closed = true
+			s.filtStats = s.filt.close()
+		}
+		return s.filtStats
+	}
 	if !s.closed {
 		s.closed = true
 		if s.guard != nil {

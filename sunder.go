@@ -75,6 +75,10 @@ type Options struct {
 	// subsumed) from the compiled automaton before placement, shrinking
 	// the mapped footprint without changing the scan output.
 	Prune bool
+	// Prefilter enables the literal-prefilter fast path (PrefilterOn):
+	// required literals are extracted at compile time and input regions
+	// that cannot contain a match are skipped. See PrefilterMode.
+	Prefilter PrefilterMode
 }
 
 // DefaultOptions returns the paper's default configuration: 16-bit
@@ -103,6 +107,13 @@ type Stats struct {
 	// Reports and ReportCycles mirror the paper's Table 1 metrics.
 	Reports      int64
 	ReportCycles int64
+	// PrefilterWindows and SkippedCycles are populated by prefiltered
+	// scans (Options.Prefilter): the number of candidate windows executed
+	// and the device cycles the literal scan proved match-free and
+	// skipped. KernelCycles + SkippedCycles equals the unfiltered
+	// KernelCycles. Both are zero on unfiltered scans.
+	PrefilterWindows int64
+	SkippedCycles    int64
 }
 
 // Overhead returns the reporting slowdown (kernel+stall)/kernel.
@@ -154,6 +165,9 @@ type Engine struct {
 	// touch the shared machine, which a concurrent sequential scan may be
 	// mutating (and, under a fault guard, replacing outright).
 	tel atomic.Pointer[telemetry.Collector]
+	// pre is the compiled literal-prefilter plan; nil unless
+	// Options.Prefilter is on. Immutable after compile, shared by clones.
+	pre *prefilterPlan
 }
 
 // Compile builds an Engine from a pattern set.
@@ -166,7 +180,14 @@ func Compile(patterns []Pattern, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromByteNFA(nfa, opts)
+	eng, err := fromByteNFA(nfa, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Re-derive the prefilter from the pattern ASTs, which usually beat
+	// the automaton suffix walk fromByteNFA already ran (see buildPrefilter).
+	buildPrefilter(eng, patterns)
+	return eng, nil
 }
 
 // CompileANML builds an Engine from an ANML automata network (the Micron
@@ -213,7 +234,16 @@ func fromByteNFA(nfa *automata.Automaton, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m, proto: m.Clone(), place: place, pruned: pruned}, nil
+	eng := &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m, proto: m.Clone(), place: place, pruned: pruned}
+	buildPrefilter(eng, nil)
+	return eng, nil
+}
+
+// CompileAutomaton builds an Engine directly from a byte-level automaton —
+// the entry point for rule sets constructed programmatically (the workload
+// generators, custom frontends) rather than from regex patterns or ANML.
+func CompileAutomaton(nfa *automata.Automaton, opts Options) (*Engine, error) {
+	return fromByteNFA(nfa, opts)
 }
 
 // Analyze runs the static IR analyzer over the engine's compiled automaton
@@ -235,6 +265,12 @@ func (e *Engine) Analyze(sample []byte) *analysis.Report {
 func (e *Engine) Scan(input []byte) (*ScanResult, error) {
 	if e.injector != nil {
 		return e.scanGuarded(funcsim.BytesToUnits(input, 4))
+	}
+	if e.pre.enabled() {
+		// The filtered path runs on clones of the pristine compile
+		// artifact: the shared machine (and with it Summarize/ReadReports
+		// state) is left untouched.
+		return e.scanPrefiltered(input, 1)
 	}
 	e.machine.Reset()
 	units := funcsim.BytesToUnits(input, 4)
@@ -301,6 +337,14 @@ type Info struct {
 	// PrunedStates is the number of dead states removed at compile time
 	// (zero unless Options.Prune was set).
 	PrunedStates int
+	// PrefilterStrategy is the literal scanner chosen at compile time
+	// ("memchr", "swar", "aho-corasick"), "off" when prefiltering is
+	// disabled, or "off (<reason>)" when the rule set admits matches
+	// without a usable literal and the filter disabled itself.
+	PrefilterStrategy string
+	// PrefilterLiterals are the extracted required literals (every match
+	// contains at least one); nil unless the prefilter is active.
+	PrefilterLiterals []string
 }
 
 // ReportRecord is one decoded entry of the device's report region: the
@@ -348,14 +392,17 @@ func (e *Engine) ReadReports() []ReportRecord {
 
 // Info returns the engine's compiled configuration.
 func (e *Engine) Info() Info {
+	strategy, lits := e.pre.describe()
 	return Info{
-		Rate:           e.opts.Rate,
-		ByteStates:     e.byteNFA.NumStates(),
-		DeviceStates:   e.nibble.NumStates(),
-		PUs:            e.machine.NumPUs(),
-		ReportColumns:  e.machine.Config().ReportColumns,
-		RegionCapacity: e.machine.Config().RegionCapacity(),
-		PrunedStates:   e.pruned,
+		Rate:              e.opts.Rate,
+		ByteStates:        e.byteNFA.NumStates(),
+		DeviceStates:      e.nibble.NumStates(),
+		PUs:               e.machine.NumPUs(),
+		ReportColumns:     e.machine.Config().ReportColumns,
+		RegionCapacity:    e.machine.Config().RegionCapacity(),
+		PrunedStates:      e.pruned,
+		PrefilterStrategy: strategy,
+		PrefilterLiterals: lits,
 	}
 }
 

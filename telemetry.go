@@ -77,6 +77,13 @@ func (e *Engine) telemetryCollector() *telemetry.Collector { return e.tel.Load()
 // Reset zeroes all counters and drops buffered trace events.
 func (t *Telemetry) Reset() { t.col.Reset() }
 
+// CounterValue returns the current value of a named aggregate counter —
+// e.g. MetricPrefilterSkippedCycles — creating it at zero if nothing has
+// recorded to it yet. It is safe to call concurrently with running scans.
+func (t *Telemetry) CounterValue(name string) int64 {
+	return t.col.Counter(name).Load()
+}
+
 // WriteMetrics writes a flat text snapshot of every counter and
 // histogram: aggregate device counters (device_kernel_cycles,
 // device_stall_cycles, …), per-PU families with {pu="N"} labels and a
