@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sunder/internal/analysis"
 	"sunder/internal/automata"
 	"sunder/internal/core"
 	"sunder/internal/mapping"
@@ -28,8 +29,12 @@ type compiledArtifact struct {
 	proto   *core.Machine
 	// pruned is the dead-state count removed at compile time; engines built
 	// from a hit must report it through Info().PrunedStates like the
-	// original compile did.
-	pruned int
+	// original compile did. minSum and symClasses likewise persist the
+	// certified-minimization digest so a hit reports the same
+	// Info().MergedStates / SymbolClasses as the original compile.
+	pruned     int
+	minSum     analysis.MinimizeSummary
+	symClasses int
 	// pre is the compiled prefilter plan (nil when Options.Prefilter is
 	// off); immutable and read-only at scan time, so hits share it.
 	pre *prefilterPlan
@@ -65,14 +70,16 @@ func CompileCachedTraced(patterns []Pattern, opts Options) (*Engine, bool, error
 	key := compileKey(patterns, opts)
 	if art, ok := compileCache.Get(key); ok {
 		eng := &Engine{
-			opts:    art.opts,
-			byteNFA: art.byteNFA,
-			nibble:  art.nibble,
-			machine: art.proto.Clone(),
-			proto:   art.proto,
-			place:   art.place,
-			pruned:  art.pruned,
-			pre:     art.pre,
+			opts:       art.opts,
+			byteNFA:    art.byteNFA,
+			nibble:     art.nibble,
+			machine:    art.proto.Clone(),
+			proto:      art.proto,
+			place:      art.place,
+			pruned:     art.pruned,
+			minSum:     art.minSum,
+			symClasses: art.symClasses,
+			pre:        art.pre,
 		}
 		compileHitNS.Add(time.Since(start).Nanoseconds())
 		return eng, true, nil
@@ -82,13 +89,15 @@ func CompileCachedTraced(patterns []Pattern, opts Options) (*Engine, bool, error
 		return nil, false, err
 	}
 	compileCache.Put(key, &compiledArtifact{
-		opts:    eng.opts,
-		byteNFA: eng.byteNFA,
-		nibble:  eng.nibble,
-		place:   eng.place,
-		proto:   eng.proto,
-		pruned:  eng.pruned,
-		pre:     eng.pre,
+		opts:       eng.opts,
+		byteNFA:    eng.byteNFA,
+		nibble:     eng.nibble,
+		place:      eng.place,
+		proto:      eng.proto,
+		pruned:     eng.pruned,
+		minSum:     eng.minSum,
+		symClasses: eng.symClasses,
+		pre:        eng.pre,
 	})
 	compileMissNS.Add(time.Since(start).Nanoseconds())
 	return eng, false, nil
@@ -126,6 +135,10 @@ func compileKey(patterns []Pattern, opts Options) string {
 	// TestCompileKeyCoversOptions enumerates Options by reflection so a
 	// future compile-affecting field cannot be forgotten here silently.
 	writeBool(opts.Prune)
+	// Minimize rewrites the compiled automaton (merged/pruned states change
+	// the placement): minimized and unminimized compiles must not share an
+	// entry.
+	writeBool(opts.Minimize)
 	// Prefilter changes the cached artifact (the literal plan rides in it).
 	writeInt(int64(opts.Prefilter))
 	writeInt(int64(len(patterns)))

@@ -244,6 +244,50 @@ func TestCompileCachedPrunedStatesOnHitAndClone(t *testing.T) {
 	}
 }
 
+// TestCompileCachedMinimizeOnHitAndClone: the certified-minimization
+// digest (Info().MergedStates / SymbolClasses, and the prune rounds folded
+// into PrunedStates) survives the cache-hit path and Engine.Clone, and a
+// minimized compile occupies its own cache entry.
+func TestCompileCachedMinimizeOnHitAndClone(t *testing.T) {
+	ResetCompileCache()
+	mopts := DefaultOptions()
+	mopts.Minimize = true
+	pats := prunablePatterns()
+	miss, err := CompileCached(pats, mopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := CompileCached(pats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CompileCacheInfo().Entries; n != 2 {
+		t.Errorf("Entries = %d, want 2 (minimized and plain must not share a slot)", n)
+	}
+	info := miss.Info()
+	if info.SymbolClasses == 0 {
+		t.Error("minimized compile reports zero symbol classes")
+	}
+	if info.PrunedStates == 0 {
+		t.Error("minimize on a prunable rule set removed no states")
+	}
+	if got := plain.Info().SymbolClasses; got != 0 {
+		t.Errorf("unminimized compile reports %d symbol classes, want 0", got)
+	}
+	hit, err := CompileCached(pats, mopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, eng := range map[string]*Engine{"hit": hit, "miss clone": miss.Clone(), "hit clone": hit.Clone()} {
+		got := eng.Info()
+		if got.PrunedStates != info.PrunedStates || got.MergedStates != info.MergedStates || got.SymbolClasses != info.SymbolClasses {
+			t.Errorf("%s: Info() pruned/merged/classes = %d/%d/%d, want %d/%d/%d", label,
+				got.PrunedStates, got.MergedStates, got.SymbolClasses,
+				info.PrunedStates, info.MergedStates, info.SymbolClasses)
+		}
+	}
+}
+
 // TestCompileKeyCoversOptions enumerates Options by reflection and asserts
 // that perturbing any single field changes the cache key — the proof
 // obligation of DESIGN.md §4.11: a future compile-affecting Options field
@@ -287,7 +331,7 @@ func TestCompileKeyCoversOptions(t *testing.T) {
 // compile of the same configuration.
 func TestCompileCachedConcurrentMixedPrune(t *testing.T) {
 	ResetCompileCache()
-	SetCompileCacheCapacity(3) // below the 6-config working set: evict+refill races
+	SetCompileCacheCapacity(3) // below the 9-config working set: evict+refill races
 	defer SetCompileCacheCapacity(DefaultCompileCacheCapacity)
 
 	input := bytes.Repeat([]byte("zabcaxcxyyzab0cab1cab2c"), 300)
@@ -296,14 +340,16 @@ func TestCompileCachedConcurrentMixedPrune(t *testing.T) {
 		opts   Options
 		want   *ScanResult
 		pruned int
+		merged int
 	}
 	var configs []config
 	for set := 0; set < 3; set++ {
 		pats := prunablePatterns()
 		pats = append(pats, cachePatterns(set)...)
-		for _, prune := range []bool{false, true} {
+		for _, variant := range []struct{ prune, minimize bool }{{false, false}, {true, false}, {false, true}} {
 			opts := DefaultOptions()
-			opts.Prune = prune
+			opts.Prune = variant.prune
+			opts.Minimize = variant.minimize
 			eng, err := Compile(pats, opts)
 			if err != nil {
 				t.Fatal(err)
@@ -312,8 +358,9 @@ func TestCompileCachedConcurrentMixedPrune(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			configs = append(configs, config{pats: pats, opts: opts, want: want, pruned: eng.Info().PrunedStates})
-			if prune && eng.Info().PrunedStates == 0 {
+			configs = append(configs, config{pats: pats, opts: opts, want: want,
+				pruned: eng.Info().PrunedStates, merged: eng.Info().MergedStates})
+			if (variant.prune || variant.minimize) && eng.Info().PrunedStates == 0 {
 				t.Fatal("pruned config removes no states; the hammer would not distinguish the machines")
 			}
 		}
@@ -333,7 +380,11 @@ func TestCompileCachedConcurrentMixedPrune(t *testing.T) {
 					return
 				}
 				if got := eng.Info().PrunedStates; got != c.pruned {
-					t.Errorf("goroutine %d: PrunedStates = %d, want %d (prune=%v)", g, got, c.pruned, c.opts.Prune)
+					t.Errorf("goroutine %d: PrunedStates = %d, want %d (prune=%v minimize=%v)", g, got, c.pruned, c.opts.Prune, c.opts.Minimize)
+					return
+				}
+				if got := eng.Info().MergedStates; got != c.merged {
+					t.Errorf("goroutine %d: MergedStates = %d, want %d (minimize=%v)", g, got, c.merged, c.opts.Minimize)
 					return
 				}
 				got, err := eng.Scan(input)

@@ -41,7 +41,8 @@ func main() {
 		inputLen   = flag.Int("input", 0, "override input length in bytes")
 		jsonOut    = flag.Bool("json", false, "emit every table and figure as JSON instead of text")
 		prune      = flag.Bool("prune", false, "run the dead-state pruning study across all benchmarks")
-		pruneRate  = flag.Int("prunerate", 4, "processing rate for the -prune study (1,2,4)")
+		pruneRate  = flag.Int("prunerate", 4, "processing rate for the -prune/-minimize study (1,2,4)")
+		minimize   = flag.Bool("minimize", false, "run the certified minimization study (compression ratio, certificate verification); fails on certificate rejection or output divergence")
 		prefilter  = flag.Bool("prefilter", false, "run the literal-prefilter study across all benchmarks")
 		prefMin    = flag.Float64("prefilter-min-speedup", 0, "fail unless every engaged benchmark beats this speedup on literal-free input")
 		telFlags   = cliutil.RegisterTelemetryFlags()
@@ -105,7 +106,7 @@ func main() {
 			finish()
 			return
 		}
-		if *prune {
+		if *prune || *minimize {
 			rows, err := exp.PruningStudy(opts, workload.Names(), *pruneRate)
 			if err != nil {
 				log.Fatal(err)
@@ -113,6 +114,13 @@ func main() {
 			res := &exp.Results{Options: opts, Pruning: rows}
 			if err := res.WriteJSON(out); err != nil {
 				log.Fatal(err)
+			}
+			if *minimize {
+				// Minimization numbers are only publishable if every
+				// certificate verified and no output diverged.
+				if err := exp.CheckMinimizeStudy(rows); err != nil {
+					log.Fatal(err)
+				}
 			}
 			finish()
 			return
@@ -146,7 +154,7 @@ func main() {
 	// The fault study runs only when a policy is given (like -ablations
 	// and the -par scaling study, it is excluded from the default
 	// everything run).
-	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled() && !parFlags.Enabled() && !*prune && !*prefilter
+	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled() && !parFlags.Enabled() && !*prune && !*minimize && !*prefilter
 
 	var t4 []exp.Table4Row
 	needT4 := runAll || *table == 4 || *fig == 8
@@ -237,7 +245,7 @@ func main() {
 		exp.FprintScalingStudy(out, rows)
 		fmt.Fprintln(out)
 	}
-	if *prune {
+	if *prune || *minimize {
 		rows, err := exp.PruningStudy(opts, workload.Names(), *pruneRate)
 		if err != nil {
 			log.Fatal(err)
@@ -247,6 +255,11 @@ func main() {
 		for _, r := range rows {
 			if !r.OutputOK {
 				log.Fatalf("pruning changed the output of %s at rate %d", r.Name, r.Rate)
+			}
+		}
+		if *minimize {
+			if err := exp.CheckMinimizeStudy(rows); err != nil {
+				log.Fatal(err)
 			}
 		}
 	}

@@ -124,6 +124,23 @@ func main() {
 			res.Unreachable, res.Useless, res.NeverMatch, res.Subsumed, res.ReportRowsFreed)
 	}
 
+	if anFlags.Minimize {
+		pre := ua.Clone()
+		res := analysis.Minimize(ua)
+		if err := analysis.CheckCertificate(pre, ua, res.Cert); err != nil {
+			log.Fatalf("minimization certificate rejected: %v", err)
+		}
+		label := fmt.Sprintf("minimized (-%d states)", res.Removed())
+		show(label, ua.NumStates(), ua.NumEdges(), ua.NumReportStates())
+		fmt.Printf("    %d pruned, %d bisim-merged, %d prefix-merged in %d round(s); certificate verified (%d step(s))\n",
+			res.Pruned, res.BisimMerged, res.PrefixMerged, res.Rounds, len(res.Cert.Steps))
+		sc := analysis.SymbolClasses(nfa)
+		if err := analysis.CheckSymbolClasses(nfa, sc); err != nil {
+			log.Fatalf("symbol-class certificate rejected: %v", err)
+		}
+		fmt.Printf("    effective alphabet: %d symbol class(es) of 256 bytes\n", sc.Count())
+	}
+
 	if anFlags.Lint {
 		rep := analysis.Analyze(ua, analysis.Options{Source: nfa})
 		fmt.Printf("\nstatic analysis:\n")

@@ -102,6 +102,19 @@ func main() {
 		fmt.Printf("\npruned %d dead state(s) (%d unreachable, %d useless, %d never-match, %d subsumed), %d report rows freed\n",
 			pres.Removed(), pres.Unreachable, pres.Useless, pres.NeverMatch, pres.Subsumed, pres.ReportRowsFreed)
 	}
+	if anFlags.Minimize {
+		pre := ua.Clone()
+		mres := analysis.Minimize(ua)
+		if err := analysis.CheckCertificate(pre, ua, mres.Cert); err != nil {
+			log.Fatalf("minimization certificate rejected: %v", err)
+		}
+		sc := analysis.SymbolClasses(w.Automaton)
+		if err := analysis.CheckSymbolClasses(w.Automaton, sc); err != nil {
+			log.Fatalf("symbol-class certificate rejected: %v", err)
+		}
+		fmt.Printf("\nminimized %d state(s) (%d pruned, %d bisim, %d prefix) in %d round(s); certificate verified; %d symbol class(es)\n",
+			mres.Removed(), mres.Pruned, mres.BisimMerged, mres.PrefixMerged, mres.Rounds, sc.Count())
+	}
 	cfg := core.DefaultConfig(*rate)
 	cfg.FIFO = *fifo
 	cfg.SummarizeOnFull = *summarize

@@ -277,30 +277,7 @@ func chainPass(r *Report, ua *automata.UnitAutomaton) {
 	if su <= 1 {
 		return
 	}
-	// phases[s] is the bitset of unit offsets (mod SymbolUnits) at which
-	// state s's vector can begin. Start states inject only at cycle
-	// boundaries that are symbol boundaries, so they seed phase 0; each
-	// edge advances the phase by Rate.
-	phases := make([]uint16, len(ua.States))
-	var stack []automata.StateID
-	for i := range ua.States {
-		if ua.States[i].Start != automata.StartNone {
-			phases[i] |= 1
-			stack = append(stack, automata.StateID(i))
-		}
-	}
-	step := uint(ua.Rate % su)
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		next := rotateLeft(phases[s], step, su)
-		for _, t := range ua.States[s].Succ {
-			if phases[t]|next != phases[t] {
-				phases[t] |= next
-				stack = append(stack, t)
-			}
-		}
-	}
+	phases := computePhases(ua)
 	errs := 0
 	emit := func(s automata.StateID, format string, args ...any) {
 		if errs < maxDetailDiags {
@@ -342,6 +319,38 @@ func chainPass(r *Report, ua *automata.UnitAutomaton) {
 	if errs > maxDetailDiags {
 		r.add("chain", SevError, -1, "%d more chain violation(s) not listed", errs-maxDetailDiags)
 	}
+}
+
+// computePhases returns, per state, the bitset of unit offsets (mod
+// SymbolUnits) at which the state's vector can begin. Start states inject
+// only at cycle boundaries that are symbol boundaries, so they seed phase
+// 0; each edge advances the phase by Rate. Unreachable states keep an
+// empty bitset. chainPass verifies each reachable state has exactly one
+// phase; the minimization passes partition by the bitset so merging never
+// mixes high/low nibble chains.
+func computePhases(ua *automata.UnitAutomaton) []uint16 {
+	su := ua.SymbolUnits
+	phases := make([]uint16, len(ua.States))
+	var stack []automata.StateID
+	for i := range ua.States {
+		if ua.States[i].Start != automata.StartNone {
+			phases[i] |= 1
+			stack = append(stack, automata.StateID(i))
+		}
+	}
+	step := uint(ua.Rate % su)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		next := rotateLeft(phases[s], step, su)
+		for _, t := range ua.States[s].Succ {
+			if phases[t]|next != phases[t] {
+				phases[t] |= next
+				stack = append(stack, t)
+			}
+		}
+	}
+	return phases
 }
 
 // rotateLeft rotates the low `width` bits of v left by k.

@@ -101,7 +101,7 @@ func classifyDead(ua *automata.UnitAutomaton) (reasons []deadReason, pruned *aut
 		orig[i] = automata.StateID(i)
 	}
 	for {
-		mark := markDeadRound(work)
+		mark, _ := markDeadRound(work)
 		removed := 0
 		for i, r := range mark {
 			if r != live {
@@ -125,10 +125,17 @@ func classifyDead(ua *automata.UnitAutomaton) (reasons []deadReason, pruned *aut
 }
 
 // markDeadRound runs one round of the four dead-state passes over a and
-// returns the per-state verdicts for this round.
-func markDeadRound(a *automata.UnitAutomaton) []deadReason {
+// returns the per-state verdicts for this round, plus the dominator chosen
+// for each state marked subsumed (-1 elsewhere). The dominator is the
+// subsumption pass's witness; Minimize records it in the equivalence
+// certificate so CheckCertificate can re-verify the verdict independently.
+func markDeadRound(a *automata.UnitAutomaton) ([]deadReason, []automata.StateID) {
 	n := len(a.States)
 	mark := make([]deadReason, n)
+	dom := make([]automata.StateID, n)
+	for i := range dom {
+		dom[i] = -1
+	}
 
 	// Never-match: a position accepting nothing blocks every activation.
 	for i := range a.States {
@@ -217,8 +224,8 @@ func markDeadRound(a *automata.UnitAutomaton) []deadReason {
 			}
 		}
 	}
-	markSubsumed(a, mark, preds)
-	return mark
+	markSubsumed(a, mark, preds, dom)
+	return mark, dom
 }
 
 // markSubsumed marks live states dominated by another live state. States
@@ -227,7 +234,7 @@ func markDeadRound(a *automata.UnitAutomaton) []deadReason {
 // survives the round or was itself removed later with a live dominator —
 // the chain always ends in a surviving state, and domination is transitive
 // (all the subset relations are).
-func markSubsumed(a *automata.UnitAutomaton, mark []deadReason, preds [][]automata.StateID) {
+func markSubsumed(a *automata.UnitAutomaton, mark []deadReason, preds [][]automata.StateID, dom []automata.StateID) {
 	// Start-enabled states with no live predecessors can only be
 	// dominated by other start states; collect those once.
 	var starts []automata.StateID
@@ -262,6 +269,7 @@ func markSubsumed(a *automata.UnitAutomaton, mark []deadReason, preds [][]automa
 			}
 			if subsumes(a, mark, preds, s1, s2) {
 				mark[s1] = deadSubsumed
+				dom[s1] = s2
 				break
 			}
 		}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+
+	"sunder/internal/automata"
+)
+
+// SymbolClassCert is the alphabet-compression certificate computed on the
+// byte automaton *before* nibble decomposition: a partition of the 256
+// input symbols into equivalence classes with identical columns in the
+// match matrix (two bytes are equivalent iff every state accepts both or
+// neither). Identical columns need only be stored once — the class count
+// is the automaton's effective alphabet size, and the per-class witness
+// symbols make the partition machine-checkable: CheckSymbolClasses
+// verifies every symbol's column against its witness and that witnesses
+// are pairwise distinguishable, so the class count is provably maximal.
+type SymbolClassCert struct {
+	// Class maps each byte value to its equivalence class.
+	Class [256]uint16
+	// Witness holds one representative byte per class (the class's lowest
+	// member, by construction).
+	Witness []byte
+}
+
+// Count returns the number of symbol-equivalence classes.
+func (c *SymbolClassCert) Count() int { return len(c.Witness) }
+
+// SymbolClasses partitions the byte alphabet by match-matrix column
+// equality over the automaton's states.
+func SymbolClasses(nfa *automata.Automaton) *SymbolClassCert {
+	cert := &SymbolClassCert{}
+	keys := make(map[string]uint16)
+	nb := (len(nfa.States) + 7) / 8
+	col := make([]byte, nb)
+	for b := 0; b < 256; b++ {
+		for i := range col {
+			col[i] = 0
+		}
+		for s := range nfa.States {
+			if nfa.States[s].Match.Get(b) {
+				col[s/8] |= 1 << uint(s%8)
+			}
+		}
+		id, ok := keys[string(col)]
+		if !ok {
+			id = uint16(len(cert.Witness))
+			keys[string(col)] = id
+			cert.Witness = append(cert.Witness, byte(b))
+		}
+		cert.Class[b] = id
+	}
+	return cert
+}
+
+// CheckSymbolClasses verifies a symbol-class certificate against the byte
+// automaton: every class is inhabited by its witness, every byte's match
+// column equals its witness's column state by state, and witness columns
+// are pairwise distinct (so the partition is not artificially fine and
+// the class count is the true effective alphabet size).
+func CheckSymbolClasses(nfa *automata.Automaton, cert *SymbolClassCert) error {
+	if cert == nil {
+		return fmt.Errorf("symclass: nil certificate")
+	}
+	nc := len(cert.Witness)
+	if nc == 0 || nc > 256 {
+		return fmt.Errorf("symclass: class count %d out of range", nc)
+	}
+	for c, w := range cert.Witness {
+		if int(cert.Class[w]) != c {
+			return fmt.Errorf("symclass: witness 0x%02x of class %d is assigned to class %d", w, c, cert.Class[w])
+		}
+	}
+	// One match-matrix column per witness, extracted state by state.
+	column := func(b int) string {
+		col := make([]byte, (len(nfa.States)+7)/8)
+		for s := range nfa.States {
+			if nfa.States[s].Match.Get(b) {
+				col[s/8] |= 1 << uint(s%8)
+			}
+		}
+		return string(col)
+	}
+	wcol := make([]string, nc)
+	for c, w := range cert.Witness {
+		wcol[c] = column(int(w))
+	}
+	for b := 0; b < 256; b++ {
+		c := cert.Class[b]
+		if int(c) >= nc {
+			return fmt.Errorf("symclass: byte 0x%02x assigned to class %d, only %d classes", b, c, nc)
+		}
+		if column(b) != wcol[c] {
+			return fmt.Errorf("symclass: some state distinguishes byte 0x%02x from its class witness 0x%02x", b, cert.Witness[c])
+		}
+	}
+	// Maximality: no two witnesses may share a column.
+	seen := make(map[string]int, nc)
+	for c, col := range wcol {
+		if prev, dup := seen[col]; dup {
+			return fmt.Errorf("symclass: classes %d and %d are indistinguishable (witnesses 0x%02x, 0x%02x)",
+				prev, c, cert.Witness[prev], cert.Witness[c])
+		}
+		seen[col] = c
+	}
+	return nil
+}

@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"fmt"
 	"io"
+
+	"time"
 
 	"sunder/internal/analysis"
 	"sunder/internal/core"
@@ -34,6 +37,22 @@ type PruningRow struct {
 	PUsAfter  int `json:"pus_after"`
 	// OutputOK asserts report statistics were preserved exactly.
 	OutputOK bool `json:"output_ok"`
+	// The remaining columns measure the certified minimizer
+	// (analysis.Minimize) on the same automaton: the state count after
+	// minimization, the bisimulation/prefix-collapse merge breakdown, the
+	// verified symbol-equivalence class count of the byte automaton, the
+	// compression ratio States/MinStates, and the minimize+verify wall
+	// time. MinOutputOK asserts the minimized machine reproduced the
+	// baseline report statistics exactly, and CertOK that the emitted
+	// equivalence certificate passed CheckCertificate.
+	MinStates        int     `json:"min_states"`
+	BisimMerged      int     `json:"bisim_merged"`
+	PrefixMerged     int     `json:"prefix_merged"`
+	SymbolClasses    int     `json:"symbol_classes"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	MinimizeNS       int64   `json:"minimize_ns"`
+	CertOK           bool    `json:"cert_ok"`
+	MinOutputOK      bool    `json:"min_output_ok"`
 }
 
 // PruningStudy compiles every benchmark at the given rate, prunes a copy,
@@ -64,9 +83,24 @@ func PruningStudy(opts Options, names []string, rate int) ([]PruningRow, error) 
 			return nil, err
 		}
 
+		// Minimize an independent copy, verify its certificate, and run it
+		// against the same baseline.
+		minimized := ua.Clone()
+		minStart := time.Now()
+		mres := analysis.Minimize(minimized)
+		certErr := analysis.CheckCertificate(ua, minimized, mres.Cert)
+		sc := analysis.SymbolClasses(w.Automaton)
+		scErr := analysis.CheckSymbolClasses(w.Automaton, sc)
+		minimizeNS := time.Since(minStart).Nanoseconds()
+		minM, err := configureFrom(prunedW, minimized, core.DefaultConfig(rate))
+		if err != nil {
+			return nil, err
+		}
+
 		units := funcsim.BytesToUnits(w.Input, 4)
 		baseRes := base.Run(units, core.RunOptions{})
 		afterRes := after.Run(units, core.RunOptions{})
+		minRes := minM.Run(units, core.RunOptions{})
 
 		rows = append(rows, PruningRow{
 			Name:            name,
@@ -84,12 +118,24 @@ func PruningStudy(opts Options, names []string, rate int) ([]PruningRow, error) 
 				baseRes.ReportCycles == afterRes.ReportCycles &&
 				baseRes.KernelCycles == afterRes.KernelCycles &&
 				baseRes.MaxReportsPerCycle == afterRes.MaxReportsPerCycle,
+			MinStates:        mres.After,
+			BisimMerged:      mres.BisimMerged,
+			PrefixMerged:     mres.PrefixMerged,
+			SymbolClasses:    sc.Count(),
+			CompressionRatio: float64(mres.Before) / float64(max(mres.After, 1)),
+			MinimizeNS:       minimizeNS,
+			CertOK:           certErr == nil && scErr == nil,
+			MinOutputOK: baseRes.Reports == minRes.Reports &&
+				baseRes.ReportCycles == minRes.ReportCycles &&
+				baseRes.KernelCycles == minRes.KernelCycles &&
+				baseRes.MaxReportsPerCycle == minRes.MaxReportsPerCycle,
 		})
 	}
 	return rows, nil
 }
 
-// FprintPruningStudy renders the pruning footprint table.
+// FprintPruningStudy renders the pruning footprint table followed by the
+// certified-minimization table.
 func FprintPruningStudy(w io.Writer, rows []PruningRow) {
 	fprintf(w, "Pruning: dead-state elimination at rate %d (output equality checked per row)\n",
 		rowsRate(rows))
@@ -104,6 +150,38 @@ func FprintPruningStudy(w io.Writer, rows []PruningRow) {
 			r.Name, r.States, r.Pruned, r.Unreachable, r.Useless, r.NeverMatch,
 			r.Subsumed, r.ReportRowsFreed, r.PUsBefore, r.PUsAfter, verdict)
 	}
+	fprintf(w, "\nCertified minimization: prune+bisim+prefix collapse, certificate verified per row\n")
+	fprintf(w, "%-18s %7s %7s %6s %6s %8s %6s %8s %9s %8s\n",
+		"Benchmark", "states", "min", "bisim", "prefix", "ratio", "symcl", "cert", "mintime", "output")
+	for _, r := range rows {
+		cert := "OK"
+		if !r.CertOK {
+			cert = "REJECTED"
+		}
+		verdict := "OK"
+		if !r.MinOutputOK {
+			verdict = "DIVERGED"
+		}
+		fprintf(w, "%-18s %7d %7d %6d %6d %7.3fx %6d %8s %7.2fms %8s\n",
+			r.Name, r.States, r.MinStates, r.BisimMerged, r.PrefixMerged,
+			r.CompressionRatio, r.SymbolClasses, cert,
+			float64(r.MinimizeNS)/1e6, verdict)
+	}
+}
+
+// CheckMinimizeStudy fails if any row's minimization certificate was
+// rejected or its minimized machine diverged from the baseline — the gate
+// sunder-bench applies before publishing minimization numbers.
+func CheckMinimizeStudy(rows []PruningRow) error {
+	for _, r := range rows {
+		if !r.CertOK {
+			return fmt.Errorf("exp: %s rate %d: minimization certificate rejected", r.Name, r.Rate)
+		}
+		if !r.MinOutputOK {
+			return fmt.Errorf("exp: %s rate %d: minimized machine diverged from the baseline", r.Name, r.Rate)
+		}
+	}
+	return nil
 }
 
 func rowsRate(rows []PruningRow) int {

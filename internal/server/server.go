@@ -692,6 +692,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "server_errors_total %d\n", s.errors.Load())
 	fmt.Fprintf(w, "server_active_streams %d\n", s.activeStreams.Load())
 	fmt.Fprintf(w, "server_rulesets %d\n", nRulesets)
+	// Certified-minimization aggregates across resident rulesets: how many
+	// were compiled with Options.Minimize, and the states the pipeline
+	// pruned and merged for them.
+	var minRulesets, minPruned, minMerged int
+	for _, id := range ids {
+		info := byID[id].info
+		if info.SymbolClasses == 0 {
+			continue
+		}
+		minRulesets++
+		minPruned += info.PrunedStates
+		minMerged += info.MergedStates
+	}
+	fmt.Fprintf(w, "server_minimized_rulesets %d\n", minRulesets)
+	fmt.Fprintf(w, "server_minimized_pruned_states %d\n", minPruned)
+	fmt.Fprintf(w, "server_minimized_merged_states %d\n", minMerged)
 	cc := sunder.CompileCacheInfo()
 	fmt.Fprintf(w, "compile_cache_hits_total %d\n", cc.Hits)
 	fmt.Fprintf(w, "compile_cache_misses_total %d\n", cc.Misses)
@@ -750,6 +766,18 @@ func (s *Server) metricsJSON() MetricsJSON {
 			},
 		}
 	}
+	var minAgg *MinimizeMetricsJSON
+	for _, rs := range s.rulesets {
+		if rs.info.SymbolClasses == 0 {
+			continue
+		}
+		if minAgg == nil {
+			minAgg = &MinimizeMetricsJSON{}
+		}
+		minAgg.Rulesets++
+		minAgg.PrunedStates += int64(rs.info.PrunedStates)
+		minAgg.MergedStates += int64(rs.info.MergedStates)
+	}
 	nRulesets := len(s.rulesets)
 	s.mu.RUnlock()
 	m := MetricsJSON{
@@ -772,6 +800,7 @@ func (s *Server) metricsJSON() MetricsJSON {
 		},
 		Compile:  latencySLO(s.compileNS),
 		Rulesets: rulesets,
+		Minimize: minAgg,
 	}
 	if scans := s.tel.CounterValue(sunder.MetricPrefilterScans); scans > 0 {
 		m.Prefilter = &PrefilterMetricsJSON{

@@ -679,6 +679,40 @@ func TestServerMetricsAndLimits(t *testing.T) {
 		}
 	}
 
+	// A minimized ruleset surfaces in the wire info and in the
+	// minimization aggregates of both metrics formats.
+	minInfo := putRuleset(t, ts.URL, "min", RulesetRequest{
+		Patterns: testRules, Options: &OptionsJSON{Minimize: true},
+	})
+	if minInfo.Info.SymbolClasses == 0 {
+		t.Errorf("minimized ruleset reports 0 symbol classes: %+v", minInfo.Info)
+	}
+	scanRaw(t, ts.URL, "min", []byte("GET /admin abc"), false)
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(mbody, []byte("server_minimized_rulesets 1")) {
+		t.Errorf("metrics missing minimization aggregate:\n%s", mbody)
+	}
+	jr, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mj MetricsJSON
+	if err := json.NewDecoder(jr.Body).Decode(&mj); err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if mj.Minimize == nil || mj.Minimize.Rulesets != 1 {
+		t.Errorf("metrics JSON minimize aggregate = %+v, want 1 ruleset", mj.Minimize)
+	}
+
 	// Oversized raw scan: 413.
 	big := bytes.Repeat([]byte("x"), 4096)
 	sr, err := http.Post(ts.URL+"/rulesets/nids/scan", "application/octet-stream", bytes.NewReader(big))

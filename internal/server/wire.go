@@ -26,6 +26,7 @@ type OptionsJSON struct {
 	FIFO            *bool `json:"fifo,omitempty"`
 	SummarizeOnFull bool  `json:"summarize_on_full,omitempty"`
 	Prune           bool  `json:"prune,omitempty"`
+	Minimize        bool  `json:"minimize,omitempty"`
 	Prefilter       bool  `json:"prefilter,omitempty"`
 }
 
@@ -49,6 +50,7 @@ func (o *OptionsJSON) Options() sunder.Options {
 	}
 	opts.SummarizeOnFull = o.SummarizeOnFull
 	opts.Prune = o.Prune
+	opts.Minimize = o.Minimize
 	if o.Prefilter {
 		opts.Prefilter = sunder.PrefilterOn
 	}
@@ -94,6 +96,8 @@ type InfoJSON struct {
 	ReportColumns     int      `json:"report_columns"`
 	RegionCapacity    int      `json:"region_capacity"`
 	PrunedStates      int      `json:"pruned_states"`
+	MergedStates      int      `json:"merged_states,omitempty"`
+	SymbolClasses     int      `json:"symbol_classes,omitempty"`
 	PrefilterStrategy string   `json:"prefilter_strategy,omitempty"`
 	PrefilterLiterals []string `json:"prefilter_literals,omitempty"`
 }
@@ -107,6 +111,8 @@ func infoJSON(i sunder.Info) InfoJSON {
 		ReportColumns:  i.ReportColumns,
 		RegionCapacity: i.RegionCapacity,
 		PrunedStates:   i.PrunedStates,
+		MergedStates:   i.MergedStates,
+		SymbolClasses:  i.SymbolClasses,
 	}
 	if i.PrefilterStrategy != "off" {
 		out.PrefilterStrategy = i.PrefilterStrategy
@@ -303,12 +309,23 @@ type PrefilterMetricsJSON struct {
 	SkippedCycles int64 `json:"skipped_cycles"`
 }
 
+// MinimizeMetricsJSON aggregates certified-minimization results across the
+// resident rulesets compiled with Options.Minimize: how many rulesets, and
+// the total states the pipeline pruned and merged for them (present only
+// when at least one such ruleset is resident).
+type MinimizeMetricsJSON struct {
+	Rulesets     int   `json:"rulesets"`
+	PrunedStates int64 `json:"pruned_states"`
+	MergedStates int64 `json:"merged_states"`
+}
+
 // MetricsJSON is the GET /metrics?format=json response.
 type MetricsJSON struct {
 	Service      ServiceMetricsJSON            `json:"service"`
 	CompileCache CompileCacheJSON              `json:"compile_cache"`
 	Compile      LatencySLOJSON                `json:"compile"`
 	Rulesets     map[string]RulesetMetricsJSON `json:"rulesets"`
+	Minimize     *MinimizeMetricsJSON          `json:"minimize,omitempty"`
 	Prefilter    *PrefilterMetricsJSON         `json:"prefilter,omitempty"`
 	Spans        *SpanStatsJSON                `json:"spans,omitempty"`
 }

@@ -432,6 +432,188 @@ func bodyDiverts(b *ast.BlockStmt) bool {
 // Resolution is by field name within the package — precise enough here,
 // since the convention bans the pattern outright.
 
+// ---------------------------------------------------------------------------
+// irmutate: the compiled unit-level IR (automata.UnitAutomaton and its
+// UnitState elements) is frozen once the transform pipeline hands it to the
+// engine — clones share it by pointer, the scheduler's window analysis and
+// the minimizer's equivalence certificates are computed against it, and a
+// later in-place edit silently invalidates all of them. Only the IR's home
+// package and the compile-time rewrite passes (Config.IRMutators) may write
+// its fields; everywhere else a mutation must go through Clone().
+//
+// Resolution is syntactic: an identifier counts as IR-typed when it is
+// declared with type automata.UnitAutomaton / automata.UnitState (behind
+// any level of pointer or slice), copied from another IR identifier,
+// produced by an IR identifier's Clone() call, or bound as an alias with
+// `s := &ua.States[i]`. A write is an assignment or ++/-- whose left-hand
+// side selects into such an identifier (`ua.States[i].Succ = …`,
+// `st.Match[0] |= …`); rebinding the identifier itself (`ua = other`) is
+// not a write to the IR.
+
+// irTypeNames are the automata type names whose fields the rule protects.
+var irTypeNames = map[string]bool{"UnitAutomaton": true, "UnitState": true}
+
+func lintIRMutate(fset *token.FileSet, p *Package, cfg Config) []Finding {
+	if cfg.IRMutators[p.Path] {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		automataName := ""
+		for local, path := range importTable(f) {
+			if path == "sunder/internal/automata" {
+				automataName = local
+			}
+		}
+		if automataName == "" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ir := map[string]bool{}
+			bind := func(fl *ast.Field) {
+				if !isIRType(fl.Type, automataName) {
+					return
+				}
+				for _, name := range fl.Names {
+					ir[name.Name] = true
+				}
+			}
+			if fd.Recv != nil {
+				for _, r := range fd.Recv.List {
+					bind(r)
+				}
+			}
+			if fd.Type.Params != nil {
+				for _, par := range fd.Type.Params.List {
+					bind(par)
+				}
+			}
+			// One source-order pass both grows the alias set and flags
+			// writes; aliases are always declared before use.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.DeclStmt:
+					gd, ok := st.Decl.(*ast.GenDecl)
+					if !ok {
+						return true
+					}
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok || vs.Type == nil || !isIRType(vs.Type, automataName) {
+							continue
+						}
+						for _, name := range vs.Names {
+							ir[name.Name] = true
+						}
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						root, steps := selectorRoot(lhs)
+						if root != nil && steps > 0 && ir[root.Name] {
+							out = append(out, Finding{
+								Pos:  fset.Position(lhs.Pos()),
+								Rule: "irmutate",
+								Msg:  fmt.Sprintf("%s writes a field of the compiled IR through %s; the unit automaton is frozen after compile — mutate a Clone()", fd.Name.Name, root.Name),
+							})
+						}
+					}
+					for i, rhs := range st.Rhs {
+						if i >= len(st.Lhs) || !aliasesIR(rhs, ir) {
+							continue
+						}
+						if id, ok := st.Lhs[i].(*ast.Ident); ok {
+							ir[id.Name] = true
+						}
+					}
+				case *ast.IncDecStmt:
+					root, steps := selectorRoot(st.X)
+					if root != nil && steps > 0 && ir[root.Name] {
+						out = append(out, Finding{
+							Pos:  fset.Position(st.X.Pos()),
+							Rule: "irmutate",
+							Msg:  fmt.Sprintf("%s writes a field of the compiled IR through %s; the unit automaton is frozen after compile — mutate a Clone()", fd.Name.Name, root.Name),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isIRType reports whether a syntactic type is automata.UnitAutomaton or
+// automata.UnitState behind any level of pointers and slices/arrays.
+func isIRType(t ast.Expr, automataName string) bool {
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.ArrayType:
+			t = tt.Elt
+		case *ast.SelectorExpr:
+			x, ok := tt.X.(*ast.Ident)
+			return ok && x.Name == automataName && irTypeNames[tt.Sel.Name]
+		default:
+			return false
+		}
+	}
+}
+
+// selectorRoot walks a selector/index chain (`ua.States[i].Succ`) to its
+// root identifier, counting the select/index steps taken.
+func selectorRoot(e ast.Expr) (*ast.Ident, int) {
+	steps := 0
+	for {
+		switch ee := e.(type) {
+		case *ast.Ident:
+			return ee, steps
+		case *ast.SelectorExpr:
+			e = ee.X
+			steps++
+		case *ast.IndexExpr:
+			e = ee.X
+			steps++
+		case *ast.ParenExpr:
+			e = ee.X
+		case *ast.StarExpr:
+			e = ee.X
+		default:
+			return nil, 0
+		}
+	}
+}
+
+// aliasesIR reports whether an expression evaluates to a view of an
+// IR-typed identifier: the identifier itself (pointer copy), the address of
+// a chain rooted at one (`&ua.States[i]`), or its Clone() result — Clone
+// returns the same type, and tracking it keeps the rule honest when a
+// "clone" is then written through a second alias of the original.
+func aliasesIR(e ast.Expr, ir map[string]bool) bool {
+	switch ee := e.(type) {
+	case *ast.Ident:
+		return ir[ee.Name]
+	case *ast.UnaryExpr:
+		if ee.Op != token.AND {
+			return false
+		}
+		root, _ := selectorRoot(ee.X)
+		return root != nil && ir[root.Name]
+	case *ast.CallExpr:
+		fun, ok := ee.Fun.(*ast.SelectorExpr)
+		if !ok || fun.Sel.Name != "Clone" {
+			return false
+		}
+		root, _ := selectorRoot(fun.X)
+		return root != nil && ir[root.Name]
+	}
+	return false
+}
+
 func lintAtomicField(fset *token.FileSet, p *Package) []Finding {
 	var out []Finding
 	for _, f := range p.Files {

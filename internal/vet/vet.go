@@ -28,7 +28,7 @@ type Finding struct {
 	// Pos locates the violation.
 	Pos token.Position
 	// Rule names the rule ("determinism", "nocopy", "faulthook",
-	// "atomicfield").
+	// "atomicfield", "irmutate").
 	Rule string
 	// Msg describes the violation.
 	Msg string
@@ -71,6 +71,13 @@ type Config struct {
 	// such a function is flagged — those paths must take the clock as an
 	// input so tests can replay them virtually.
 	ClockFreeFuncs []string
+	// IRMutators are the packages allowed to write to the compiled
+	// unit-level IR (automata.UnitAutomaton / UnitState) in place: the
+	// IR's home package and the compile-time rewrite passes. Everywhere
+	// else the IR is frozen once built — engines share it across clones
+	// and the minimizer's certificates are checked against it — so a
+	// field write must go through a Clone.
+	IRMutators map[string]bool
 }
 
 // DefaultConfig returns the repository's rule configuration.
@@ -94,6 +101,11 @@ func DefaultConfig() Config {
 			"sunder/internal/cluster/chaos": true,
 		},
 		ClockFreeFuncs: []string{"retry", "backoff", "jitter", "hedge"},
+		IRMutators: map[string]bool{
+			"sunder/internal/automata":  true,
+			"sunder/internal/transform": true,
+			"sunder/internal/analysis":  true,
+		},
 	}
 }
 
@@ -182,6 +194,7 @@ func Lint(fset *token.FileSet, pkgs []*Package, cfg Config) []Finding {
 		out = append(out, lintNocopy(fset, p, nocopy)...)
 		out = append(out, lintFaultHook(fset, p)...)
 		out = append(out, lintAtomicField(fset, p)...)
+		out = append(out, lintIRMutate(fset, p, cfg)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos

@@ -203,6 +203,72 @@ func (c *C) Get() int64 { return c.n.Load() }
 	}
 }
 
+func TestIRMutateFlagsFieldWrites(t *testing.T) {
+	src := `package sched
+import "sunder/internal/automata"
+func trim(ua *automata.UnitAutomaton) {
+	ua.States[0].Succ = nil
+	st := &ua.States[1]
+	st.Match[0] |= 3
+	st.Reports[0].Code++
+}
+`
+	fs := byRule(lintOne(t, "sunder/internal/sched", src), "irmutate")
+	if len(fs) != 3 {
+		t.Fatalf("got %d findings %v, want the direct write plus both alias writes", len(fs), fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "trim") {
+			t.Fatalf("finding does not name the function: %v", f)
+		}
+	}
+}
+
+func TestIRMutateTracksCopiesAndClones(t *testing.T) {
+	src := `package exp
+import "sunder/internal/automata"
+func study(ua *automata.UnitAutomaton) {
+	alias := ua
+	alias.Rate = 2
+	c := ua.Clone()
+	c.States[0].Start = automata.StartAllInput
+}
+`
+	fs := byRule(lintOne(t, "sunder/internal/exp", src), "irmutate")
+	if len(fs) != 2 {
+		t.Fatalf("got %v, want writes through both the pointer copy and the clone", fs)
+	}
+}
+
+func TestIRMutateAllowsRebindAndAllowedPackages(t *testing.T) {
+	src := `package sched
+import "sunder/internal/automata"
+func rebind(ua *automata.UnitAutomaton, other *automata.UnitAutomaton) *automata.UnitAutomaton {
+	ua = other // rebinding the variable is not an IR write
+	n := len(ua.States)
+	_ = n
+	return ua
+}
+func reads(states []automata.UnitState) int {
+	total := 0
+	for i := range states {
+		total += len(states[i].Succ)
+	}
+	return total
+}
+`
+	if fs := byRule(lintOne(t, "sunder/internal/sched", src), "irmutate"); len(fs) != 0 {
+		t.Fatalf("reads and rebinds flagged: %v", fs)
+	}
+	mut := `package transform
+import "sunder/internal/automata"
+func rewrite(ua *automata.UnitAutomaton) { ua.States[0].Succ = nil }
+`
+	if fs := byRule(lintOne(t, "sunder/internal/transform", mut), "irmutate"); len(fs) != 0 {
+		t.Fatalf("allowed rewrite package flagged: %v", fs)
+	}
+}
+
 // TestRepositoryIsClean self-lints the module: the shipped tree must have
 // zero findings, since CI runs sunder-vet as a hard gate.
 func TestRepositoryIsClean(t *testing.T) {

@@ -169,13 +169,15 @@ func (e *Engine) ScanBatch(inputs [][]byte, opts ScanOptions) ([]*ScanResult, er
 // over — arm them per clone as needed.
 func (e *Engine) Clone() *Engine {
 	return &Engine{
-		opts:    e.opts,
-		byteNFA: e.byteNFA,
-		nibble:  e.nibble,
-		machine: e.proto.Clone(),
-		proto:   e.proto,
-		place:   e.place,
-		pruned:  e.pruned,
-		pre:     e.pre,
+		opts:       e.opts,
+		byteNFA:    e.byteNFA,
+		nibble:     e.nibble,
+		machine:    e.proto.Clone(),
+		proto:      e.proto,
+		place:      e.place,
+		pruned:     e.pruned,
+		minSum:     e.minSum,
+		symClasses: e.symClasses,
+		pre:        e.pre,
 	}
 }

@@ -26,6 +26,19 @@ grep -q '"strategy"' "$prefilter_out" || {
   echo "bench.sh: $prefilter_out missing prefilter rows" >&2; exit 1; }
 echo "wrote $prefilter_out"
 
+# Record the certified-minimization study: per-workload state compression
+# ratio, bisim/prefix merge breakdown, symbol classes and minimize+verify
+# wall time. The binary enforces the acceptance gates itself — every
+# equivalence certificate must verify and every minimized machine must
+# reproduce the baseline output exactly — so a divergence fails this
+# script before the numbers are published.
+minimize_out="${MINIMIZE_BENCH_OUT:-BENCH_minimize.json}"
+go run ./cmd/sunder-bench -minimize -json > "$minimize_out"
+test -s "$minimize_out" || { echo "bench.sh: $minimize_out is empty" >&2; exit 1; }
+grep -q '"compression_ratio"' "$minimize_out" || {
+  echo "bench.sh: $minimize_out missing minimization rows" >&2; exit 1; }
+echo "wrote $minimize_out"
+
 # Optionally record the network scan service study (all 19 benchmark
 # inputs through sunder-serve's in-process server). Off by default: it is
 # a service-level measurement, not a simulator one.

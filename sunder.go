@@ -75,6 +75,15 @@ type Options struct {
 	// subsumed) from the compiled automaton before placement, shrinking
 	// the mapped footprint without changing the scan output.
 	Prune bool
+	// Minimize runs the certified minimization pipeline before placement:
+	// interleaved dead-state pruning, backward-bisimulation merging and
+	// cross-rule prefix collapse, plus alphabet class compression on the
+	// byte automaton. Every rewrite emits a machine-checkable equivalence
+	// certificate that compilation independently verifies against the
+	// pre-minimization automaton; a certificate the checker rejects fails
+	// the compile rather than ship a silently wrong engine. Scan output is
+	// byte-identical with or without it.
+	Minimize bool
 	// Prefilter enables the literal-prefilter fast path (PrefilterOn):
 	// required literals are extracted at compile time and input regions
 	// that cannot contain a match are skipped. See PrefilterMode.
@@ -158,8 +167,15 @@ type Engine struct {
 	// scans run under the fault-recovery guard.
 	faultPol *faults.Policy
 	injector *faults.Injector
-	// pruned counts the dead states removed at compile time (Options.Prune).
+	// pruned counts the dead states removed at compile time (Options.Prune,
+	// plus the prune rounds inside Options.Minimize).
 	pruned int
+	// minSum is the digest of the certified minimization run (zero value
+	// unless Options.Minimize was set); symClasses is the verified symbol-
+	// equivalence class count of the byte automaton (its effective alphabet
+	// size), zero unless Minimize computed it.
+	minSum     analysis.MinimizeSummary
+	symClasses int
 	// tel mirrors the collector attached by SetTelemetry. The parallel
 	// paths read it instead of e.machine.Telemetry(): they promise never to
 	// touch the shared machine, which a concurrent sequential scan may be
@@ -212,6 +228,25 @@ func fromByteNFA(nfa *automata.Automaton, opts Options) (*Engine, error) {
 	if opts.Prune {
 		pruned = analysis.Prune(ua).Removed()
 	}
+	var minSum analysis.MinimizeSummary
+	var symClasses int
+	if opts.Minimize {
+		pre := ua.Clone()
+		res := analysis.Minimize(ua)
+		// The minimizer is certified, not trusted: verify its equivalence
+		// certificate against the pre-minimization automaton and fail the
+		// compile on rejection instead of shipping a wrong engine.
+		if err := analysis.CheckCertificate(pre, ua, res.Cert); err != nil {
+			return nil, fmt.Errorf("sunder: minimization certificate rejected: %w", err)
+		}
+		sc := analysis.SymbolClasses(nfa)
+		if err := analysis.CheckSymbolClasses(nfa, sc); err != nil {
+			return nil, fmt.Errorf("sunder: symbol-class certificate rejected: %w", err)
+		}
+		minSum = res.Summary()
+		symClasses = sc.Count()
+		pruned += res.Pruned
+	}
 	cfg := core.DefaultConfig(opts.Rate)
 	if opts.ReportColumns > 0 {
 		cfg.ReportColumns = opts.ReportColumns
@@ -234,7 +269,10 @@ func fromByteNFA(nfa *automata.Automaton, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := &Engine{opts: opts, byteNFA: nfa, nibble: ua, machine: m, proto: m.Clone(), place: place, pruned: pruned}
+	eng := &Engine{
+		opts: opts, byteNFA: nfa, nibble: ua, machine: m, proto: m.Clone(),
+		place: place, pruned: pruned, minSum: minSum, symClasses: symClasses,
+	}
 	buildPrefilter(eng, nil)
 	return eng, nil
 }
@@ -334,9 +372,17 @@ type Info struct {
 	ReportColumns int
 	// RegionCapacity is the per-PU report-entry capacity.
 	RegionCapacity int
-	// PrunedStates is the number of dead states removed at compile time
-	// (zero unless Options.Prune was set).
+	// PrunedStates is the number of dead states removed at compile time:
+	// the Options.Prune pass plus the prune rounds the certified minimizer
+	// interleaves (zero unless Options.Prune or Options.Minimize was set).
 	PrunedStates int
+	// MergedStates is the number of states folded away by the certified
+	// minimizer's bisimulation and prefix-collapse quotients; SymbolClasses
+	// is the verified symbol-equivalence class count of the byte automaton
+	// (its effective alphabet size). Both are zero unless Options.Minimize
+	// was set.
+	MergedStates  int
+	SymbolClasses int
 	// PrefilterStrategy is the literal scanner chosen at compile time
 	// ("memchr", "swar", "aho-corasick"), "off" when prefiltering is
 	// disabled, or "off (<reason>)" when the rule set admits matches
@@ -401,6 +447,8 @@ func (e *Engine) Info() Info {
 		ReportColumns:     e.machine.Config().ReportColumns,
 		RegionCapacity:    e.machine.Config().RegionCapacity(),
 		PrunedStates:      e.pruned,
+		MergedStates:      e.minSum.BisimMerged + e.minSum.PrefixMerged,
+		SymbolClasses:     e.symClasses,
 		PrefilterStrategy: strategy,
 		PrefilterLiterals: lits,
 	}
