@@ -1,0 +1,170 @@
+package sunder
+
+import (
+	"strings"
+	"testing"
+
+	"sunder/internal/workload"
+)
+
+// compareBackend asserts a backend result is observably identical to the
+// sequential NFA core: same matches, Reports and ReportCycles. Kernel
+// cycle counts are compared where the contract promises equality (both
+// engines step every padded cycle); stall/flush counters are backend
+// implementation detail and excluded.
+func compareBackend(t *testing.T, label string, base, got *ScanResult) {
+	t.Helper()
+	if !matchesEqual(sortedMatches(base.Matches), sortedMatches(got.Matches)) {
+		t.Errorf("%s: matches diverged (%d base vs %d backend)",
+			label, len(base.Matches), len(got.Matches))
+	}
+	if base.Stats.Reports != got.Stats.Reports || base.Stats.ReportCycles != got.Stats.ReportCycles {
+		t.Errorf("%s: reports %d/%d, want %d/%d",
+			label, got.Stats.Reports, got.Stats.ReportCycles,
+			base.Stats.Reports, base.Stats.ReportCycles)
+	}
+}
+
+// TestBackendDifferential is the meta-engine acceptance battery: every
+// benchmark workload compiled under Backend "auto" and forced "dfa" must be
+// byte-identical to the sequential NFA core on Scan, ScanParallel (1–8
+// workers) and Stream (chunks 1/13/97). Workloads whose configuration the
+// lazy DFA does not support skip the forced leg (auto never fails).
+func TestBackendDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 19-benchmark differential in long mode only")
+	}
+	const inputLen = 6000
+	workers := []int{1, 2, 4, 8}
+	chunks := []int{1, 13, 97}
+	for _, name := range workload.Names() {
+		w, err := workload.Get(name, workload.DefaultScale, inputLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := fromByteNFA(w.Automaton, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		bseq, err := base.Scan(w.Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, backend := range []string{"auto", "dfa"} {
+			opts := DefaultOptions()
+			opts.Backend = backend
+			eng, err := fromByteNFA(w.Automaton, opts)
+			if err != nil {
+				if backend == "dfa" && strings.Contains(err.Error(), "unsupported") {
+					t.Logf("%s: forced dfa unsupported: %v", name, err)
+					continue
+				}
+				t.Fatalf("%s/%s: %v", name, backend, err)
+			}
+			label := name + "/" + backend
+			t.Logf("%s: resolved backend %s", label, eng.Info().Backend)
+
+			seq, err := eng.Scan(w.Input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareBackend(t, label+"/seq", bseq, seq)
+
+			for _, nw := range workers {
+				par, err := eng.ScanParallel(w.Input, ScanOptions{Workers: nw})
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareBackend(t, label+"/par", bseq, par)
+			}
+
+			for _, chunk := range chunks {
+				var got []Match
+				st, err := eng.Clone().NewStream(func(m Match) { got = append(got, m) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				for off := 0; off < len(w.Input); off += chunk {
+					end := off + chunk
+					if end > len(w.Input) {
+						end = len(w.Input)
+					}
+					if _, err := st.Write(w.Input[off:end]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				stats := st.Close()
+				if !matchesEqual(sortedMatches(bseq.Matches), sortedMatches(got)) {
+					t.Errorf("%s/stream chunk=%d: matches diverged (%d vs %d)",
+						label, chunk, len(bseq.Matches), len(got))
+				}
+				if stats.Reports != bseq.Stats.Reports || stats.ReportCycles != bseq.Stats.ReportCycles {
+					t.Errorf("%s/stream chunk=%d: reports %d/%d, want %d/%d",
+						label, chunk, stats.Reports, stats.ReportCycles,
+						bseq.Stats.Reports, bseq.Stats.ReportCycles)
+				}
+			}
+		}
+
+		// The per-call override on an unforced engine must agree too.
+		if _, err := base.effectiveBackend("dfa"); err == nil {
+			over, err := base.ScanParallel(w.Input, ScanOptions{Backend: "dfa"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareBackend(t, name+"/override", bseq, over)
+		}
+	}
+}
+
+// FuzzDFA cross-checks the lazy-DFA backend against the NFA core on
+// fuzz-chosen inputs over a panel of rule sets, through both the compiled
+// backend and the per-call override.
+func FuzzDFA(f *testing.F) {
+	sets := [][]Pattern{
+		{{Expr: `ab+c`, Code: 1}, {Expr: `zz`, Code: 2}},
+		{{Expr: `GET /[a-z]+`, Code: 3}, {Expr: `needle`, Code: 4}},
+		{{Expr: `(ab|a.)c`, Code: 5}},
+		{{Expr: `a.*b`, Code: 6}, {Expr: `[0-9]{3}`, Code: 7}},
+	}
+	type pair struct{ base, dfa *Engine }
+	pairs := make([]pair, 0, len(sets))
+	for _, ps := range sets {
+		base, err := Compile(ps, DefaultOptions())
+		if err != nil {
+			f.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Backend = "dfa"
+		forced, err := Compile(ps, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		pairs = append(pairs, pair{base, forced})
+	}
+	f.Add(uint8(0), []byte("xabbczzx"))
+	f.Add(uint8(1), []byte("GET /admin needle"))
+	f.Add(uint8(2), []byte("axc abc"))
+	f.Add(uint8(3), []byte("a123b"))
+	f.Fuzz(func(t *testing.T, sel uint8, input []byte) {
+		if len(input) > 1024 {
+			t.Skip("cap work per case")
+		}
+		p := pairs[int(sel)%len(pairs)]
+		want, err := p.base.Scan(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.dfa.Scan(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareBackend(t, "fuzz/dfa", want, got)
+		over, err := p.base.ScanParallel(input, ScanOptions{Backend: "dfa"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareBackend(t, "fuzz/override", want, over)
+	})
+}

@@ -9,7 +9,9 @@ import (
 	"sunder/internal/analysis"
 	"sunder/internal/automata"
 	"sunder/internal/core"
+	"sunder/internal/dfa"
 	"sunder/internal/mapping"
+	"sunder/internal/meta"
 	"sunder/internal/sched"
 )
 
@@ -38,6 +40,14 @@ type compiledArtifact struct {
 	// pre is the compiled prefilter plan (nil when Options.Prefilter is
 	// off); immutable and read-only at scan time, so hits share it.
 	pre *prefilterPlan
+	// backend/backendNote/autoChoice/metaIn/dfaPlan persist the resolved
+	// backend and the lazy-DFA stepping plan; the per-engine DFA runner is
+	// mutable and is NOT cached — hits build their own lazily.
+	backend     string
+	backendNote string
+	autoChoice  meta.Choice
+	metaIn      meta.Inputs
+	dfaPlan     *dfa.Plan
 }
 
 var compileCache = sched.NewLRU[*compiledArtifact](DefaultCompileCacheCapacity)
@@ -70,16 +80,21 @@ func CompileCachedTraced(patterns []Pattern, opts Options) (*Engine, bool, error
 	key := compileKey(patterns, opts)
 	if art, ok := compileCache.Get(key); ok {
 		eng := &Engine{
-			opts:       art.opts,
-			byteNFA:    art.byteNFA,
-			nibble:     art.nibble,
-			machine:    art.proto.Clone(),
-			proto:      art.proto,
-			place:      art.place,
-			pruned:     art.pruned,
-			minSum:     art.minSum,
-			symClasses: art.symClasses,
-			pre:        art.pre,
+			opts:        art.opts,
+			byteNFA:     art.byteNFA,
+			nibble:      art.nibble,
+			machine:     art.proto.Clone(),
+			proto:       art.proto,
+			place:       art.place,
+			pruned:      art.pruned,
+			minSum:      art.minSum,
+			symClasses:  art.symClasses,
+			pre:         art.pre,
+			backend:     art.backend,
+			backendNote: art.backendNote,
+			autoChoice:  art.autoChoice,
+			metaIn:      art.metaIn,
+			dfaPlan:     art.dfaPlan,
 		}
 		compileHitNS.Add(time.Since(start).Nanoseconds())
 		return eng, true, nil
@@ -89,15 +104,20 @@ func CompileCachedTraced(patterns []Pattern, opts Options) (*Engine, bool, error
 		return nil, false, err
 	}
 	compileCache.Put(key, &compiledArtifact{
-		opts:       eng.opts,
-		byteNFA:    eng.byteNFA,
-		nibble:     eng.nibble,
-		place:      eng.place,
-		proto:      eng.proto,
-		pruned:     eng.pruned,
-		minSum:     eng.minSum,
-		symClasses: eng.symClasses,
-		pre:        eng.pre,
+		opts:        eng.opts,
+		byteNFA:     eng.byteNFA,
+		nibble:      eng.nibble,
+		place:       eng.place,
+		proto:       eng.proto,
+		pruned:      eng.pruned,
+		minSum:      eng.minSum,
+		symClasses:  eng.symClasses,
+		pre:         eng.pre,
+		backend:     eng.backend,
+		backendNote: eng.backendNote,
+		autoChoice:  eng.autoChoice,
+		metaIn:      eng.metaIn,
+		dfaPlan:     eng.dfaPlan,
 	})
 	compileMissNS.Add(time.Since(start).Nanoseconds())
 	return eng, false, nil
@@ -141,6 +161,11 @@ func compileKey(patterns []Pattern, opts Options) string {
 	writeBool(opts.Minimize)
 	// Prefilter changes the cached artifact (the literal plan rides in it).
 	writeInt(int64(opts.Prefilter))
+	// Backend changes the resolved dispatch that rides in the artifact (and
+	// a forced "dfa" can fail where "auto" compiles): distinct backends must
+	// not share an entry.
+	writeInt(int64(len(opts.Backend)))
+	h.Write([]byte(opts.Backend))
 	writeInt(int64(len(patterns)))
 	for _, p := range patterns {
 		writeInt(int64(len(p.Expr)))

@@ -24,6 +24,7 @@ import (
 
 	"sunder/internal/cliutil"
 	"sunder/internal/exp"
+	"sunder/internal/exp/metastudy"
 	"sunder/internal/exp/prefilterstudy"
 	"sunder/internal/workload"
 )
@@ -45,12 +46,18 @@ func main() {
 		minimize   = flag.Bool("minimize", false, "run the certified minimization study (compression ratio, certificate verification); fails on certificate rejection or output divergence")
 		prefilter  = flag.Bool("prefilter", false, "run the literal-prefilter study across all benchmarks")
 		prefMin    = flag.Float64("prefilter-min-speedup", 0, "fail unless every engaged benchmark beats this speedup on literal-free input")
+		meta       = flag.Bool("meta", false, "run the meta-engine backend-selection study across all benchmarks")
+		metaMax    = flag.Float64("meta-max-slowdown", 0, "fail if auto is more than this fraction slower than the best forced backend (e.g. 0.10)")
+		beFlags    = cliutil.RegisterBackendFlag()
 		telFlags   = cliutil.RegisterTelemetryFlags()
 		faultFlags = cliutil.RegisterFaultFlags()
 		parFlags   = cliutil.RegisterParallelFlags()
 		profiles   = cliutil.ProfileFlags()
 	)
 	flag.Parse()
+	if err := beFlags.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfiles, err := profiles.Start()
 	if err != nil {
@@ -67,6 +74,7 @@ func main() {
 	if *inputLen > 0 {
 		opts.InputLen = *inputLen
 	}
+	opts.Backend = beFlags.Backend
 	// The collector aggregates device counters and trace events across
 	// every machine the selected experiments build.
 	col := telFlags.Collector()
@@ -91,6 +99,21 @@ func main() {
 		scalingWorkers = []int{parFlags.Workers}
 	}
 	if *jsonOut {
+		if *meta {
+			rows, err := metastudy.MetaStudy(opts, workload.Names())
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := &exp.Results{Options: opts, Meta: rows}
+			if err := res.WriteJSON(out); err != nil {
+				log.Fatal(err)
+			}
+			if err := exp.CheckMetaStudy(rows, *metaMax); err != nil {
+				log.Fatal(err)
+			}
+			finish()
+			return
+		}
 		if *prefilter {
 			rows, err := prefilterstudy.PrefilterStudy(opts, workload.Names())
 			if err != nil {
@@ -154,7 +177,7 @@ func main() {
 	// The fault study runs only when a policy is given (like -ablations
 	// and the -par scaling study, it is excluded from the default
 	// everything run).
-	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled() && !parFlags.Enabled() && !*prune && !*minimize && !*prefilter
+	runAll := *table == 0 && *fig == 0 && !*ablations && !*extensions && !faultFlags.Enabled() && !parFlags.Enabled() && !*prune && !*minimize && !*prefilter && !*meta
 
 	var t4 []exp.Table4Row
 	needT4 := runAll || *table == 4 || *fig == 8
@@ -271,6 +294,17 @@ func main() {
 		exp.FprintPrefilterStudy(out, rows)
 		fmt.Fprintln(out)
 		if err := exp.CheckPrefilterStudy(rows, *prefMin); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *meta {
+		rows, err := metastudy.MetaStudy(opts, workload.Names())
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.FprintMetaStudy(out, rows)
+		fmt.Fprintln(out)
+		if err := exp.CheckMetaStudy(rows, *metaMax); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -46,12 +46,16 @@ func main() {
 		fifo       = flag.Bool("fifo", true, "enable the FIFO report drain")
 		summarize  = flag.Bool("summarize", false, "summarize on full instead of flushing")
 		anFlags    = cliutil.RegisterAnalysisFlags()
+		beFlags    = cliutil.RegisterBackendFlag()
 		telFlags   = cliutil.RegisterTelemetryFlags()
 		faultFlags = cliutil.RegisterFaultFlags()
 		parFlags   = cliutil.RegisterParallelFlags()
 		profiles   = cliutil.ProfileFlags()
 	)
 	flag.Parse()
+	if err := beFlags.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	if *list {
 		for _, s := range workload.All() {
@@ -171,6 +175,46 @@ func main() {
 		"AP", apo.Overhead(res.Cycles), apo.Flushes, float64(apo.OffloadedBits)/8192)
 	fmt.Printf("  %-12s overhead %8.2fx  (%d flushes, %.1f KB offloaded)\n",
 		"AP+RAD", rado.Overhead(res.Cycles), rado.Flushes, float64(rado.OffloadedBits)/8192)
+
+	if beFlags.Enabled() {
+		o := sunder.DefaultOptions()
+		o.Rate = *rate
+		o.FIFO = *fifo
+		o.SummarizeOnFull = *summarize
+		o.Prune = anFlags.Prune
+		o.Minimize = anFlags.Minimize
+		o.Backend = beFlags.Backend
+		eng, err := sunder.CompileAutomaton(w.Automaton, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		sres, err := eng.Scan(w.Input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ns := time.Since(t0).Nanoseconds()
+		if ns < 1 {
+			ns = 1
+		}
+		info := eng.Info()
+		fmt.Printf("\nsoftware engine (-backend %s): resolved %q\n", beFlags.Backend, info.Backend)
+		fmt.Printf("  %d matches, %d reports in %d report cycles; %.2f ms (%.1f MB/s simulated)\n",
+			len(sres.Matches), sres.Stats.Reports, sres.Stats.ReportCycles,
+			float64(ns)/1e6, float64(len(w.Input))/1e6/(float64(ns)/1e9))
+		if st := eng.DFAStats(); st.Hits+st.Misses > 0 {
+			fmt.Printf("  lazy DFA: %d resident states, %.1f%% transition-cache hit rate, %d evictions, %d fallbacks\n",
+				st.States, 100*float64(st.Hits)/float64(st.Hits+st.Misses), st.Evictions, st.Fallbacks)
+		}
+		// Report cycles are cycle-granularity and shrink with the rate
+		// (two byte positions share a 16-bit cycle), so only the report
+		// count is comparable to the 8-bit functional simulation.
+		verdict := "report count identical to functional simulation"
+		if sres.Stats.Reports != res.Reports {
+			verdict = "report count DIVERGED from functional simulation"
+		}
+		fmt.Printf("  %s\n", verdict)
+	}
 
 	if parFlags.Enabled() {
 		workers := parFlags.EffectiveWorkers()

@@ -130,6 +130,36 @@ func (p *ParallelFlags) EffectiveWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// BackendFlags carries the -backend flag value: the software scan
+// engine's execution substrate.
+type BackendFlags struct {
+	// Backend is "auto", "nfa", "dfa", "parallel", or "" for the tool's
+	// default behaviour.
+	Backend string
+}
+
+// RegisterBackendFlag registers -backend on the default flag set.
+func RegisterBackendFlag() *BackendFlags {
+	b := &BackendFlags{}
+	flag.StringVar(&b.Backend, "backend", "",
+		`software engine backend: "auto" (select from shape analysis), "nfa", "dfa" or "parallel" ("" = tool default)`)
+	return b
+}
+
+// Enabled reports whether a backend was requested.
+func (b *BackendFlags) Enabled() bool { return b.Backend != "" }
+
+// Validate rejects unknown backend names. cliutil deliberately does not
+// import the engine, so the known set is spelled here; the façade
+// re-validates (and rejects unsupported forced "dfa") at compile time.
+func (b *BackendFlags) Validate() error {
+	switch b.Backend {
+	case "", "auto", "nfa", "dfa", "parallel":
+		return nil
+	}
+	return fmt.Errorf(`-backend: unknown backend %q (want "auto", "nfa", "dfa" or "parallel")`, b.Backend)
+}
+
 // AnalysisFlags carries the -lint/-prune/-minimize flag values for the
 // static automaton analyzer.
 type AnalysisFlags struct {

@@ -26,6 +26,29 @@ func TestParallelFlags(t *testing.T) {
 	}
 }
 
+func TestBackendFlags(t *testing.T) {
+	b := &BackendFlags{}
+	if b.Enabled() {
+		t.Error("zero value enabled")
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("empty backend: %v", err)
+	}
+	for _, name := range []string{"auto", "nfa", "dfa", "parallel"} {
+		b = &BackendFlags{Backend: name}
+		if !b.Enabled() {
+			t.Errorf("-backend %s not enabled", name)
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("-backend %s: %v", name, err)
+		}
+	}
+	b = &BackendFlags{Backend: "hybrid"}
+	if err := b.Validate(); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
 func TestFaultFlagsPolicy(t *testing.T) {
 	f := &FaultFlags{Spec: "match=1e-5,report=2e-5,stuck=2,drop=0.001,seed=9,interval=128,retries=5,backoff=32,spares=12"}
 	if !f.Enabled() {

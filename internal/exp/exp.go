@@ -29,6 +29,11 @@ type Options struct {
 	// events across all simulated workloads (per-PU labels then refer to
 	// each machine's own PU indices).
 	Telemetry *telemetry.Collector
+	// Backend, when non-empty, overrides the façade engine backend for
+	// the studies that drive the public façade (the -meta study gates
+	// this backend instead of "auto" against the best forced backend).
+	// The architectural-simulator tables and figures ignore it.
+	Backend string
 }
 
 // DefaultOptions returns the reduced-scale configuration used by tests and

@@ -35,6 +35,10 @@ type Results struct {
 	// CollectAll): the literal fast path, filtered vs unfiltered
 	// (BENCH_prefilter.json).
 	Prefilter []PrefilterRow `json:"prefilter,omitempty"`
+	// Meta is populated by the -meta study only (excluded from
+	// CollectAll): auto backend selection vs every forced backend
+	// (BENCH_meta.json).
+	Meta []MetaRow `json:"meta,omitempty"`
 }
 
 // CollectAll runs every table and figure and bundles the rows.

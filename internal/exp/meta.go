@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// MetaRow measures the meta-engine's backend selection on one benchmark:
+// wall-clock time under Backend "auto" against every forced backend, the
+// choice auto made (with its rationale), and the lazy-DFA cache behaviour
+// when the choice was the DFA. OutputOK asserts every backend reproduced
+// the sequential NFA core's matches and report statistics exactly.
+type MetaRow struct {
+	Name string `json:"name"`
+	// Choice is the resolved auto backend with rationale, e.g.
+	// "dfa (auto: 11 device states, 8 symbol classes: ...)".
+	Choice string `json:"choice"`
+	AutoNS int64  `json:"auto_ns"`
+	NFANS  int64  `json:"nfa_ns"`
+	// DFANS is 0 when the configuration does not support the lazy DFA
+	// (forced compile fails); ParallelNS is always measured.
+	DFANS      int64 `json:"dfa_ns,omitempty"`
+	ParallelNS int64 `json:"parallel_ns"`
+	// BestBackend/BestNS name the fastest forced backend; the acceptance
+	// gate bounds AutoNS against BestNS.
+	BestBackend  string  `json:"best_backend"`
+	BestNS       int64   `json:"best_ns"`
+	SpeedupVsNFA float64 `json:"speedup_vs_nfa"`
+	// Lazy-DFA cache telemetry from the auto engine (zero unless auto
+	// chose the DFA): resident states, transition-cache hit rate, and how
+	// often a scan fell back to NFA stepping on cache blowup.
+	DFAStates    int64   `json:"dfa_states,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	Fallbacks    int64   `json:"fallbacks,omitempty"`
+	OutputOK     bool    `json:"output_ok"`
+}
+
+// FprintMetaStudy renders the backend-selection table. The rows come from
+// metastudy.MetaStudy, which lives in its own package because it drives
+// the public façade (same layering as the prefilter study).
+func FprintMetaStudy(w io.Writer, rows []MetaRow) {
+	fprintf(w, "Meta-engine: auto backend selection vs forced backends (output equality checked per row)\n")
+	fprintf(w, "%-18s %-10s %8s %8s %8s %8s %7s %8s %6s %8s\n",
+		"Benchmark", "choice", "auto ms", "nfa ms", "dfa ms", "par ms", "vs nfa", "hit rate", "fallbk", "output")
+	for _, r := range rows {
+		verdict := "OK"
+		if !r.OutputOK {
+			verdict = "DIVERGED"
+		}
+		choice := r.Choice
+		if i := len(choice); i > 10 {
+			// The rationale is in the JSON; the table keeps the name.
+			for j, c := range choice {
+				if c == ' ' {
+					i = j
+					break
+				}
+			}
+			choice = choice[:i]
+		}
+		dfaMS := "-"
+		if r.DFANS > 0 {
+			dfaMS = fmt.Sprintf("%.2f", float64(r.DFANS)/1e6)
+		}
+		fprintf(w, "%-18s %-10s %8.2f %8.2f %8s %8.2f %6.2fx %7.1f%% %6d %8s\n",
+			r.Name, choice, float64(r.AutoNS)/1e6, float64(r.NFANS)/1e6, dfaMS,
+			float64(r.ParallelNS)/1e6, r.SpeedupVsNFA, 100*r.CacheHitRate,
+			r.Fallbacks, verdict)
+	}
+}
+
+// metaGateNoiseFloorNS is the smallest absolute gap the slowdown gate
+// acts on. Sub-millisecond scans put a 10% ratio inside wall-clock timer
+// noise (a 30µs jitter on a 70µs scan is 40%), so the gate only fires
+// when auto trails the best forced backend by both the fraction and at
+// least this much real time.
+const metaGateNoiseFloorNS = 500_000
+
+// CheckMetaStudy enforces the study's acceptance gates: every row's output
+// must be identical across backends, and with maxSlowdown > 0 the auto
+// choice must never be more than that fraction slower than the best forced
+// backend (the meta-engine's central promise: auto costs at most noise).
+func CheckMetaStudy(rows []MetaRow, maxSlowdown float64) error {
+	for _, r := range rows {
+		if !r.OutputOK {
+			return fmt.Errorf("backend selection changed the output of %s", r.Name)
+		}
+		if maxSlowdown > 0 && r.BestNS > 0 &&
+			r.AutoNS-r.BestNS > metaGateNoiseFloorNS &&
+			float64(r.AutoNS) > float64(r.BestNS)*(1+maxSlowdown) {
+			return fmt.Errorf("auto backend on %s is %.2fms vs best forced (%s) %.2fms, over the %.0f%% budget",
+				r.Name, float64(r.AutoNS)/1e6, r.BestBackend, float64(r.BestNS)/1e6, 100*maxSlowdown)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckMetaStudyGates(t *testing.T) {
+	bad := []MetaRow{{Name: "x", Choice: "dfa (auto: small)", OutputOK: false}}
+	if err := CheckMetaStudy(bad, 0); err == nil {
+		t.Error("diverged output must fail the check")
+	}
+	slow := []MetaRow{{
+		Name: "y", Choice: "nfa (auto: fallback)", OutputOK: true,
+		AutoNS: 15e6, BestNS: 10e6, BestBackend: "dfa",
+	}}
+	if err := CheckMetaStudy(slow, 0.10); err == nil {
+		t.Error("auto 50% over the best forced backend must fail the 10% gate")
+	}
+	if err := CheckMetaStudy(slow, 0); err != nil {
+		t.Errorf("no budget set: %v", err)
+	}
+	within := []MetaRow{{
+		Name: "z", Choice: "dfa (auto: small)", OutputOK: true,
+		AutoNS: 10.5e6, BestNS: 10e6, BestBackend: "dfa",
+	}}
+	if err := CheckMetaStudy(within, 0.10); err != nil {
+		t.Errorf("auto within the budget: %v", err)
+	}
+	// A large relative gap on a microsecond-scale scan is timer noise, not
+	// a selection error: the absolute floor must keep the gate quiet.
+	noise := []MetaRow{{
+		Name: "w", Choice: "dfa (auto: small)", OutputOK: true,
+		AutoNS: 100_000, BestNS: 70_000, BestBackend: "dfa",
+	}}
+	if err := CheckMetaStudy(noise, 0.10); err != nil {
+		t.Errorf("sub-floor absolute gap must not trip the gate: %v", err)
+	}
+	var sb strings.Builder
+	FprintMetaStudy(&sb, append(bad, within...))
+	if !strings.Contains(sb.String(), "DIVERGED") {
+		t.Errorf("table must flag diverged rows:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "dfa") {
+		t.Errorf("table must print the choice:\n%s", sb.String())
+	}
+}

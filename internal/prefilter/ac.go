@@ -11,6 +11,9 @@ import "sort"
 type acScanner struct {
 	root  [256]int32
 	nodes []acNode
+	// fold folds each input byte before stepping; the trie is then built
+	// over canonical (folded) literals, so any case variant matches.
+	fold bool
 }
 
 type acNode struct {
@@ -22,8 +25,8 @@ type acNode struct {
 	out []int32
 }
 
-func newACScanner(lits [][]byte) *acScanner {
-	s := &acScanner{nodes: make([]acNode, 1)}
+func newACScanner(lits [][]byte, fold bool) *acScanner {
+	s := &acScanner{nodes: make([]acNode, 1), fold: fold}
 	// Trie insertion.
 	for _, l := range lits {
 		cur := int32(0)
@@ -99,6 +102,9 @@ func (s *acScanner) Strategy() string { return "aho-corasick" }
 func (s *acScanner) Scan(data []byte, emit func(start, end int)) {
 	cur := int32(0)
 	for i, b := range data {
+		if s.fold {
+			b = FoldByte(b)
+		}
 		if cur == 0 {
 			cur = s.root[b]
 		} else {

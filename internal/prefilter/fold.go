@@ -1,0 +1,61 @@
+package prefilter
+
+// ASCII case folding for the prefilter. A case-insensitive rule whose
+// literal is extracted verbatim explodes the variant cross product (two
+// variants per letter), so long (?i) literals get truncated to uselessly
+// short windows by the variant cap. Folding instead keeps ONE canonical
+// (lowercase) literal and makes the scanner compare input through the same
+// fold, preserving full literal length at a small per-byte scanning cost.
+//
+// Soundness is unchanged: if every match contains some byte string s from
+// the required set, it also contains a string whose fold equals fold(s), so
+// scanning folded input for the folded set still finds an occurrence inside
+// every match. The set may over-approximate (e.g. a rule requiring exactly
+// "GET" also surfaces "get" as a candidate window) — sound, never lossy.
+
+// FoldByte maps ASCII uppercase to lowercase and leaves every other byte
+// unchanged: the canonical form of case-insensitive comparison.
+func FoldByte(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + ('a' - 'A')
+	}
+	return b
+}
+
+// FoldLiteral returns the canonical (FoldByte-folded) copy of lit.
+func FoldLiteral(lit []byte) []byte {
+	out := make([]byte, len(lit))
+	for i, b := range lit {
+		out[i] = FoldByte(b)
+	}
+	return out
+}
+
+// FoldLiterals folds every literal of a set to canonical form.
+func FoldLiterals(lits [][]byte) [][]byte {
+	out := make([][]byte, len(lits))
+	for i, l := range lits {
+		out[i] = FoldLiteral(l)
+	}
+	return out
+}
+
+// foldEqual reports whether folding data byte-for-byte yields lit. lit must
+// already be canonical (fold-invariant), which Extraction.FoldCase
+// guarantees for extracted sets.
+func foldEqual(data, lit []byte) bool {
+	if len(data) != len(lit) {
+		return false
+	}
+	for i := range lit {
+		if FoldByte(data[i]) != lit[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// foldHasSuffix is bytes.HasSuffix under the fold (suffix canonical).
+func foldHasSuffix(data, suffix []byte) bool {
+	return len(data) >= len(suffix) && foldEqual(data[len(data)-len(suffix):], suffix)
+}

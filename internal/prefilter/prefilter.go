@@ -93,6 +93,12 @@ type Extraction struct {
 	// OK is false when no sound filter exists; Reason says why.
 	OK     bool
 	Reason string
+	// FoldCase marks a canonical (ASCII-lowercase) literal set: an
+	// occurrence is any byte string whose FoldByte folding equals a
+	// literal, and scanners must be built fold-aware (NewScannerFold).
+	// Extraction prefers the folded set only when it is more selective
+	// (longer literals survive the variant cap) than the exact one.
+	FoldCase bool
 }
 
 // Extract derives a required literal set from a byte automaton by walking
@@ -106,6 +112,35 @@ type Extraction struct {
 // for the rule set.
 func Extract(a *automata.Automaton, cfg Config) Extraction {
 	cfg = cfg.withDefaults()
+	exact := extract(a, cfg, false)
+	folded := extract(a, cfg, true)
+	return pickExtraction(exact, folded)
+}
+
+// pickExtraction chooses between the exact and the case-folded extraction
+// of one rule set: the more selective set wins (longer minimum literal,
+// then fewer literals), with the exact set preferred on a full tie — a
+// rule set without case classes folds to itself, and the exact scanner is
+// marginally cheaper per byte.
+func pickExtraction(exact, folded Extraction) Extraction {
+	switch {
+	case exact.OK && folded.OK:
+		if folded.MinLen > exact.MinLen ||
+			(folded.MinLen == exact.MinLen && len(folded.Literals) < len(exact.Literals)) {
+			return folded
+		}
+		return exact
+	case folded.OK:
+		return folded
+	default:
+		return exact
+	}
+}
+
+// extract is one extraction pass; with fold set, every position's byte
+// choices are folded to canonical case before the variant caps apply, so
+// case classes cost one variant instead of two per letter.
+func extract(a *automata.Automaton, cfg Config, fold bool) Extraction {
 	n := len(a.States)
 
 	// Reachability from start states: unreachable report states never fire
@@ -143,7 +178,7 @@ func Extract(a *automata.Automaton, cfg Config) Extraction {
 			continue
 		}
 		any = true
-		positions, live := suffixPositions(a, preds, automata.StateID(r), cfg)
+		positions, live := suffixPositions(a, preds, automata.StateID(r), cfg, fold)
 		if !live {
 			// This report state can never fire (dead symbol set on every
 			// path); it imposes no literal.
@@ -166,16 +201,16 @@ func Extract(a *automata.Automaton, cfg Config) Extraction {
 		// set, scan unfiltered.
 		return Extraction{Reason: "no live reporting states"}
 	}
-	return finishExtraction(lits, cfg)
+	return finishExtraction(lits, cfg, fold)
 }
 
 // finishExtraction minimizes, validates and packages a raw literal list.
-func finishExtraction(lits [][]byte, cfg Config) Extraction {
+func finishExtraction(lits [][]byte, cfg Config, fold bool) Extraction {
 	lits = Minimize(lits)
 	if len(lits) > cfg.MaxLiterals {
 		return Extraction{Reason: "literal set too large"}
 	}
-	ex := Extraction{Literals: lits, OK: true, MinLen: len(lits[0]), MaxLen: len(lits[0])}
+	ex := Extraction{Literals: lits, OK: true, FoldCase: fold, MinLen: len(lits[0]), MaxLen: len(lits[0])}
 	for _, l := range lits {
 		if len(l) < ex.MinLen {
 			ex.MinLen = len(l)
@@ -194,11 +229,21 @@ func finishExtraction(lits [][]byte, cfg Config) Extraction {
 // extractor in internal/regex) under the same caps and minimization as
 // Extract.
 func FromLiterals(lits [][]byte, cfg Config) Extraction {
+	return FromLiteralsFold(lits, false, cfg)
+}
+
+// FromLiteralsFold is FromLiterals for a set extracted under case folding:
+// the literals are canonicalized (folded) before minimization and the
+// extraction is marked FoldCase so the engine builds a fold-aware scanner.
+func FromLiteralsFold(lits [][]byte, fold bool, cfg Config) Extraction {
 	cfg = cfg.withDefaults()
 	if len(lits) == 0 {
 		return Extraction{Reason: "no literals"}
 	}
-	return finishExtraction(lits, cfg)
+	if fold {
+		lits = FoldLiterals(lits)
+	}
+	return finishExtraction(lits, cfg, fold)
 }
 
 // suffixPositions walks backward from report state r. positions[j] holds
@@ -207,7 +252,7 @@ func FromLiterals(lits [][]byte, cfg Config) Extraction {
 // positions has length L, every match path ending at r is at least L bytes
 // long (no start state appeared in a frontier before depth L-1), so the
 // cross product over positions is a required suffix set.
-func suffixPositions(a *automata.Automaton, preds [][]automata.StateID, r automata.StateID, cfg Config) (positions [][]byte, live bool) {
+func suffixPositions(a *automata.Automaton, preds [][]automata.StateID, r automata.StateID, cfg Config, fold bool) (positions [][]byte, live bool) {
 	frontier := []automata.StateID{r}
 	variants := 1
 	for {
@@ -216,9 +261,17 @@ func suffixPositions(a *automata.Automaton, preds [][]automata.StateID, r automa
 		for _, s := range frontier {
 			st := &a.States[s]
 			for b := 0; b < 256; b++ {
-				if !u[b] && st.Match.Get(b) {
-					u[b] = true
-					cnt++
+				if st.Match.Get(b) {
+					// Under folding, both cases of a letter collapse into
+					// one canonical choice before the caps apply.
+					v := b
+					if fold {
+						v = int(FoldByte(byte(b)))
+					}
+					if !u[v] {
+						u[v] = true
+						cnt++
+					}
 				}
 			}
 		}
@@ -330,6 +383,12 @@ func Minimize(lits [][]byte) [][]byte {
 // engine counts in Reports/ReportCycles); without it, a no-hit skip would
 // silently drop them.
 func TailHit(data []byte, lits [][]byte, padBytes int) bool {
+	return TailHitFold(data, lits, padBytes, false)
+}
+
+// TailHitFold is TailHit for a case-folded (canonical) literal set: the
+// realized prefix is compared through the fold.
+func TailHitFold(data []byte, lits [][]byte, padBytes int, fold bool) bool {
 	if padBytes <= 0 {
 		return false
 	}
@@ -339,7 +398,11 @@ func TailHit(data []byte, lits [][]byte, padBytes int) bool {
 			if k > len(data) {
 				continue
 			}
-			if bytes.HasSuffix(data, l[:k]) {
+			if fold {
+				if foldHasSuffix(data, l[:k]) {
+					return true
+				}
+			} else if bytes.HasSuffix(data, l[:k]) {
 				return true
 			}
 		}

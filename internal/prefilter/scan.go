@@ -28,6 +28,14 @@ const swarMaxLiterals = 8
 // for 2..8 literals, Aho-Corasick beyond that. The set must be non-empty
 // with non-empty literals (Extract guarantees both).
 func NewScanner(lits [][]byte) Scanner {
+	return NewScannerFold(lits, false)
+}
+
+// NewScannerFold is NewScanner for a case-folded extraction
+// (Extraction.FoldCase): occurrences are located through FoldByte, so any
+// case variant of a literal is found. Literals are canonicalized
+// defensively; extraction already folds them.
+func NewScannerFold(lits [][]byte, fold bool) Scanner {
 	if len(lits) == 0 {
 		panic("prefilter: NewScanner on empty literal set")
 	}
@@ -36,13 +44,16 @@ func NewScanner(lits [][]byte) Scanner {
 			panic("prefilter: NewScanner on empty literal")
 		}
 	}
+	if fold {
+		lits = FoldLiterals(lits)
+	}
 	switch {
 	case len(lits) == 1:
-		return newMemchrScanner(lits[0])
+		return newMemchrScanner(lits[0], fold)
 	case len(lits) <= swarMaxLiterals:
-		return newSWARScanner(lits)
+		return newSWARScanner(lits, fold)
 	default:
-		return newACScanner(lits)
+		return newACScanner(lits, fold)
 	}
 }
 
@@ -93,39 +104,63 @@ func rareIndex(lit []byte) int {
 }
 
 // memchrScanner finds one literal by SWAR-scanning for its rarest byte and
-// verifying the full literal around each anchor hit.
+// verifying the full literal around each anchor hit. In fold mode the
+// anchor is matched in both cases (a second broadcast word) and
+// verification goes through the fold.
 type memchrScanner struct {
-	lit []byte
-	off int // anchor offset within lit
-	bc  uint64
+	lit  []byte
+	off  int // anchor offset within lit
+	bc   uint64
+	bc2  uint64 // broadcast of the anchor's other case; bc when none
+	fold bool
 }
 
-func newMemchrScanner(lit []byte) *memchrScanner {
+func newMemchrScanner(lit []byte, fold bool) *memchrScanner {
 	off := rareIndex(lit)
-	return &memchrScanner{lit: lit, off: off, bc: broadcast(lit[off])}
+	s := &memchrScanner{lit: lit, off: off, bc: broadcast(lit[off]), fold: fold}
+	s.bc2 = s.bc
+	if a := lit[off]; fold && a >= 'a' && a <= 'z' {
+		s.bc2 = broadcast(a - ('a' - 'A'))
+	}
+	return s
 }
 
 func (s *memchrScanner) Strategy() string { return "memchr" }
+
+func (s *memchrScanner) match(data []byte, start int) bool {
+	if s.fold {
+		return foldEqual(data[start:start+len(s.lit)], s.lit)
+	}
+	return bytes.Equal(data[start:start+len(s.lit)], s.lit)
+}
 
 func (s *memchrScanner) Scan(data []byte, emit func(start, end int)) {
 	n, ln := len(data), len(s.lit)
 	anchor := s.lit[s.off]
 	i := 0
 	for ; i+8 <= n; i += 8 {
-		m := eqMask(binary.LittleEndian.Uint64(data[i:]), s.bc)
+		w := binary.LittleEndian.Uint64(data[i:])
+		m := eqMask(w, s.bc)
+		if s.bc2 != s.bc {
+			m |= eqMask(w, s.bc2)
+		}
 		for m != 0 {
 			lane := bits.TrailingZeros64(m) >> 3
 			m &= m - 1
 			start := i + lane - s.off
-			if start >= 0 && start+ln <= n && bytes.Equal(data[start:start+ln], s.lit) {
+			if start >= 0 && start+ln <= n && s.match(data, start) {
 				emit(start, start+ln)
 			}
 		}
 	}
 	for ; i < n; i++ {
-		if data[i] == anchor {
+		b := data[i]
+		if s.fold {
+			b = FoldByte(b)
+		}
+		if b == anchor {
 			start := i - s.off
-			if start >= 0 && start+ln <= n && bytes.Equal(data[start:start+ln], s.lit) {
+			if start >= 0 && start+ln <= n && s.match(data, start) {
 				emit(start, start+ln)
 			}
 		}
@@ -136,22 +171,30 @@ func (s *memchrScanner) Scan(data []byte, emit func(start, end int)) {
 // fingerprint is each literal's lead byte, literals sharing a lead byte
 // share a bucket, and one SWAR pass per distinct lead byte marks candidate
 // lanes in each 8-byte word. Candidate positions are verified against their
-// bucket's literals.
+// bucket's literals. In fold mode buckets are keyed by the folded lead byte
+// and each alphabetic lead gets a broadcast per case.
 type swarScanner struct {
 	lits    [][]byte
-	bcs     []uint64   // broadcast lead bytes, one per distinct lead
-	buckets [256][]int // lead byte -> literal indices
+	bcs     []uint64   // broadcast lead bytes, one per distinct raw lead
+	buckets [256][]int // (folded) lead byte -> literal indices
+	fold    bool
 }
 
-func newSWARScanner(lits [][]byte) *swarScanner {
-	s := &swarScanner{lits: lits}
+func newSWARScanner(lits [][]byte, fold bool) *swarScanner {
+	s := &swarScanner{lits: lits, fold: fold}
 	var seen [256]bool
-	for i, l := range lits {
-		b := l[0]
-		s.buckets[b] = append(s.buckets[b], i)
+	lead := func(b byte) {
 		if !seen[b] {
 			seen[b] = true
 			s.bcs = append(s.bcs, broadcast(b))
+		}
+	}
+	for i, l := range lits {
+		b := l[0] // canonical under fold
+		s.buckets[b] = append(s.buckets[b], i)
+		lead(b)
+		if fold && b >= 'a' && b <= 'z' {
+			lead(b - ('a' - 'A'))
 		}
 	}
 	return s
@@ -175,16 +218,30 @@ func (s *swarScanner) Scan(data []byte, emit func(start, end int)) {
 		}
 	}
 	for ; i < n; i++ {
-		if len(s.buckets[data[i]]) > 0 {
+		if len(s.buckets[s.key(data[i])]) > 0 {
 			s.verify(data, i, emit)
 		}
 	}
 }
 
+func (s *swarScanner) key(b byte) byte {
+	if s.fold {
+		return FoldByte(b)
+	}
+	return b
+}
+
 func (s *swarScanner) verify(data []byte, pos int, emit func(start, end int)) {
-	for _, li := range s.buckets[data[pos]] {
+	for _, li := range s.buckets[s.key(data[pos])] {
 		l := s.lits[li]
-		if pos+len(l) <= len(data) && bytes.Equal(data[pos:pos+len(l)], l) {
+		if pos+len(l) > len(data) {
+			continue
+		}
+		if s.fold {
+			if foldEqual(data[pos:pos+len(l)], l) {
+				emit(pos, pos+len(l))
+			}
+		} else if bytes.Equal(data[pos:pos+len(l)], l) {
 			emit(pos, pos+len(l))
 		}
 	}

@@ -1,0 +1,83 @@
+package regex
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func foldLitStrings(t *testing.T, expr string) ([]string, bool) {
+	t.Helper()
+	lits, fold, ok := RequiredLiteralsFold(expr)
+	if !ok {
+		t.Fatalf("RequiredLiteralsFold(%q) failed", expr)
+	}
+	out := make([]string, len(lits))
+	for i, l := range lits {
+		out[i] = string(l)
+	}
+	sort.Strings(out)
+	return out, fold
+}
+
+// TestRequiredLiteralsFoldRescues pins the motivating case: under (?i) the
+// exact variant cross product (two per letter) blows the 16-variant cap and
+// truncates the literal to 4 characters, while the folded pass keeps the
+// full-length canonical literal.
+func TestRequiredLiteralsFoldRescues(t *testing.T) {
+	lits, fold := foldLitStrings(t, "(?i)select-from-where")
+	if !fold {
+		t.Fatalf("expected folded extraction, got exact %v", lits)
+	}
+	if len(lits) != 1 || lits[0] != "select-from-where" {
+		t.Fatalf("folded literals = %v, want [select-from-where]", lits)
+	}
+	// The exact-only extractor on the same pattern is stuck at the cap.
+	exact, ok := RequiredLiterals("(?i)select-from-where")
+	if !ok {
+		t.Fatal("exact extraction failed outright")
+	}
+	for _, l := range exact {
+		if len(l) >= len("select-from-where") {
+			t.Fatalf("exact extraction unexpectedly kept full literal %q", l)
+		}
+	}
+}
+
+// TestRequiredLiteralsFoldExactWinsTies pins the tie rule: when folding
+// buys nothing (no letters, or a case-sensitive pattern), the exact set
+// wins and fold stays false.
+func TestRequiredLiteralsFoldExactWinsTies(t *testing.T) {
+	for _, expr := range []string{"needle", "1234-5678", "(?i)1234-5678", "foo[01]bar"} {
+		lits, fold := foldLitStrings(t, expr)
+		if fold {
+			t.Errorf("RequiredLiteralsFold(%q) folded needlessly: %v", expr, lits)
+		}
+		want := litStrings(t, expr)
+		if strings.Join(lits, ",") != strings.Join(want, ",") {
+			t.Errorf("RequiredLiteralsFold(%q) = %v, want exact %v", expr, lits, want)
+		}
+	}
+}
+
+// TestRequiredLiteralsFoldAlternation covers folded unions: every branch
+// folds independently and the union stays canonical.
+func TestRequiredLiteralsFoldAlternation(t *testing.T) {
+	lits, fold := foldLitStrings(t, "(?i)(delete|insert|update)")
+	if !fold {
+		t.Fatalf("expected folded union, got %v", lits)
+	}
+	if strings.Join(lits, ",") != "delete,insert,update" {
+		t.Fatalf("folded union = %v", lits)
+	}
+}
+
+// TestRequiredLiteralsFoldNoFilter: folding cannot rescue patterns with no
+// island at all.
+func TestRequiredLiteralsFoldNoFilter(t *testing.T) {
+	for _, expr := range []string{"(?i).+", "(?i)[a-z]{4}", "(?i)a"} {
+		if lits, _, ok := RequiredLiteralsFold(expr); ok {
+			t.Errorf("RequiredLiteralsFold(%q) = %v, want no-filter verdict", expr, lits)
+		}
+	}
+}

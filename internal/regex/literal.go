@@ -35,11 +35,44 @@ func RequiredLiterals(expr string) (lits [][]byte, ok bool) {
 	if err != nil || root.nullable() {
 		return nil, false
 	}
-	isl, ok := bestIsland(root)
+	isl, ok := bestIsland(root, false)
 	if !ok {
 		return nil, false
 	}
 	return isl.variants(), true
+}
+
+// RequiredLiteralsFold is RequiredLiterals with ASCII case folding in the
+// running: the extractor is run once exactly and once with every class
+// folded to canonical lowercase, and the more selective island wins. The
+// folded pass rescues case-insensitive patterns whose verbatim variant
+// cross product (two variants per letter) explodes the caps and truncates
+// the literal to a few characters: folded, each letter is one canonical
+// choice and the full-length literal survives. fold reports that the
+// returned set is canonical and must be scanned through the fold
+// (prefilter.NewScannerFold).
+func RequiredLiteralsFold(expr string) (lits [][]byte, fold, ok bool) {
+	p := &parser{src: expr}
+	root, err := p.parse()
+	if err != nil || root.nullable() {
+		return nil, false, false
+	}
+	exact, okE := bestIsland(root, false)
+	folded, okF := bestIsland(root, true)
+	switch {
+	case okE && okF:
+		// Prefer exact on ties: folding is free selectivity only when it
+		// lengthens the guaranteed literal or shrinks the set.
+		if better(folded, exact) {
+			return folded.variants(), true, true
+		}
+		return exact.variants(), false, true
+	case okF:
+		return folded.variants(), true, true
+	case okE:
+		return exact.variants(), false, true
+	}
+	return nil, false, false
 }
 
 // island is a run of byte alternatives: positions[i] holds the candidate
@@ -137,21 +170,22 @@ func better(a, b island) bool {
 	return a.variantCount() < b.variantCount()
 }
 
-// bestIsland returns the strongest required island of n, if any.
-func bestIsland(n node) (island, bool) {
+// bestIsland returns the strongest required island of n, if any. With fold
+// set, classes contribute canonical (case-folded) byte choices.
+func bestIsland(n node, fold bool) (island, bool) {
 	switch n := n.(type) {
 	case *classNode:
-		bytes, small := classBytes(n)
+		bytes, small := classBytes(n, fold)
 		if !small {
 			return island{}, false
 		}
 		return island{positions: [][]byte{bytes}}.trim()
 	case *concatNode:
-		return bestConcatIsland(n.subs)
+		return bestConcatIsland(n.subs, fold)
 	case *altNode:
-		return altIsland(n)
+		return altIsland(n, fold)
 	case *plusNode:
-		return bestIsland(n.sub)
+		return bestIsland(n.sub, fold)
 	default:
 		// star, opt, empty: their bytes may be absent from a match.
 		return island{}, false
@@ -159,10 +193,10 @@ func bestIsland(n node) (island, bool) {
 }
 
 // altIsland requires every branch to yield a set; the union is required.
-func altIsland(n *altNode) (island, bool) {
+func altIsland(n *altNode, fold bool) (island, bool) {
 	var u [][]byte
 	for _, sub := range n.subs {
-		isl, ok := bestIsland(sub)
+		isl, ok := bestIsland(sub, fold)
 		if !ok {
 			return island{}, false
 		}
@@ -177,7 +211,7 @@ func altIsland(n *altNode) (island, bool) {
 // bestConcatIsland scans a concatenation, accumulating runs of small
 // classes and closing them at breakers; nested alt/plus nodes contribute
 // their own sets as standalone islands.
-func bestConcatIsland(subs []node) (island, bool) {
+func bestConcatIsland(subs []node, fold bool) (island, bool) {
 	var best island
 	found := false
 	consider := func(is island, ok bool) {
@@ -197,7 +231,7 @@ func bestConcatIsland(subs []node) (island, bool) {
 	}
 	for _, sub := range flattenConcat(subs) {
 		if c, isClass := sub.(*classNode); isClass {
-			if bytes, small := classBytes(c); small {
+			if bytes, small := classBytes(c, fold); small {
 				run = append(run, bytes)
 				continue
 			}
@@ -206,7 +240,7 @@ func bestConcatIsland(subs []node) (island, bool) {
 		// A non-class element can still carry its own required set
 		// (nested concat, alt of literals, plus of a literal).
 		if _, isClass := sub.(*classNode); !isClass {
-			consider(bestIsland(sub))
+			consider(bestIsland(sub, fold))
 		}
 	}
 	closeRun()
@@ -228,16 +262,35 @@ func flattenConcat(subs []node) []node {
 }
 
 // classBytes expands a class node's symbol set when it is small enough to
-// enumerate as literal variants.
-func classBytes(c *classNode) ([]byte, bool) {
+// enumerate as literal variants. With fold set, both cases of a letter
+// collapse to one canonical lowercase choice before the width cap applies.
+func classBytes(c *classNode, fold bool) ([]byte, bool) {
+	var seen [256]bool
 	var out []byte
 	for b := 0; b < 256; b++ {
 		if c.set.Get(b) {
-			out = append(out, byte(b))
+			v := byte(b)
+			if fold {
+				v = foldByte(v)
+			}
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			out = append(out, v)
 			if len(out) > litMaxClass {
 				return nil, false
 			}
 		}
 	}
 	return out, len(out) > 0
+}
+
+// foldByte maps ASCII uppercase to lowercase (prefilter.FoldByte's
+// contract, duplicated to keep this package scanner-independent).
+func foldByte(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + ('a' - 'A')
+	}
+	return b
 }

@@ -112,11 +112,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// scanBackends is the closed set of execution backends a served scan can
+// resolve to, in the order the text metrics print them.
+var scanBackends = []string{"nfa", "dfa", "parallel"}
+
 // ruleset is one compiled rule set being served.
 type ruleset struct {
-	id      string
-	req     RulesetRequest
-	info    sunder.Info
+	id   string
+	req  RulesetRequest
+	info sunder.Info
+	// backend is the resolved backend's canonical name ("nfa", "dfa",
+	// "parallel") — the first token of Info.Backend, which carries the auto
+	// rationale behind it. Every scan this ruleset serves is attributed to
+	// it on the per-backend /metrics counters.
+	backend string
 	pool    *enginePool
 	scans   atomic.Int64
 	bytes   atomic.Int64
@@ -167,6 +176,19 @@ type Server struct {
 	matches       atomic.Int64
 	errors        atomic.Int64
 	activeStreams atomic.Int64
+	// backendScans counts served scans by resolved backend, in scanBackends
+	// order (nfa, dfa, parallel).
+	backendScans [3]atomic.Int64
+}
+
+// noteBackendScans attributes n served scans to a ruleset's backend.
+func (s *Server) noteBackendScans(backend string, n int64) {
+	for i, name := range scanBackends {
+		if name == backend {
+			s.backendScans[i].Add(n)
+			return
+		}
+	}
 }
 
 // New builds a Server from the config.
@@ -340,12 +362,18 @@ func (s *Server) handlePutRuleset(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("compile: %v", err))
 		return
 	}
+	info := eng.Info()
+	backend := "nfa"
+	if f := strings.Fields(info.Backend); len(f) > 0 {
+		backend = f[0]
+	}
 	rs := &ruleset{
-		id:   id,
-		req:  req,
-		info: eng.Info(),
-		lat:  telemetry.NewHistogram(telemetry.DurationBounds()),
-		wait: telemetry.NewHistogram(telemetry.DurationBounds()),
+		id:      id,
+		req:     req,
+		info:    info,
+		backend: backend,
+		lat:     telemetry.NewHistogram(telemetry.DurationBounds()),
+		wait:    telemetry.NewHistogram(telemetry.DurationBounds()),
 		pool: newEnginePool(eng, s.cfg.PoolSize, s.cfg.QueueDepth, func(e *sunder.Engine) {
 			e.SetTelemetry(s.tel)
 		}),
@@ -525,6 +553,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		rs.scans.Add(int64(len(inputs)))
 		rs.bytes.Add(nbytes)
 		rs.matches.Add(nmatches)
+		s.noteBackendScans(rs.backend, int64(len(inputs)))
 		s.scans.Add(int64(len(inputs)))
 		s.scanBytes.Add(nbytes)
 		s.matches.Add(nmatches)
@@ -646,6 +675,7 @@ read:
 	rs.scans.Add(1)
 	rs.bytes.Add(stream.BytesIn())
 	rs.matches.Add(matches)
+	s.noteBackendScans(rs.backend, 1)
 	s.scans.Add(1)
 	s.scanBytes.Add(stream.BytesIn())
 	s.matches.Add(matches)
@@ -692,6 +722,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "server_errors_total %d\n", s.errors.Load())
 	fmt.Fprintf(w, "server_active_streams %d\n", s.activeStreams.Load())
 	fmt.Fprintf(w, "server_rulesets %d\n", nRulesets)
+	// Per-backend scan volume and its share of all served scans. The share
+	// is division-guarded: a service that has served nothing yet reports 0
+	// for every backend, never NaN.
+	var backendTotal int64
+	for i := range scanBackends {
+		backendTotal += s.backendScans[i].Load()
+	}
+	for i, name := range scanBackends {
+		n := s.backendScans[i].Load()
+		share := 0.0
+		if backendTotal > 0 {
+			share = float64(n) / float64(backendTotal)
+		}
+		fmt.Fprintf(w, "server_backend_scans_total{backend=%q} %d\n", name, n)
+		fmt.Fprintf(w, "server_backend_scan_share{backend=%q} %g\n", name, share)
+	}
 	// Certified-minimization aggregates across resident rulesets: how many
 	// were compiled with Options.Minimize, and the states the pipeline
 	// pruned and merged for them.
@@ -720,6 +766,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		label := `ruleset="` + id + `"`
 		_ = telemetry.WriteLatencyText(w, "server_scan_latency_ns", label, rs.lat)
 		_ = telemetry.WriteLatencyText(w, "server_pool_wait_ns", label, rs.wait)
+		// Pool-wait share of served time, division-guarded: a ruleset that
+		// has served no scans reports 0, never NaN.
+		served := rs.servedNS.Load()
+		waitShare := 0.0
+		if served > 0 {
+			waitShare = float64(rs.waitNS.Load()) / float64(served)
+		}
+		fmt.Fprintf(w, "server_pool_wait_share{%s} %g\n", label, waitShare)
+		fmt.Fprintf(w, "server_ruleset_backend_scans_total{%s,backend=%q} %d\n",
+			label, rs.backend, rs.scans.Load())
 		for _, shed := range []struct {
 			reason string
 			c      *telemetry.Counter
@@ -756,6 +812,7 @@ func (s *Server) metricsJSON() MetricsJSON {
 			Scans:         rs.scans.Load(),
 			Bytes:         rs.bytes.Load(),
 			Matches:       rs.matches.Load(),
+			Backend:       rs.backend,
 			Latency:       latencySLO(rs.lat),
 			PoolWait:      latencySLO(rs.wait),
 			PoolWaitShare: share,
@@ -780,6 +837,19 @@ func (s *Server) metricsJSON() MetricsJSON {
 	}
 	nRulesets := len(s.rulesets)
 	s.mu.RUnlock()
+	var backendTotal int64
+	for i := range scanBackends {
+		backendTotal += s.backendScans[i].Load()
+	}
+	backends := make(map[string]BackendMetricsJSON, len(scanBackends))
+	for i, name := range scanBackends {
+		n := s.backendScans[i].Load()
+		share := 0.0
+		if backendTotal > 0 {
+			share = float64(n) / float64(backendTotal)
+		}
+		backends[name] = BackendMetricsJSON{Scans: n, Share: share}
+	}
 	m := MetricsJSON{
 		Service: ServiceMetricsJSON{
 			Requests:      s.requests.Load(),
@@ -800,6 +870,7 @@ func (s *Server) metricsJSON() MetricsJSON {
 		},
 		Compile:  latencySLO(s.compileNS),
 		Rulesets: rulesets,
+		Backends: backends,
 		Minimize: minAgg,
 	}
 	if scans := s.tel.CounterValue(sunder.MetricPrefilterScans); scans > 0 {
@@ -864,6 +935,9 @@ func (s *Server) ResetRequestMetrics() {
 	s.scanBytes.Store(0)
 	s.matches.Store(0)
 	s.errors.Store(0)
+	for i := range s.backendScans {
+		s.backendScans[i].Store(0)
+	}
 	s.compileNS.Reset()
 	if s.spans != nil {
 		s.spans.Reset()

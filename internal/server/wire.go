@@ -28,6 +28,10 @@ type OptionsJSON struct {
 	Prune           bool  `json:"prune,omitempty"`
 	Minimize        bool  `json:"minimize,omitempty"`
 	Prefilter       bool  `json:"prefilter,omitempty"`
+	// Backend selects the execution backend ("auto", "nfa", "dfa",
+	// "parallel"); empty keeps the library default (nfa). "dfa" fails the
+	// PUT with 422 when the configuration does not support the lazy DFA.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Options resolves the wire form against the library defaults.
@@ -54,6 +58,7 @@ func (o *OptionsJSON) Options() sunder.Options {
 	if o.Prefilter {
 		opts.Prefilter = sunder.PrefilterOn
 	}
+	opts.Backend = o.Backend
 	return opts
 }
 
@@ -100,6 +105,11 @@ type InfoJSON struct {
 	SymbolClasses     int      `json:"symbol_classes,omitempty"`
 	PrefilterStrategy string   `json:"prefilter_strategy,omitempty"`
 	PrefilterLiterals []string `json:"prefilter_literals,omitempty"`
+	// Backend is the resolved execution backend, with the auto rationale
+	// when Options.Backend was "auto" (e.g. "dfa (auto: ...)"); DFAStates
+	// is the lazy DFA's resident state count (dfa backend only).
+	Backend   string `json:"backend,omitempty"`
+	DFAStates int    `json:"dfa_states,omitempty"`
 }
 
 func infoJSON(i sunder.Info) InfoJSON {
@@ -113,6 +123,8 @@ func infoJSON(i sunder.Info) InfoJSON {
 		PrunedStates:   i.PrunedStates,
 		MergedStates:   i.MergedStates,
 		SymbolClasses:  i.SymbolClasses,
+		Backend:        i.Backend,
+		DFAStates:      i.DFAStates,
 	}
 	if i.PrefilterStrategy != "off" {
 		out.PrefilterStrategy = i.PrefilterStrategy
@@ -263,10 +275,19 @@ type RulesetMetricsJSON struct {
 	Scans         int64          `json:"scans"`
 	Bytes         int64          `json:"bytes"`
 	Matches       int64          `json:"matches"`
+	Backend       string         `json:"backend,omitempty"`
 	Latency       LatencySLOJSON `json:"latency"`
 	PoolWait      LatencySLOJSON `json:"pool_wait"`
 	PoolWaitShare float64        `json:"pool_wait_share"`
 	Shed          ShedJSON       `json:"shed"`
+}
+
+// BackendMetricsJSON is one execution backend's service-level scan volume.
+// Share is its fraction of all served scans; 0 (never NaN) when the
+// service has served none.
+type BackendMetricsJSON struct {
+	Scans int64   `json:"scans"`
+	Share float64 `json:"share"`
 }
 
 // ServiceMetricsJSON mirrors the service-level counters of the text view.
@@ -325,6 +346,7 @@ type MetricsJSON struct {
 	CompileCache CompileCacheJSON              `json:"compile_cache"`
 	Compile      LatencySLOJSON                `json:"compile"`
 	Rulesets     map[string]RulesetMetricsJSON `json:"rulesets"`
+	Backends     map[string]BackendMetricsJSON `json:"backends"`
 	Minimize     *MinimizeMetricsJSON          `json:"minimize,omitempty"`
 	Prefilter    *PrefilterMetricsJSON         `json:"prefilter,omitempty"`
 	Spans        *SpanStatsJSON                `json:"spans,omitempty"`

@@ -94,6 +94,8 @@ func DefaultConfig() Config {
 			"sunder/internal/analysis":  true,
 			"sunder/internal/prefilter": true,
 			"sunder/internal/regex":     true,
+			"sunder/internal/dfa":       true,
+			"sunder/internal/meta":      true,
 		},
 		BannedImports: []string{"time", "math/rand", "math/rand/v2"},
 		SeededRandPkgs: map[string]bool{

@@ -4,7 +4,9 @@ import (
 	"runtime"
 
 	"sunder/internal/core"
+	"sunder/internal/dfa"
 	"sunder/internal/funcsim"
+	"sunder/internal/meta"
 	"sunder/internal/sched"
 )
 
@@ -17,6 +19,13 @@ type ScanOptions struct {
 	// that many scans are queued ahead of the workers (backpressure
 	// instead of unbounded buffering). <= 0 selects 2× workers.
 	BatchSize int
+	// Backend overrides the engine's compiled backend for this call; ""
+	// keeps the compiled choice and "auto" resolves as Options.Backend
+	// "auto" would have. A "dfa" override on these entry points runs the
+	// lazy DFA sequentially on a private runner (the DFA's state cache is
+	// inherently serial), ignoring Workers — output stays byte-identical.
+	// An unsupported "dfa" override is an error.
+	Backend string
 }
 
 func (o ScanOptions) workers() int {
@@ -47,9 +56,23 @@ func (e *Engine) ScanParallel(input []byte, opts ScanOptions) (*ScanResult, erro
 	if e.injector != nil {
 		return e.Scan(input)
 	}
+	backend, err := e.effectiveBackend(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
 	if e.pre.enabled() {
 		return e.scanPrefiltered(input, opts.workers())
 	}
+	if backend == meta.BackendDFA {
+		return e.scanDFAFresh(input)
+	}
+	return e.scanSharded(input, opts)
+}
+
+// scanSharded is the sharded parallel run ScanParallel (and Scan on the
+// "parallel" backend) execute: worker clones with dependence-window warm-up
+// replay, merged back into sequential order.
+func (e *Engine) scanSharded(input []byte, opts ScanOptions) (*ScanResult, error) {
 	units := funcsim.BytesToUnits(input, 4)
 	rr := sched.ParallelRun(e.proto, e.nibble, units, sched.RunConfig{
 		Workers:      opts.workers(),
@@ -100,6 +123,10 @@ func (e *Engine) ScanBatch(inputs [][]byte, opts ScanOptions) ([]*ScanResult, er
 		}
 		return results, nil
 	}
+	backend, err := e.effectiveBackend(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
 	workers := opts.workers()
 	if workers > len(inputs) {
 		workers = len(inputs)
@@ -119,6 +146,16 @@ func (e *Engine) ScanBatch(inputs [][]byte, opts ScanOptions) ([]*ScanResult, er
 			machines[i].AttachTelemetry(col)
 		}
 	}
+	// On the DFA backend each worker owns a private runner: inputs are
+	// independent, so runners reset per input but keep their caches warm
+	// across the batch.
+	var runners []*dfa.Runner
+	if backend == meta.BackendDFA && !e.pre.enabled() {
+		runners = make([]*dfa.Runner, workers)
+		for i := range runners {
+			runners[i] = dfa.NewRunner(e.dfaPlan, dfa.DefaultConfig())
+		}
+	}
 	pool := sched.NewPool(workers, queue)
 	for i, in := range inputs {
 		i, in := i, in
@@ -128,6 +165,12 @@ func (e *Engine) ScanBatch(inputs [][]byte, opts ScanOptions) ([]*ScanResult, er
 				// pool's pre-built clones stay idle for this input.
 				res, _ := e.scanPrefiltered(in, 1)
 				results[i] = res
+			})
+			continue
+		}
+		if runners != nil {
+			pool.Submit(func(worker int) {
+				results[i] = e.scanDFAWith(runners[worker], in)
 			})
 			continue
 		}
@@ -169,15 +212,21 @@ func (e *Engine) ScanBatch(inputs [][]byte, opts ScanOptions) ([]*ScanResult, er
 // over — arm them per clone as needed.
 func (e *Engine) Clone() *Engine {
 	return &Engine{
-		opts:       e.opts,
-		byteNFA:    e.byteNFA,
-		nibble:     e.nibble,
-		machine:    e.proto.Clone(),
-		proto:      e.proto,
-		place:      e.place,
-		pruned:     e.pruned,
-		minSum:     e.minSum,
-		symClasses: e.symClasses,
-		pre:        e.pre,
+		opts:        e.opts,
+		byteNFA:     e.byteNFA,
+		nibble:      e.nibble,
+		machine:     e.proto.Clone(),
+		proto:       e.proto,
+		place:       e.place,
+		pruned:      e.pruned,
+		minSum:      e.minSum,
+		symClasses:  e.symClasses,
+		pre:         e.pre,
+		backend:     e.backend,
+		backendNote: e.backendNote,
+		autoChoice:  e.autoChoice,
+		metaIn:      e.metaIn,
+		dfaPlan:     e.dfaPlan,
+		// dfaRunner stays nil: the clone builds its own on first DFA scan.
 	}
 }

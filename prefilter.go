@@ -64,6 +64,9 @@ type prefilterPlan struct {
 	scanner  prefilter.Scanner // nil when the verdict is "no filter"
 	strategy string
 	reason   string // why the filter disabled itself (scanner == nil)
+	// fold marks a canonical case-folded literal set: the scanner matches
+	// any ASCII case variant, and tail-hazard checks fold too.
+	fold bool
 
 	maxLit int // longest literal, for cross-chunk carry in streams
 	rate   int // units per cycle
@@ -93,8 +96,12 @@ func newPrefilterPlan(e *Engine, ex prefilter.Extraction) *prefilterPlan {
 		return p
 	}
 	p.lits = ex.Literals
-	p.scanner = prefilter.NewScanner(ex.Literals)
+	p.fold = ex.FoldCase
+	p.scanner = prefilter.NewScannerFold(ex.Literals, ex.FoldCase)
 	p.strategy = p.scanner.Strategy()
+	if p.fold {
+		p.strategy += "+fold"
+	}
 	p.maxLit = ex.MaxLen
 	depth, bounded := sched.DependenceCycles(e.nibble)
 	p.depth, p.bounded = depth, bounded
@@ -116,8 +123,8 @@ func buildPrefilter(e *Engine, patterns []Pattern) {
 		return
 	}
 	if len(patterns) > 0 {
-		if lits, ok := requiredPatternLiterals(patterns); ok {
-			if pl := newPrefilterPlan(e, prefilter.FromLiterals(lits, prefilter.DefaultConfig())); pl.enabled() {
+		if lits, fold, ok := requiredPatternLiterals(patterns); ok {
+			if pl := newPrefilterPlan(e, prefilter.FromLiteralsFold(lits, fold, prefilter.DefaultConfig())); pl.enabled() {
 				e.pre = pl
 				return
 			}
@@ -132,17 +139,22 @@ func buildPrefilter(e *Engine, patterns []Pattern) {
 
 // requiredPatternLiterals unions the per-pattern AST literal sets; every
 // pattern must yield one for the union to be a required set of the whole
-// rule set (any match is a match of some pattern).
-func requiredPatternLiterals(patterns []Pattern) ([][]byte, bool) {
+// rule set (any match is a match of some pattern). If any pattern's set is
+// case-folded the whole union is folded to canonical form: a fold-aware
+// scan of exact literals over-approximates their occurrences, which is
+// sound (extra candidate windows, never missed ones).
+func requiredPatternLiterals(patterns []Pattern) ([][]byte, bool, bool) {
 	var all [][]byte
+	fold := false
 	for _, p := range patterns {
-		lits, ok := regex.RequiredLiterals(p.Expr)
+		lits, f, ok := regex.RequiredLiteralsFold(p.Expr)
 		if !ok {
-			return nil, false
+			return nil, false, false
 		}
+		fold = fold || f
 		all = append(all, lits...)
 	}
-	return all, true
+	return all, fold, true
 }
 
 // hitSpan converts a literal occurrence at bytes [q, e) into the cycle
@@ -169,7 +181,7 @@ func (p *prefilterPlan) planSpans(input []byte, totalCycles int64, padUnits int)
 	})
 	if padUnits > 0 {
 		padBytes := (padUnits + p.su - 1) / p.su
-		if prefilter.TailHit(input, p.lits, padBytes) {
+		if prefilter.TailHitFold(input, p.lits, padBytes, p.fold) {
 			spans = append(spans, sched.CycleSpan{Start: totalCycles - 1, End: totalCycles})
 		}
 	}

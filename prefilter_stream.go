@@ -1,10 +1,23 @@
 package sunder
 
 import (
+	"errors"
+
 	"sunder/internal/funcsim"
 	"sunder/internal/prefilter"
 	"sunder/internal/sched"
 )
+
+// ErrDeferredBufferFull is returned by Stream.Write on a prefiltered stream
+// over an automaton with an unbounded dependence window when the deferred-
+// start buffer reaches its cap (maxDeferredUnits) without a literal hit.
+// Such a stream cannot bound the warm-up replay a future hit would need, so
+// instead of silently buffering without limit it stops accepting input; the
+// error is sticky (further writes return it) and Close remains valid and
+// idempotent — everything written so far was proven match-free, so the
+// returned statistics count those cycles as skipped.
+var ErrDeferredBufferFull = errors.New(
+	"sunder: prefilter deferred-start buffer full (unbounded dependence window, no literal hit)")
 
 // streamFilter is the incremental literal prefilter behind Stream when the
 // engine compiled with Options.Prefilter. It scans arriving bytes for the
@@ -66,7 +79,8 @@ type streamFilter struct {
 }
 
 // maxDeferredUnits caps the deferred-start buffer of unbounded automata:
-// past it the stream goes live even without a hit, bounding memory.
+// reaching it without a hit surfaces ErrDeferredBufferFull from Write,
+// bounding memory.
 const maxDeferredUnits = 4 << 20
 
 func newStreamFilter(s *Stream) *streamFilter {
@@ -78,13 +92,13 @@ func newStreamFilter(s *Stream) *streamFilter {
 }
 
 // write scans the chunk for literals and advances execution up to the
-// decision frontier.
-func (f *streamFilter) write(p []byte) {
+// decision frontier. The only error it can return is ErrDeferredBufferFull
+// (unbounded automata whose deferred-start buffer hits the cap).
+func (f *streamFilter) write(p []byte) error {
 	f.scanChunk(p)
 	f.hist = append(f.hist, funcsim.BytesToUnits(p, 4)...)
 	if !f.p.bounded {
-		f.advanceDeferred()
-		return
+		return f.advanceDeferred()
 	}
 	complete := (f.histBase + int64(len(f.hist))) / int64(f.p.rate)
 	limit := complete - f.p.align - 1
@@ -92,6 +106,7 @@ func (f *streamFilter) write(p []byte) {
 		f.advance(limit)
 	}
 	f.trim()
+	return nil
 }
 
 // scanChunk runs the literal scanner over carry+chunk, keeping only
@@ -238,11 +253,17 @@ func (f *streamFilter) trim() {
 }
 
 // advanceDeferred is the unbounded-dependence path: buffer until a hit,
-// then replay everything and stay live.
-func (f *streamFilter) advanceDeferred() {
+// then replay everything and stay live. Reaching the buffer cap without a
+// hit is ErrDeferredBufferFull: going live at that point would silently
+// degrade the stream into unfiltered execution over an arbitrarily large
+// replay, so the condition surfaces to the caller instead.
+func (f *streamFilter) advanceDeferred() error {
 	if !f.live {
-		if len(f.spans) == 0 && f.hits == 0 && len(f.hist) <= maxDeferredUnits {
-			return
+		if len(f.spans) == 0 && f.hits == 0 {
+			if len(f.hist) > maxDeferredUnits {
+				return ErrDeferredBufferFull
+			}
+			return nil
 		}
 		f.live = true
 		f.windows++
@@ -251,6 +272,7 @@ func (f *streamFilter) advanceDeferred() {
 	// Replay/execute with emission: the pre-hit prefix contains no literal,
 	// hence no match, hence no report — emission is provably silent there.
 	f.exec(f.proc, complete)
+	return nil
 }
 
 // close pads the final vector, folds in the pad-tail hazard, executes the
@@ -267,7 +289,7 @@ func (f *streamFilter) close() Stats {
 	if padUnits > 0 && f.p.maxLit > 0 {
 		padBytes := (padUnits + su - 1) / su
 		tail := f.carry
-		if prefilter.TailHit(tail, f.p.lits, padBytes) {
+		if prefilter.TailHitFold(tail, f.p.lits, padBytes, f.p.fold) {
 			// A literal can complete inside the pad: phantom pad reports
 			// fire in the final cycle of an unfiltered run and must be
 			// counted here identically.
@@ -278,8 +300,12 @@ func (f *streamFilter) close() Stats {
 	if f.p.bounded {
 		f.advance(totalCycles)
 	} else {
-		f.advanceDeferred()
+		if f.live || f.hits > 0 {
+			f.advanceDeferred()
+		}
 		if !f.live {
+			// No literal ever hit (including a possibly over-cap wedged
+			// stream): every buffered cycle is provably match-free.
 			f.skip(totalCycles)
 		}
 	}

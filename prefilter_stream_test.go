@@ -1,6 +1,7 @@
 package sunder
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -176,5 +177,66 @@ func TestPrefilterStreamUnboundedDeferred(t *testing.T) {
 	stats := st.Close()
 	if stats.KernelCycles != 0 || stats.SkippedCycles == 0 || stats.Reports != 0 {
 		t.Errorf("hit-free deferred stream: %+v", stats)
+	}
+}
+
+// TestPrefilterStreamDeferredBufferFull pins the deferred-buffer cap: an
+// unbounded-window ruleset fed more than maxDeferredUnits units without a
+// literal hit must surface ErrDeferredBufferFull from Write (sticky) rather
+// than silently degrade, and Close must stay valid and idempotent after it.
+func TestPrefilterStreamDeferredBufferFull(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Prefilter = PrefilterOn
+	eng, err := Compile([]Pattern{{Expr: `begin.*end`, Code: 3}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.pre.enabled() || eng.pre.bounded {
+		t.Fatalf("want engaged unbounded filter, got %s bounded=%v",
+			eng.Info().PrefilterStrategy, eng.pre.bounded)
+	}
+	st, err := eng.NewStream(func(m Match) { t.Errorf("unexpected match %+v", m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Literal-free filler: > maxDeferredUnits units (su units per byte).
+	su := eng.nibble.SymbolUnits
+	chunk := make([]byte, 64<<10)
+	for i := range chunk {
+		chunk[i] = 'x'
+	}
+	need := maxDeferredUnits/su + len(chunk)
+	var wedged error
+	written := 0
+	for written < need+len(chunk) {
+		_, err := st.Write(chunk)
+		if err != nil {
+			wedged = err
+			break
+		}
+		written += len(chunk)
+	}
+	if !errors.Is(wedged, ErrDeferredBufferFull) {
+		t.Fatalf("wrote %d bytes (> cap %d units) without ErrDeferredBufferFull; err=%v",
+			written, maxDeferredUnits, wedged)
+	}
+	if !errors.Is(st.Err(), ErrDeferredBufferFull) {
+		t.Fatalf("Err() = %v, want ErrDeferredBufferFull", st.Err())
+	}
+	// Sticky: further writes keep failing with the same error.
+	if _, err := st.Write([]byte("more")); !errors.Is(err, ErrDeferredBufferFull) {
+		t.Fatalf("post-wedge Write err = %v", err)
+	}
+	// Close stays valid and idempotent: everything buffered was proven
+	// match-free, so it is skipped, and a second Close returns the same.
+	first := st.Close()
+	if first.KernelCycles != 0 || first.SkippedCycles == 0 || first.Reports != 0 {
+		t.Errorf("post-wedge Close stats: %+v", first)
+	}
+	if again := st.Close(); again != first {
+		t.Errorf("Close not idempotent after wedge: %+v != %+v", again, first)
+	}
+	if _, err := st.Write([]byte("x")); !errors.Is(err, ErrClosedStream) {
+		t.Errorf("write after close: %v", err)
 	}
 }

@@ -39,6 +39,22 @@ grep -q '"compression_ratio"' "$minimize_out" || {
   echo "bench.sh: $minimize_out missing minimization rows" >&2; exit 1; }
 echo "wrote $minimize_out"
 
+# Optionally record the meta-engine backend-selection study: every
+# benchmark compiled under Backend "auto" and every forced backend, with
+# output equality checked per row. The binary enforces the acceptance
+# gates itself — byte-identical output across backends, and "auto" never
+# more than META_MAX_SLOWDOWN (default 10%) slower than the best forced
+# backend on any workload — so a selection regression fails this script.
+if [ "${META_BENCH:-0}" != "0" ]; then
+  meta_out="${META_BENCH_OUT:-BENCH_meta.json}"
+  go run ./cmd/sunder-bench -meta \
+    -meta-max-slowdown "${META_MAX_SLOWDOWN:-0.10}" -json > "$meta_out"
+  test -s "$meta_out" || { echo "bench.sh: $meta_out is empty" >&2; exit 1; }
+  grep -q '"best_backend"' "$meta_out" || {
+    echo "bench.sh: $meta_out missing meta rows" >&2; exit 1; }
+  echo "wrote $meta_out"
+fi
+
 # Optionally record the network scan service study (all 19 benchmark
 # inputs through sunder-serve's in-process server). Off by default: it is
 # a service-level measurement, not a simulator one.

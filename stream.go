@@ -4,8 +4,10 @@ import (
 	"errors"
 
 	"sunder/internal/automata"
+	"sunder/internal/dfa"
 	"sunder/internal/faults"
 	"sunder/internal/funcsim"
+	"sunder/internal/meta"
 )
 
 // ErrClosedStream is returned by Stream.Write after Close.
@@ -37,6 +39,13 @@ type Stream struct {
 	filt *streamFilter
 	// filtStats memoizes the filtered Close result (Close is idempotent).
 	filtStats Stats
+	// dfaRun is the engine's sequential lazy-DFA runner; non-nil when the
+	// resolved backend is "dfa" (and neither a fault guard nor the
+	// prefilter owns the stream). pendB then buffers the bytes of an
+	// incomplete cycle and dfaCycles counts cycles stepped.
+	dfaRun    *dfa.Runner
+	pendB     []byte
+	dfaCycles int64
 	scratch   []automata.StateID
 	seen      map[streamKey]bool
 	bytesIn   int64
@@ -73,6 +82,11 @@ func (e *Engine) NewStream(onMatch func(Match)) (*Stream, error) {
 	e.machine.Reset()
 	if e.pre.enabled() {
 		s.filt = newStreamFilter(s)
+	} else if e.backend == meta.BackendDFA {
+		// Streams are inherently sequential, so the "parallel" backend
+		// streams on the machine like "nfa"; only "dfa" changes substrate.
+		s.dfaRun = e.dfaRunnerFor()
+		s.dfaRun.Reset()
 	}
 	return s, nil
 }
@@ -100,7 +114,18 @@ func (s *Stream) Write(p []byte) (int, error) {
 	}
 	s.bytesIn += int64(len(p))
 	if s.filt != nil {
-		s.filt.write(p)
+		if err := s.filt.write(p); err != nil {
+			// Sticky, like a guard failure: the chunk was consumed into the
+			// deferred buffer (Close accounts for it), but the stream
+			// accepts no more input.
+			s.err = err
+			return 0, err
+		}
+		return len(p), nil
+	}
+	if s.dfaRun != nil {
+		s.pendB = append(s.pendB, p...)
+		s.consumeDFA()
 		return len(p), nil
 	}
 	s.pending = append(s.pending, funcsim.BytesToUnits(p, 4)...)
@@ -117,6 +142,35 @@ func (s *Stream) consume() {
 		off += rate
 	}
 	s.pending = append(s.pending[:0], s.pending[off:]...)
+}
+
+// consumeDFA executes all complete cycles in the buffered bytes on the
+// lazy DFA.
+func (s *Stream) consumeDFA() {
+	sb := s.eng.dfaPlan.StepBytes()
+	off := 0
+	for off+sb <= len(s.pendB) {
+		s.stepDFA(s.pendB[off:off+sb], 0)
+		off += sb
+	}
+	s.pendB = append(s.pendB[:0], s.pendB[off:]...)
+}
+
+// flushDFA pads and executes the final partial cycle at Close.
+func (s *Stream) flushDFA() {
+	if len(s.pendB) == 0 {
+		return
+	}
+	s.stepDFA(s.pendB, s.eng.dfaPlan.StepBytes()-len(s.pendB))
+	s.pendB = s.pendB[:0]
+}
+
+func (s *Stream) stepDFA(data []byte, pad int) {
+	cycle := s.dfaCycles
+	s.dfaCycles++
+	if ids := s.dfaRun.Step(data, pad); len(ids) > 0 {
+		s.emit(cycle, ids)
+	}
 }
 
 func (s *Stream) step(vec []funcsim.Unit) {
@@ -179,10 +233,22 @@ func (s *Stream) Close() Stats {
 				s.err = err
 			}
 			s.eng.adoptGuard(s.guard)
+		} else if s.dfaRun != nil {
+			s.flushDFA()
 		} else if len(s.pending) > 0 {
 			rate := s.eng.machine.Config().Rate
 			s.pending = funcsim.PadUnits(s.pending, rate)
 			s.consume()
+		}
+	}
+	if s.dfaRun != nil {
+		// Same documented divergence as Scan on the "dfa" backend: the
+		// report-region stall model is not simulated, so StallCycles and
+		// Flushes read zero.
+		return Stats{
+			KernelCycles: s.dfaCycles,
+			Reports:      s.reports,
+			ReportCycles: s.reportCycles,
 		}
 	}
 	m := s.eng.machine

@@ -32,10 +32,12 @@ import (
 	"sunder/internal/analysis"
 	"sunder/internal/automata"
 	"sunder/internal/core"
+	"sunder/internal/dfa"
 	"sunder/internal/faults"
 	"sunder/internal/funcsim"
 	"sunder/internal/hardware"
 	"sunder/internal/mapping"
+	"sunder/internal/meta"
 	"sunder/internal/regex"
 	"sunder/internal/telemetry"
 	"sunder/internal/transform"
@@ -88,6 +90,18 @@ type Options struct {
 	// required literals are extracted at compile time and input regions
 	// that cannot contain a match are skipped. See PrefilterMode.
 	Prefilter PrefilterMode
+	// Backend selects the scan execution substrate: "nfa" (or "", the
+	// default) is the sequential bitvec NFA core; "dfa" is the lazy-DFA
+	// software backend (on-demand determinization with an LRU state cache,
+	// falling back to NFA stepping if the subset space blows up); "parallel"
+	// makes Scan shard across workers like ScanParallel; "auto" resolves
+	// among them at compile time from the analyzer's shape statistics (see
+	// Info().Backend for the choice and its reason). Every backend produces
+	// byte-identical matches and Reports/ReportCycles accounting. "dfa"
+	// requires whole-byte cycles (Rate 2 or 4) and fails compilation
+	// otherwise; "auto" never fails. An armed fault policy or an engaged
+	// literal prefilter takes precedence over the backend at scan time.
+	Backend string
 }
 
 // DefaultOptions returns the paper's default configuration: 16-bit
@@ -184,6 +198,20 @@ type Engine struct {
 	// pre is the compiled literal-prefilter plan; nil unless
 	// Options.Prefilter is on. Immutable after compile, shared by clones.
 	pre *prefilterPlan
+	// backend is the resolved scan backend (meta.Backend* constant) and
+	// backendNote its Info() annotation; autoChoice is what "auto" resolves
+	// to for this shape (computed for every engine so per-call overrides can
+	// use it); metaIn is the shape statistics fed to the selector.
+	backend     string
+	backendNote string
+	autoChoice  meta.Choice
+	metaIn      meta.Inputs
+	// dfaPlan is the lazy-DFA stepping plan (nil when the geometry is
+	// unsupported; immutable, shared by clones). dfaRunner is the
+	// sequential-path runner, built lazily — like the shared machine it
+	// belongs to Scan/NewStream and is never touched by the parallel paths.
+	dfaPlan   *dfa.Plan
+	dfaRunner *dfa.Runner
 }
 
 // Compile builds an Engine from a pattern set.
@@ -201,8 +229,12 @@ func Compile(patterns []Pattern, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	// Re-derive the prefilter from the pattern ASTs, which usually beat
-	// the automaton suffix walk fromByteNFA already ran (see buildPrefilter).
+	// the automaton suffix walk fromByteNFA already ran (see buildPrefilter),
+	// then re-resolve the backend: "auto" defers to an engaged prefilter.
 	buildPrefilter(eng, patterns)
+	if err := resolveBackend(eng); err != nil {
+		return nil, err
+	}
 	return eng, nil
 }
 
@@ -273,7 +305,13 @@ func fromByteNFA(nfa *automata.Automaton, opts Options) (*Engine, error) {
 		opts: opts, byteNFA: nfa, nibble: ua, machine: m, proto: m.Clone(),
 		place: place, pruned: pruned, minSum: minSum, symClasses: symClasses,
 	}
+	if err := buildBackendShape(eng); err != nil {
+		return nil, err
+	}
 	buildPrefilter(eng, nil)
+	if err := resolveBackend(eng); err != nil {
+		return nil, err
+	}
 	return eng, nil
 }
 
@@ -309,6 +347,12 @@ func (e *Engine) Scan(input []byte) (*ScanResult, error) {
 		// artifact: the shared machine (and with it Summarize/ReadReports
 		// state) is left untouched.
 		return e.scanPrefiltered(input, 1)
+	}
+	switch e.backend {
+	case meta.BackendDFA:
+		return e.scanDFA(input)
+	case meta.BackendParallel:
+		return e.scanSharded(input, ScanOptions{})
 	}
 	e.machine.Reset()
 	units := funcsim.BytesToUnits(input, 4)
@@ -391,6 +435,13 @@ type Info struct {
 	// PrefilterLiterals are the extracted required literals (every match
 	// contains at least one); nil unless the prefilter is active.
 	PrefilterLiterals []string
+	// Backend is the resolved scan backend ("nfa", "dfa", "parallel"),
+	// annotated with the selection reason when Options.Backend was "auto".
+	Backend string
+	// DFAStates is the number of DFA states the lazy-DFA backend has
+	// constructed on the sequential runner so far (zero before the first
+	// DFA scan, and always zero on other backends).
+	DFAStates int
 }
 
 // ReportRecord is one decoded entry of the device's report region: the
@@ -451,6 +502,8 @@ func (e *Engine) Info() Info {
 		SymbolClasses:     e.symClasses,
 		PrefilterStrategy: strategy,
 		PrefilterLiterals: lits,
+		Backend:           e.backendNote,
+		DFAStates:         int(e.DFAStats().States),
 	}
 }
 
